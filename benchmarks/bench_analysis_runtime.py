@@ -1,0 +1,18 @@
+"""Footnote 4: analysis tractability across the suite."""
+
+from repro.eval.runtime import build_runtime, render_runtime
+
+
+def test_analysis_runtime(once):
+    rows = once(build_runtime)
+    assert len(rows) == 13
+
+    for row in rows:
+        # the conservative approximation must terminate every benchmark
+        assert row.wall_seconds < 300, f"{row.name} took too long"
+        # and it terminates *because* of merging, not luck: every
+        # benchmark's exploration ends in merge-stops
+        assert row.merge_terminations >= 1, row.name
+
+    print()
+    print(render_runtime(rows))

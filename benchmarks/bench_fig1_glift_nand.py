@@ -1,0 +1,30 @@
+"""Figure 1: the GLIFT NAND truth table, regenerated and checked."""
+
+from repro.eval.figure1 import boolean_rows, render_figure1
+
+#: the paper's sixteen rows, verbatim
+PAPER_FIGURE1 = [
+    (0, 0, 0, 0, 1, 0),
+    (0, 0, 0, 1, 1, 0),
+    (0, 0, 1, 0, 1, 0),
+    (0, 0, 1, 1, 1, 0),
+    (0, 1, 0, 0, 1, 0),
+    (0, 1, 0, 1, 1, 1),
+    (0, 1, 1, 0, 1, 1),
+    (0, 1, 1, 1, 1, 1),
+    (1, 0, 0, 0, 1, 0),
+    (1, 0, 0, 1, 1, 1),
+    (1, 0, 1, 0, 0, 0),
+    (1, 0, 1, 1, 0, 1),
+    (1, 1, 0, 0, 1, 0),
+    (1, 1, 0, 1, 1, 1),
+    (1, 1, 1, 0, 0, 1),
+    (1, 1, 1, 1, 0, 1),
+]
+
+
+def test_figure1_glift_nand(once):
+    rows = once(boolean_rows)
+    assert rows == PAPER_FIGURE1  # exact, bit for bit
+    print()
+    print(render_figure1(include_ternary=True))

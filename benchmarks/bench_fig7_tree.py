@@ -1,0 +1,21 @@
+"""Figure 7: the symbolic execution tree example on real gates."""
+
+from repro.eval.figure7 import build_figure7, render_figure7
+from repro.logic.ternary import ONE, UNKNOWN, ZERO
+
+
+def test_figure7_execution_tree(once):
+    prefix, left, right, left_final, right_final = once(build_figure7)
+
+    # common prefix: reset lands in S=0; untainted 1 moves to S=1;
+    # the tainted 0 taints the next state.
+    assert prefix[1].s == (ZERO, 0)
+    assert prefix[2].s == (ONE, 0)
+    assert prefix[2].s_next == (ONE, 1)
+
+    # the paper's punchline rows
+    assert left_final == (ZERO, 1)  # tainted reset cannot de-taint
+    assert right_final == (ZERO, 0)  # untainted reset de-taints
+
+    print()
+    print(render_figure7())

@@ -1,0 +1,22 @@
+"""Section 7.3: information-flow secure scheduling on MiniRTOS."""
+
+from repro.eval.rtos_case import build_rtos_case
+
+
+def test_rtos_secure_scheduling(once):
+    case = once(build_rtos_case)
+
+    # the unprotected system is vulnerable through the untrusted task
+    assert case.unprotected_conditions == {1, 2}
+    assert case.flagged_stores >= 1  # the paper found 330 in binSearch
+
+    # the toolflow repairs it: watchdog around bs_task, masks as flagged
+    assert case.bounded_tasks == ["bs_task"]
+    assert case.repaired_secure
+
+    # "the total performance overhead ... is only 0.83%"
+    assert case.overhead_percent < 5.0
+    assert case.protected_cycles >= case.baseline_cycles
+
+    print()
+    print(case.report())

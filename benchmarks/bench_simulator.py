@@ -1,0 +1,84 @@
+"""Infrastructure micro-benchmarks: simulator and analysis throughput.
+
+Not a paper table -- these quantify the reproduction's own substrate so
+performance regressions in the gate-level simulator or tracker show up.
+"""
+
+import pytest
+
+from repro.cpu import compiled_cpu
+from repro.core import TaintTracker
+from repro.isa.assembler import assemble
+from repro.isasim.executor import run_concrete
+from repro.sim.runner import GateRunner
+
+LOOP = """
+    mov #400, r10
+loop:
+    dec r10
+    jnz loop
+    halt
+"""
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return compiled_cpu()
+
+
+def test_gate_level_cycles_per_second(benchmark, circuit):
+    program = assemble(LOOP, name="loop")
+
+    def run():
+        runner = GateRunner(circuit, program)
+        return runner.run(max_cycles=2_000)
+
+    cycles = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert cycles > 1_000
+
+
+def test_architectural_simulator_speed(benchmark):
+    program = assemble(LOOP, name="loop")
+
+    def run():
+        return run_concrete(
+            program, max_cycles=100_000, follow_watchdog=False
+        ).cycles
+
+    cycles = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert cycles > 1_000
+
+
+def test_tracker_throughput(benchmark, circuit):
+    source = """
+.task sys trusted
+start:
+    mov #0x0FFE, sp
+    call #app
+    jmp start
+.task app untrusted
+app:
+    mov &P1IN, r4
+    and #0x03FF, r4
+    bis #0x0400, r4
+    mov &P1IN, r5
+    mov r5, 0(r4)
+    ret
+"""
+    program = assemble(source, name="clean")
+
+    def analyse():
+        return TaintTracker(program, circuit=circuit).run()
+
+    result = benchmark.pedantic(analyse, rounds=3, iterations=1)
+    assert result.secure
+
+
+def test_cpu_compile_time(benchmark):
+    from repro.cpu.build import build_cpu
+    from repro.sim.compiled import CompiledCircuit
+
+    compiled = benchmark.pedantic(
+        lambda: CompiledCircuit(build_cpu()), rounds=3, iterations=1
+    )
+    assert compiled.num_dffs > 300

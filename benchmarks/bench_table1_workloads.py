@@ -1,0 +1,18 @@
+"""Table 1: the benchmark roster with measured sizes and CPI."""
+
+from repro.eval.table1 import build_table1, render_table1
+
+
+def test_table1_workloads(once):
+    rows = once(build_table1)
+    assert len(rows) == 13
+    names = {row.name for row in rows}
+    assert {"mult", "binSearch", "tea8", "Viterbi"} <= names
+
+    # the multi-cycle LP430's CPI band (paper: per-instruction rate in a
+    # narrow band on openMSP430)
+    for row in rows:
+        assert 2.0 <= row.cpi <= 6.0, f"{row.name}: CPI {row.cpi:.2f}"
+
+    print()
+    print(render_table1(rows))

@@ -1,0 +1,19 @@
+"""Table 4: embedded-processor feature survey (static data check)."""
+
+from repro.eval.table4 import TABLE4, render_table4
+
+
+def test_table4_features(once):
+    rows = once(lambda: TABLE4)
+    by_name = {row.processor: row for row in rows}
+    # the paper's survey rows
+    assert not by_name["TI MSP430"].branch_predictor
+    assert not by_name["TI MSP430"].cache
+    assert by_name["ARM Cortex-M3"].branch_predictor
+    assert by_name["Intel Quark-D1000"].cache
+    # the reproduction's processor sits in the deterministic class
+    lp430 = by_name["LP430 (this reproduction)"]
+    assert not lp430.branch_predictor and not lp430.cache
+
+    print()
+    print(render_table4())

@@ -1,0 +1,25 @@
+"""Shared configuration for the reproduction benchmarks.
+
+Each module regenerates one of the paper's tables or figures, benchmarks
+the generation (single-round: these are experiments, not microbenchmarks)
+and asserts the paper's qualitative shape.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Benchmark *func* with exactly one round/iteration."""
+    return benchmark.pedantic(
+        func, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(func, *args, **kwargs):
+        return run_once(benchmark, func, *args, **kwargs)
+
+    return runner

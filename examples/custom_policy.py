@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Custom information flow policies: secrecy, and a custom partition.
+
+The paper analyses two taints separately -- untrusted-ness and secrecy
+(Section 4.2).  This example runs the same application under both, and
+then under a policy with a differently-placed tainted partition, showing
+how labels change the verdict without touching the code.
+
+Run:  python examples/custom_policy.py
+"""
+
+from repro import memmap
+from repro.core import TaintTracker, default_policy, secret_policy
+from repro.core.labels import SecurityPolicy
+from repro.isa.assembler import assemble
+from repro.memmap import MemoryRegion
+
+APPLICATION = """
+; Reads the *secret* input port P5 and publishes a digest on P4.
+.task sys trusted
+start:
+    mov &P5IN, r4
+    swpb r4
+    xor &P5IN, r4
+    mov r4, &P4OUT
+    halt
+"""
+
+PARTITIONED = """
+; An untrusted logger writing inside a small dedicated window.
+.task sys trusted
+start:
+    mov #0x07FE, sp
+    call #logger
+    jmp start
+.task logger untrusted
+logger:
+    mov &P1IN, r4
+    and #0x003F, r4        ; confine to a 64-word window
+    bis #0x0600, r4        ; based at 0x0600
+    mov &P1IN, r5
+    mov r5, 0(r4)
+    ret
+"""
+
+
+def main() -> None:
+    program = assemble(APPLICATION, name="digest")
+
+    print("under the untrusted-taint policy (P1 tainted):")
+    result = TaintTracker(program, policy=default_policy()).run()
+    print(" ", "SECURE" if result.secure else "INSECURE",
+          sorted(result.violated_conditions()))
+
+    print("under the secrecy policy (P5 secret, P4 non-secret):")
+    result = TaintTracker(program, policy=secret_policy()).run()
+    print(" ", "SECURE" if result.secure else "INSECURE",
+          sorted(result.violated_conditions()))
+    print("  -> the same binary leaks secrets even though it is trusted:")
+    for violation in result.violations:
+        print("    ", violation.render())
+
+    print()
+    print("custom partition: the logger owns only 0x0600..0x0640")
+    policy = SecurityPolicy(
+        name="logger-window",
+        tainted_memory=(MemoryRegion("log", 0x0600, 0x0640),),
+    )
+    program = assemble(PARTITIONED, name="logger")
+    result = TaintTracker(program, policy=policy).run()
+    print(" ", "SECURE" if result.secure else "INSECURE",
+          sorted(result.violated_conditions()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""A tour of the hardware substrate: the gate-level LP430.
+
+Elaborates the processor, prints its synthesis-style report, exports it
+as structural Verilog (round-tripping through the parser), and runs a
+small program on the raw gates while watching taint flow.
+
+Run:  python examples/netlist_tour.py
+"""
+
+import io
+
+from repro.cpu import build_cpu, compiled_cpu, cpu_stats
+from repro.isa.assembler import assemble
+from repro.netlist.verilog import parse_verilog, write_verilog
+from repro.sim.runner import GateRunner
+
+
+def main() -> None:
+    print(cpu_stats().format())
+    print()
+
+    text = io.StringIO()
+    write_verilog(build_cpu(), text)
+    verilog = text.getvalue()
+    print(f"structural Verilog export: {len(verilog.splitlines())} lines")
+    print("\n".join(verilog.splitlines()[:12]))
+    print("  ...")
+    parsed = parse_verilog(verilog)
+    print(
+        f"round trip: {len(parsed.gates)} cells, {len(parsed.dffs)} "
+        "flip-flops re-parsed OK"
+    )
+    print()
+
+    program = assemble(
+        """
+        mov &P1IN, r4          ; tainted input
+        and #0x00FF, r4        ; mask the high byte
+        mov &P3IN, r5          ; untainted input
+        add r5, r4
+        halt
+        """,
+        name="tour",
+    )
+    runner = GateRunner(compiled_cpu(), program)
+    runner.run(max_cycles=100)
+    r4 = runner.register(4)
+    r5 = runner.register(5)
+    print("after running on the gates:")
+    print(f"  r4 = {r4!r}")
+    print(f"       taint mask 0x{r4.tmask:04x}: the AND stripped the "
+          "high byte's taint, the ADD's carries spread the rest")
+    print(f"  r5 = {r5!r} (untainted unknown)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Quickstart: analyse, repair and verify an IoT application.
+
+This walks the paper's whole loop in ~40 lines of user code:
+
+1. write an LP430 system binary (trusted system code + an untrusted task
+   that uses a tainted input as a store offset -- the Figure 4 bug);
+2. run application-specific gate-level information flow tracking;
+3. let the toolflow repair it (watchdog bounding + address masking);
+4. re-verify the repaired binary on the same commodity netlist.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import TaintTracker, default_policy
+from repro.isa.assembler import assemble
+from repro.transform import secure_compile
+
+APPLICATION = """
+; A sensor task: reads an untrusted offset and an untrusted sample from
+; port P1, files the sample by offset, and echoes it to port P2.
+.task sys trusted
+start:
+    mov #0x07FE, sp        ; task stack lives in the tainted partition
+    call #sensor
+    jmp start
+
+.task sensor untrusted
+sensor:
+    mov &P1IN, r4          ; offset  (attacker-controlled!)
+    mov &P1IN, r5          ; sample  (attacker-controlled)
+    tst r5
+    jz sensor_store        ; input-dependent control flow
+    inc r5
+sensor_store:
+    mov r5, 0(r4)          ; unmasked store through the tainted offset
+    mov r5, &P2OUT
+    ret
+"""
+
+
+def main() -> None:
+    print("=" * 72)
+    print("step 1: application-specific gate-level information flow "
+          "tracking")
+    print("=" * 72)
+    program = assemble(APPLICATION, name="sensor")
+    result = TaintTracker(program, policy=default_policy()).run()
+    print(result.report())
+
+    print()
+    print("=" * 72)
+    print("step 2: automatic software repair (Figure 10/11 toolflow)")
+    print("=" * 72)
+    repaired = secure_compile(
+        APPLICATION, name="sensor", task_cycles={"sensor": 60}
+    )
+    print(repaired.diagnostics())
+
+    print()
+    print("=" * 72)
+    print("step 3: the repaired source")
+    print("=" * 72)
+    print(repaired.source)
+
+    print("=" * 72)
+    print("step 4: verification on the same commodity netlist")
+    print("=" * 72)
+    print(repaired.analysis.report())
+    assert repaired.secure
+    print()
+    print("the system now guarantees gate-level information flow "
+          "security -- on unmodified commodity hardware.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+#!/usr/bin/env python3
+"""Section 7.3: information-flow secure scheduling on MiniRTOS.
+
+A trusted divider and an untrusted binary search share the processor
+under a round-robin scheduler whose entry point doubles as the reset
+vector.  The toolflow bounds the untrusted task with the watchdog and
+masks its flagged stores; analysis then proves no task can taint the
+scheduler or the trusted task, at sub-percent runtime overhead.
+
+Run:  python examples/rtos_scheduling.py
+"""
+
+from repro.eval.rtos_case import build_rtos_case
+from repro.rtos import rtos_source
+
+
+def main() -> None:
+    print("MiniRTOS system source (excerpt):")
+    print("\n".join(rtos_source().splitlines()[:22]))
+    print("    ...")
+    print()
+    case = build_rtos_case()
+    print(case.report())
+
+
+if __name__ == "__main__":
+    main()

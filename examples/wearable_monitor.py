@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""A wearable heart-rate monitor: the paper's motivating IoT domain.
+
+The introduction motivates the work with wearables and medical devices:
+"smartwatches and fitness trackers to steal private information and
+health data".  This example builds that system:
+
+* a **trusted sensing task** reads the optical sensor (P3), smooths it
+  with a small FIR filter and raises the alarm line (P4) on tachycardia;
+* an **untrusted radio task** parses configuration packets from the
+  network (P1 -- fully attacker-controlled) and stores per-profile
+  thresholds in its own partition, acknowledging on P2.
+
+The radio task has both classic bugs: packet-dependent control flow and a
+packet-indexed table write.  The toolflow finds them, repairs them, and
+proves the repaired firmware cannot let a network packet influence the
+medical alarm -- on the unmodified commodity netlist.
+
+Run:  python examples/wearable_monitor.py
+"""
+
+from itertools import cycle
+
+from repro.core import TaintTracker
+from repro.isa.assembler import assemble
+from repro.isasim.executor import run_concrete
+from repro.transform import secure_compile
+
+FIRMWARE = """
+; ------------------------------------------------------------------
+; wearable heart-rate monitor firmware
+; ------------------------------------------------------------------
+.task kernel trusted
+start:
+    mov #0x0FFE, sp
+    call #sense            ; trusted: sample + filter + alarm
+    mov #0x07FE, sp        ; untrusted task gets the tainted-side stack
+    call #radio            ; untrusted: network configuration
+    jmp start
+
+.task sense trusted
+sense:
+    push r10
+    ; three-sample smoothing of the optical channel
+    mov &P3IN, r4
+    mov &P3IN, r5
+    add r5, r4
+    mov &P3IN, r5
+    add r5, r4
+    rra r4
+    and #0x3FFF, r4
+    rra r4
+    and #0x1FFF, r4        ; r4 = smoothed sample (~avg of 3..4)
+    mov r4, &0x0210        ; kernel telemetry word (untainted RAM)
+    ; alarm if above the *factory* threshold (trusted constant)
+    cmp #0x1200, r4
+    jnc sense_ok           ; below threshold
+    mov #1, r10
+    mov r10, &P4OUT        ; raise the alarm line
+    jmp sense_done
+sense_ok:
+    clr r10
+    mov r10, &P4OUT
+sense_done:
+    pop r10
+    ret
+
+.task radio untrusted
+radio:
+    push r10
+    mov &P1IN, r4          ; packet word 0: profile index (tainted!)
+    mov &P1IN, r5          ; packet word 1: requested threshold (tainted)
+    mov r5, profiles(r4)   ; store by profile index -- the Figure 4 bug
+    tst r5
+    jz radio_nack          ; packet-dependent control flow
+    mov #0x00AC, r10       ; ACK
+    jmp radio_reply
+radio_nack:
+    mov #0x00NAK, r10
+radio_reply:
+    mov r10, &P2OUT
+    pop r10
+    ret
+
+.data 0x0400
+profiles:
+    .space 16
+"""
+
+
+def main() -> None:
+    source = FIRMWARE.replace("#0x00NAK", "#0x004E")  # 'N'
+    print("analysing the wearable firmware ...")
+    result = TaintTracker(assemble(source, name="wearable")).run()
+    print(result.report())
+    print()
+
+    print("repairing ...")
+    repaired = secure_compile(
+        source, name="wearable", task_cycles={"radio": 60}
+    )
+    print(repaired.diagnostics())
+    assert repaired.secure
+    print()
+    print("the network-facing task can no longer influence the alarm.")
+    print()
+
+    print("concrete run of the verified firmware (elevated heart rate):")
+    sensor = cycle([0x1900, 0x1880, 0x1910])  # tachycardia samples
+    packets = cycle([3, 0x1000])
+
+    def inputs(port):
+        return next(sensor) if port == "P3IN" else next(packets)
+
+    run = run_concrete(
+        repaired.program,
+        inputs=inputs,
+        max_cycles=5_000,
+        stop=lambda r: r.writes_to("P4OUT") >= 1,
+    )
+    alarm = next(w for p, w in run.port_writes if p == "P4OUT")
+    print(f"  alarm line P4OUT <- {alarm.value}  (1 = tachycardia alert)")
+    assert alarm.value == 1
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""repro -- Software-based gate-level information flow security for IoT.
+
+A from-scratch reproduction of Cherupalli et al., "Software-based Gate-level
+Information Flow Security for IoT Systems" (MICRO 2017).
+
+The package is organised bottom-up (see ``DESIGN.md``):
+
+* :mod:`repro.logic`    -- ternary logic + GLIFT taint algebra.
+* :mod:`repro.netlist`  -- gate-level netlist IR, circuit builder, Verilog IO.
+* :mod:`repro.sim`      -- vectorised gate-level GLIFT simulator + SoC models.
+* :mod:`repro.isa`      -- the LP430 ISA, assembler, disassembler.
+* :mod:`repro.cpu`      -- the gate-level LP430 microcontroller.
+* :mod:`repro.isasim`   -- architectural ternary+taint golden simulator.
+* :mod:`repro.core`     -- the paper's contribution: input-independent
+  gate-level taint tracking, policy checking, sufficient conditions.
+* :mod:`repro.transform`-- root-cause identification + software repairs.
+* :mod:`repro.baselines`-- *-logic and always-on comparison points.
+* :mod:`repro.rtos`     -- MiniRTOS scheduler (Section 7.3 use case).
+* :mod:`repro.workloads`-- Table 1 benchmarks in LP430 assembly.
+* :mod:`repro.eval`     -- regeneration of every table and figure.
+"""
+
+__version__ = "1.0.0"

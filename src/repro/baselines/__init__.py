@@ -1,0 +1,24 @@
+"""Comparison baselines.
+
+* :mod:`repro.baselines.starlogic` -- the *-logic style analysis
+  (footnote 8): no PC concretisation, so input-dependent control flow
+  collapses most of the netlist to unknown+tainted.
+* :mod:`repro.baselines.alwayson`  -- the "always-on" software protection
+  assumed when the application is unknown (Table 3's Without-Analysis
+  column): mask every store, watchdog-bound every task.
+"""
+
+from repro.baselines.starlogic import StarLogicResult, star_logic_analysis
+from repro.baselines.alwayson import (
+    AlwaysOnCost,
+    always_on_cost,
+    always_on_transform,
+)
+
+__all__ = [
+    "star_logic_analysis",
+    "StarLogicResult",
+    "always_on_cost",
+    "AlwaysOnCost",
+    "always_on_transform",
+]

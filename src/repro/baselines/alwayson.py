@@ -1,0 +1,121 @@
+"""The "always-on" software protection baseline (no application knowledge).
+
+"Guaranteeing information flow security for an unknown application
+requires masking of every store and time bounding of every tainted task
+using a deterministic timer, since all sufficient conditions must be
+satisfied to guarantee non-interference, even though they may not be
+necessary for a particular application."  (Section 7.2)
+
+Two entry points:
+
+* :func:`always_on_cost` -- the analytic cost model used for Table 3's
+  Without-Analysis column: every dynamic store pays the two-instruction
+  mask (6 cycles: two immediate-operand instructions at 3 cycles each)
+  and the whole task is watchdog-sliced.
+* :func:`always_on_transform` -- an actual source rewrite masking every
+  store in the untrusted tasks (used to sanity-check the model on the
+  simpler kernels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.labels import SecurityPolicy, default_policy
+from repro.isa.encode import EncodeError, decode
+from repro.isa.program import Program
+from repro.transform.masking import insert_masks
+from repro.transform.slicing import SlicePlan, choose_slicing
+
+#: two inserted immediate-operand instructions (AND #, BIS #): 3 cycles
+#: each on the LP430
+MASK_CYCLES_PER_STORE = 6
+
+
+@dataclass
+class AlwaysOnCost:
+    """Analytic always-on protection cost for one task."""
+
+    task_cycles: int
+    dynamic_stores: int
+    plan: SlicePlan
+
+    @property
+    def masked_cycles(self) -> int:
+        return self.task_cycles + self.dynamic_stores * MASK_CYCLES_PER_STORE
+
+    @property
+    def protected_cycles(self) -> int:
+        return self.plan.total_cycles
+
+    @property
+    def overhead_cycles(self) -> int:
+        return self.protected_cycles - self.task_cycles
+
+    @property
+    def overhead_fraction(self) -> float:
+        if self.task_cycles == 0:
+            return 0.0
+        return self.overhead_cycles / self.task_cycles
+
+
+def always_on_cost(task_cycles: int, dynamic_stores: int) -> AlwaysOnCost:
+    """Cost of protecting a task with no application knowledge."""
+    masked = task_cycles + dynamic_stores * MASK_CYCLES_PER_STORE
+    return AlwaysOnCost(
+        task_cycles=task_cycles,
+        dynamic_stores=dynamic_stores,
+        plan=choose_slicing(masked),
+    )
+
+
+def untrusted_store_addresses(
+    program: Program, include_pushes: bool = False
+) -> List[int]:
+    """Every maskable store instruction inside untrusted tasks.
+
+    *include_pushes* adds stack pushes (masked in place on SP), matching
+    the paper's "masking of every store" -- the always-on baseline uses
+    it; the with-analysis flow masks pushes only when flagged.
+    """
+    stores: List[int] = []
+    for task in program.untrusted_tasks():
+        address = task.start
+        while address < task.end:
+            try:
+                instruction = decode(
+                    program.slice_from(address), address
+                )
+            except EncodeError:
+                address += 1
+                continue
+            if instruction.mnemonic == "push":
+                if include_pushes:
+                    stores.append(address)
+            elif (
+                instruction.is_store and instruction.mnemonic != "call"
+            ):
+                operand = (
+                    instruction.dst
+                    if instruction.kind == "two"
+                    else instruction.src
+                )
+                if operand is not None and not operand.is_absolute:
+                    stores.append(address)
+            address += instruction.length
+    return stores
+
+
+def always_on_transform(
+    source: str,
+    program: Program,
+    policy: Optional[SecurityPolicy] = None,
+) -> str:
+    """Mask *every* (maskable) store in the untrusted tasks."""
+    if policy is None:
+        policy = default_policy()
+    stores = untrusted_store_addresses(program, include_pushes=True)
+    if not stores:
+        return source
+    return insert_masks(source, program, stores, policy)

@@ -1,0 +1,44 @@
+"""Ablation baseline: naive (value-blind) taint propagation.
+
+Conventional DIFT propagates taint structurally -- a gate output is
+tainted whenever any input is -- ignoring whether the tainted input can
+actually affect the output.  Under that rule the paper's entire repair
+story collapses: ``AND #0x03FF, Rn`` leaves Rn fully tainted (the
+untainted mask cannot strip anything), so masked addresses still smear
+the whole memory and no application can ever be verified.
+
+This module compiles the same LP430 netlist with naive taint tables and
+exposes an analysis entry point, so the ablation benchmark can put the
+two semantics side by side on Figure 9.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.core.labels import SecurityPolicy
+from repro.core.tracker import AnalysisResult, TaintTracker
+from repro.cpu.build import build_cpu
+from repro.isa.program import Program
+from repro.sim.compiled import CompiledCircuit
+
+
+@lru_cache(maxsize=1)
+def naive_compiled_cpu() -> CompiledCircuit:
+    """The LP430 compiled with value-blind taint propagation."""
+    return CompiledCircuit(build_cpu(), taint_mode="naive")
+
+
+def naive_taint_analysis(
+    program: Program,
+    policy: SecurityPolicy = None,
+    **tracker_kwargs,
+) -> AnalysisResult:
+    """Run the tracker with naive taint semantics (ablation only)."""
+    tracker = TaintTracker(
+        program,
+        policy=policy,
+        circuit=naive_compiled_cpu(),
+        **tracker_kwargs,
+    )
+    return tracker.run()

@@ -1,0 +1,155 @@
+"""Command-line front end for the toolflow.
+
+Mirrors how the paper's tool is used: point it at an application source,
+get the verdict, the diagnostics and (optionally) the repaired binary.
+
+    python -m repro.cli analyze  app.s43
+    python -m repro.cli repair   app.s43 -o app_secure.s43
+    python -m repro.cli run      app.s43 --max-cycles 20000
+    python -m repro.cli disasm   app.s43
+    python -m repro.cli stats
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core import TaintTracker, default_policy, secret_policy
+from repro.cpu import cpu_stats
+from repro.isa.assembler import assemble
+from repro.isa.disasm import disassemble_program
+from repro.isasim.executor import run_concrete
+from repro.transform import FundamentalViolation, secure_compile
+
+
+def _policy(name: str):
+    if name == "untrusted":
+        return default_policy()
+    if name == "secret":
+        return secret_policy()
+    raise SystemExit(f"unknown policy {name!r} (untrusted|secret)")
+
+
+def _load(path: str) -> tuple:
+    source = Path(path).read_text()
+    name = Path(path).stem
+    return source, assemble(source, name=name), name
+
+
+def cmd_analyze(args) -> int:
+    _, program, _ = _load(args.source)
+    result = TaintTracker(
+        program,
+        policy=_policy(args.policy),
+        max_cycles=args.max_cycles,
+    ).run()
+    print(result.report())
+    if args.tree:
+        print()
+        print(result.tree.render())
+    return 0 if result.secure else 1
+
+
+def cmd_repair(args) -> int:
+    source, _, name = _load(args.source)
+    try:
+        repaired = secure_compile(
+            source,
+            name=name,
+            policy=_policy(args.policy),
+            max_cycles=args.max_cycles,
+        )
+    except FundamentalViolation as error:
+        print(error.diagnostics, file=sys.stderr)
+        return 2
+    print(repaired.diagnostics())
+    print(repaired.analysis.report())
+    if args.output:
+        Path(args.output).write_text(repaired.source)
+        print(f"repaired source written to {args.output}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    _, program, _ = _load(args.source)
+    run = run_concrete(
+        program, max_cycles=args.max_cycles, follow_watchdog=False
+    )
+    print(
+        f"halted={run.halted} cycles={run.cycles} "
+        f"instructions={run.steps} stores={run.dynamic_stores} "
+        f"resets={run.resets}"
+    )
+    for port, word in run.port_writes:
+        value = f"0x{word.bits:04x}" if word.is_concrete else repr(word)
+        print(f"  {port} <- {value}")
+    return 0
+
+
+def cmd_disasm(args) -> int:
+    _, program, _ = _load(args.source)
+    print(disassemble_program(program))
+    return 0
+
+
+def cmd_stats(args) -> int:
+    print(cpu_stats().format())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="software-based gate-level information flow security",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("source", help="LP430 assembly source file")
+        p.add_argument(
+            "--policy",
+            default="untrusted",
+            help="taint kind: untrusted (default) or secret",
+        )
+        p.add_argument(
+            "--max-cycles",
+            type=int,
+            default=1_000_000,
+            help="analysis/simulation cycle budget",
+        )
+
+    p = sub.add_parser("analyze", help="run the gate-level analysis")
+    common(p)
+    p.add_argument(
+        "--tree", action="store_true", help="print the execution tree"
+    )
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("repair", help="analyse, repair, verify")
+    common(p)
+    p.add_argument("-o", "--output", help="write the repaired source here")
+    p.set_defaults(func=cmd_repair)
+
+    p = sub.add_parser("run", help="cycle-accurate concrete run")
+    common(p)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("disasm", help="annotated disassembly")
+    common(p)
+    p.set_defaults(func=cmd_disasm)
+
+    p = sub.add_parser("stats", help="LP430 netlist statistics")
+    p.set_defaults(func=cmd_stats)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,42 @@
+"""The paper's core contribution: application-specific gate-level IFT.
+
+* :mod:`repro.core.labels`     -- information-flow security policies
+  (tainted ports, memory partitions, code partitions; the untrusted and
+  secret taint kinds are analysed as separate policy instances).
+* :mod:`repro.core.violations` -- violation records and the mapping onto
+  the five sufficient conditions of Section 5.1.
+* :mod:`repro.core.tree`       -- the (pruned) symbolic execution tree.
+* :mod:`repro.core.tracker`    -- Algorithm 1: input-independent gate-level
+  taint tracking with PC concretisation and conservative state merging.
+* :mod:`repro.core.checker`    -- information-flow policy checking over the
+  tracker's per-cycle tainted state (Figure 6's second box).
+"""
+
+from repro.core.labels import SecurityPolicy, default_policy, secret_policy
+from repro.core.violations import (
+    CONDITION_OF_KIND,
+    Violation,
+    ViolationKind,
+)
+from repro.core.tree import ExecutionTree, TreeNode
+from repro.core.tracker import AnalysisResult, TaintTracker, TrackerError
+from repro.core.checker import analyze_program, check_conditions
+from repro.core.union import analyze_union, build_union_source
+
+__all__ = [
+    "SecurityPolicy",
+    "default_policy",
+    "secret_policy",
+    "Violation",
+    "ViolationKind",
+    "CONDITION_OF_KIND",
+    "ExecutionTree",
+    "TreeNode",
+    "TaintTracker",
+    "TrackerError",
+    "AnalysisResult",
+    "analyze_program",
+    "check_conditions",
+    "analyze_union",
+    "build_union_source",
+]

@@ -1,0 +1,600 @@
+"""Algorithm 1: input-independent gate-level taint tracking.
+
+The tracker symbolically executes the *entire system binary* on the
+gate-level LP430 SoC with every input port driven to tainted/untainted
+``X`` per the policy.  Control flow is concrete until an ``X`` (or taint)
+reaches the PC; at that point the shadow-decoded instruction yields the
+candidate successor PCs, the PC is made concrete in each child while
+*retaining its taint*, and exploration continues depth-first.
+
+Termination comes from the paper's conservative approximation: per
+PC-changing instruction (and per watchdog power-on reset) the most
+conservative state observed so far is kept; a path whose state is a
+sub-state of the stored one stops ("the state, or a more conservative
+version, has already been explored"); otherwise the stored state is
+widened by merging (differing bits become X, taints OR).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.checker import PolicyChecker, check_conditions
+from repro.core.labels import SecurityPolicy
+from repro.core.tree import ExecutionTree, TreeNode
+from repro.core.violations import Violation, ViolationKind
+from repro.cpu import compiled_cpu
+from repro.isa.encode import DecodedInstruction, EncodeError, decode
+from repro.isa.program import Program
+from repro.logic.ternary import ONE, UNKNOWN, ZERO
+from repro.logic.words import TWord
+from repro.sim.compiled import CompiledCircuit
+from repro.sim.runner import PHASE_E, PHASE_J, GateRunner
+from repro.sim.soc import AddressSpace, SoCState
+
+
+class TrackerError(Exception):
+    """Raised when exploration cannot proceed soundly."""
+
+
+# ---------------------------------------------------------------------------
+# Code lattice helpers (vectorised over DFF snapshots)
+# ---------------------------------------------------------------------------
+def codes_cover(general: np.ndarray, specific: np.ndarray) -> bool:
+    general_value = general >> 1
+    specific_value = specific >> 1
+    value_ok = (general_value == 2) | (general_value == specific_value)
+    taint_ok = (general & 1) >= (specific & 1)
+    return bool((value_ok & taint_ok).all())
+
+
+def codes_merge(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    value = np.where((a >> 1) == (b >> 1), a >> 1, 2)
+    return (value * 2 + ((a | b) & 1)).astype(np.uint8)
+
+
+def _por_covers(general: Tuple[int, int], specific: Tuple[int, int]) -> bool:
+    value_ok = general[0] == UNKNOWN or general[0] == specific[0]
+    return value_ok and general[1] >= specific[1]
+
+
+def _por_merge(a: Tuple[int, int], b: Tuple[int, int]) -> Tuple[int, int]:
+    value = a[0] if a[0] == b[0] else UNKNOWN
+    return value, a[1] | b[1]
+
+
+@dataclass
+class AnalysisStats:
+    """Exploration effort counters (footnote 4's tractability evidence)."""
+
+    paths: int = 0
+    forks: int = 0
+    merges: int = 0
+    terminations_by_merge: int = 0
+    cycles_simulated: int = 0
+    fast_forwarded_cycles: int = 0
+    instructions: int = 0
+    wall_seconds: float = 0.0
+    max_taint_fraction: float = 0.0
+    #: paths closed at an untainted-but-unbounded computed jump; non-zero
+    #: means the exploration under-approximates and needs heuristics
+    incomplete_paths: int = 0
+
+
+@dataclass
+class AnalysisResult:
+    """Everything Figure 6 promises: per-cycle taints distilled into
+    violations, plus the exploration tree and effort statistics."""
+
+    program: Program
+    policy: SecurityPolicy
+    violations: List[Violation]
+    tree: ExecutionTree
+    stats: AnalysisStats
+
+    @property
+    def secure(self) -> bool:
+        """True when no *non-advisory* violation exists (and exploration
+        was complete): the non-interference property holds."""
+        if self.stats.incomplete_paths:
+            return False
+        return not [v for v in self.violations if not v.advisory]
+
+    def violated_conditions(self, include_advisory: bool = False) -> Set[int]:
+        relevant = [
+            v
+            for v in self.violations
+            if include_advisory or not v.advisory
+        ]
+        return check_conditions(relevant)
+
+    def violating_stores(self) -> List[int]:
+        """Program addresses of stores needing masks (root causes, C2)."""
+        return sorted(
+            {
+                violation.address
+                for violation in self.violations
+                if violation.kind
+                == ViolationKind.TAINTED_WRITE_UNTAINTED_MEMORY
+            }
+        )
+
+    def tasks_needing_watchdog(self) -> List[str]:
+        """Tasks whose control flow can become tainted (watchdog repair)."""
+        return sorted(
+            {
+                violation.task
+                for violation in self.violations
+                if violation.kind == ViolationKind.TAINTED_CONTROL_FLOW
+            }
+        )
+
+    def report(self) -> str:
+        lines = [
+            f"analysis of {self.program.name!r} "
+            f"under policy {self.policy.name!r} ({self.policy.kind}):",
+            f"  paths={self.stats.paths} forks={self.stats.forks} "
+            f"merges={self.stats.merges} "
+            f"cycles={self.stats.cycles_simulated} "
+            f"wall={self.stats.wall_seconds:.2f}s",
+        ]
+        if self.secure:
+            lines.append(
+                "  SECURE: no possible information-flow violations"
+            )
+        else:
+            lines.append(
+                f"  INSECURE: conditions violated: "
+                f"{sorted(self.violated_conditions())}"
+            )
+            if self.stats.incomplete_paths:
+                lines.append(
+                    f"  exploration incomplete: "
+                    f"{self.stats.incomplete_paths} path(s) ended at an "
+                    "unbounded computed control transfer"
+                )
+            for violation in self.violations:
+                lines.append("  " + violation.render())
+        return "\n".join(lines)
+
+
+@dataclass
+class _WorkItem:
+    snapshot: SoCState
+    node_id: int
+
+
+@dataclass
+class _BranchEntry:
+    """Per-PC-changing-instruction exploration bookkeeping."""
+
+    #: digests of exactly-explored states (their continuations ran)
+    seen: set = field(default_factory=set)
+    merged: Optional[SoCState] = None
+    #: True once exploration has continued from (a superset of) `merged`,
+    #: making merged-coverage a sound termination criterion.
+    widened: bool = False
+
+
+def _state_digest(state: SoCState) -> bytes:
+    """A canonical fingerprint of a snapshot (cycle count excluded)."""
+    import hashlib
+
+    bits, xmask, tmask, wdt, timer, outputs = state.space_state
+    digest = hashlib.sha1()
+    digest.update(state.dff_codes.tobytes())
+    digest.update(bits.tobytes())
+    digest.update(xmask.tobytes())
+    digest.update(tmask.tobytes())
+    digest.update(
+        repr(
+            (
+                wdt.control,
+                wdt.counter,
+                wdt.corrupted,
+                wdt.pending_reset,
+                wdt.pending_reset_taint,
+                timer,
+                outputs,
+                state.pending_por,
+            )
+        ).encode()
+    )
+    return digest.digest()
+
+
+class TaintTracker:
+    """Runs Algorithm 1 for one program under one policy."""
+
+    def __init__(
+        self,
+        program: Program,
+        policy: Optional[SecurityPolicy] = None,
+        circuit: Optional[CompiledCircuit] = None,
+        max_cycles: int = 2_000_000,
+        max_paths: int = 4_096,
+        fork_limit: int = 64,
+        exact_branch_visits: int = 512,
+    ):
+        self.program = program
+        self.policy = policy if policy is not None else SecurityPolicy()
+        self.circuit = circuit if circuit is not None else compiled_cpu()
+        self.max_cycles = max_cycles
+        self.max_paths = max_paths
+        self.fork_limit = fork_limit
+        #: how many times a concrete PC-changing instruction is revisited
+        #: *exactly* before switching to Algorithm 1's continue-from-the-
+        #: conservative-state widening.  Bounded constant-trip loops below
+        #: this budget simulate precisely (so clean kernels verify clean);
+        #: anything longer converges through the conservative merge.
+        self.exact_branch_visits = exact_branch_visits
+        self._visit_counts: Dict[object, int] = {}
+
+        space = AddressSpace(
+            tainted_input_ports=tuple(self.policy.tainted_input_ports),
+            tainted_output_ports=tuple(self.policy.tainted_output_ports),
+        )
+        self.runner = GateRunner(self.circuit, program, space=space)
+        if self.policy.taint_code_words:
+            untrusted = {t.name for t in program.untrusted_tasks()}
+            program.load_rom_tainted(self.runner.soc.rom, untrusted)
+        for region in self.policy.tainted_memory:
+            space.ram.taint_region(region.low, region.high)
+
+        self.checker = PolicyChecker(program, self.policy)
+        self.tree = ExecutionTree()
+        self.stats = AnalysisStats()
+        self._table: Dict[object, SoCState] = {}
+        self._scratch_space = AddressSpace()
+
+    # ------------------------------------------------------------------
+    # Snapshot lattice (via a scratch AddressSpace for peripheral state)
+    # ------------------------------------------------------------------
+    def _covers(self, general: SoCState, specific: SoCState) -> bool:
+        if not codes_cover(general.dff_codes, specific.dff_codes):
+            return False
+        if not _por_covers(general.pending_por, specific.pending_por):
+            return False
+        self._scratch_space.restore(general.space_state)
+        return self._scratch_space.covers(specific.space_state)
+
+    def _merge(self, a: SoCState, b: SoCState) -> SoCState:
+        self._scratch_space.restore(a.space_state)
+        self._scratch_space.merge(b.space_state)
+        return SoCState(
+            dff_codes=codes_merge(a.dff_codes, b.dff_codes),
+            space_state=self._scratch_space.snapshot(),
+            pending_por=_por_merge(a.pending_por, b.pending_por),
+            cycle=max(a.cycle, b.cycle),
+        )
+
+    def _entry(self, key) -> "_BranchEntry":
+        entry = self._table.get(key)
+        if entry is None:
+            entry = _BranchEntry()
+            self._table[key] = entry
+        return entry
+
+    def _visit_widening(self, key, state: SoCState) -> Tuple[bool, SoCState]:
+        """Conservative-state bookkeeping for widening points (X-PC forks
+        and power-on resets), where exploration continues from the merged
+        state -- so a later state covered by the merge is soundly done.
+
+        Returns ``(already_covered, merged_state)``.
+        """
+        entry = self._entry(key)
+        if (
+            entry.widened
+            and entry.merged is not None
+            and self._covers(entry.merged, state)
+        ):
+            self.stats.terminations_by_merge += 1
+            return True, entry.merged
+        if entry.merged is None:
+            entry.merged = state
+        else:
+            entry.merged = self._merge(entry.merged, state)
+            self.stats.merges += 1
+        entry.widened = True
+        return False, entry.merged
+
+    def _visit_concrete(self, key, state: SoCState) -> Tuple[str, SoCState]:
+        """Bookkeeping for concrete PC-changing instructions.
+
+        Within the exact-visit budget each visited state is fingerprinted;
+        revisiting an *identical* state is a true "already explored" (its
+        continuation ran -- or is this very loop, which then repeats
+        forever).  The accumulated merge only becomes a termination
+        criterion after the budget forces a switch to the conservative
+        continuation, which is when the merged state's behaviour actually
+        gets explored (Section 4.1's "simulation continues from the
+        conservative state").
+
+        Returns ``(verdict, state_to_continue_from)`` with verdict one of
+        ``"stop"``, ``"exact"``, ``"widened"``.
+        """
+        entry = self._entry(key)
+        digest = _state_digest(state)
+        if digest in entry.seen:
+            self.stats.terminations_by_merge += 1
+            return "stop", state
+        if (
+            entry.widened
+            and entry.merged is not None
+            and self._covers(entry.merged, state)
+        ):
+            self.stats.terminations_by_merge += 1
+            return "stop", entry.merged
+        if entry.merged is None:
+            entry.merged = state
+        else:
+            entry.merged = self._merge(entry.merged, state)
+            self.stats.merges += 1
+        if len(entry.seen) < self.exact_branch_visits:
+            entry.seen.add(digest)
+            return "exact", state
+        entry.widened = True
+        return "widened", entry.merged
+
+    # ------------------------------------------------------------------
+    # Shadow decode
+    # ------------------------------------------------------------------
+    def _decode_at(self, address: int) -> Optional[DecodedInstruction]:
+        try:
+            return decode(self.program.slice_from(address), address)
+        except EncodeError:
+            return None
+
+    def _task_info(self, address: int) -> Tuple[str, bool]:
+        task = self.program.task_of(address)
+        if task is None:
+            return "", True
+        return task.name, task.trusted
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self) -> AnalysisResult:
+        start_time = time.monotonic()
+        soc = self.runner.soc
+        root = self.tree.new_node(None, 0, soc.cycle)
+        worklist: List[_WorkItem] = [
+            _WorkItem(soc.snapshot(), root.node_id)
+        ]
+
+        while worklist:
+            if self.stats.paths >= self.max_paths:
+                raise TrackerError(
+                    f"exceeded {self.max_paths} paths; the program's "
+                    "control structure needs heuristics (Section 8)"
+                )
+            item = worklist.pop()
+            soc.restore(item.snapshot)
+            self.stats.paths += 1
+            self._explore_path(item.node_id, worklist)
+
+        self.stats.wall_seconds = time.monotonic() - start_time
+        return AnalysisResult(
+            program=self.program,
+            policy=self.policy,
+            violations=self.checker.violations(),
+            tree=self.tree,
+            stats=self.stats,
+        )
+
+    # ------------------------------------------------------------------
+    def _explore_path(
+        self, node_id: int, worklist: List[_WorkItem]
+    ) -> None:
+        soc = self.runner.soc
+        node = self.tree.nodes[node_id]
+        current: Optional[DecodedInstruction] = None
+        task_name, task_trusted = "", True
+        baseline_taint: Optional[np.ndarray] = None
+        control_tainted = False
+
+        while True:
+            if self.stats.cycles_simulated >= self.max_cycles:
+                node.end_reason = "limit"
+                node.end_cycle = soc.cycle
+                return
+
+            phase = self.runner.phase()
+            if phase < 0:
+                # The FSM's own state bits are unknown: the machine has
+                # diverged beyond cycle-accurate tracking (e.g. a corrupted
+                # watchdog's tainted reset rail).  The root-cause violation
+                # is already on record; close the path.
+                node.end_reason = "state_lost"
+                node.end_cycle = soc.cycle
+                if current is not None:
+                    self.checker.note_unbounded_control(
+                        current, task_name, task_trusted, soc.cycle,
+                        tainted=True,
+                    )
+                return
+            if phase == 0:  # F: an instruction fetch is about to happen
+                pc_word = soc.pc()
+                if pc_word.xmask:
+                    raise TrackerError(
+                        "PC unknown at a fetch boundary; fork handling "
+                        "should have concretised it"
+                    )
+                address = pc_word.bits
+                current = self._decode_at(address)
+                if current is None:
+                    node.end_reason = "illegal"
+                    node.end_cycle = soc.cycle
+                    return
+                task_name, task_trusted = self._task_info(address)
+                control_tainted = bool(pc_word.tmask)
+                dff_codes = self.circuit.dff_state(soc.state)
+                baseline_taint = dff_codes & 1
+                self.checker.note_instruction_start(
+                    current,
+                    task_name,
+                    task_trusted,
+                    soc.cycle,
+                    any_state_taint=bool(baseline_taint.any()),
+                    pc_taint=pc_word.tmask,
+                )
+                self.stats.instructions += 1
+
+            events = soc.step()
+            self.stats.cycles_simulated += 1
+            if events.reset[0] != ONE:
+                self.checker.note_events(
+                    current,
+                    task_name,
+                    task_trusted,
+                    events,
+                    soc.space.watchdog.corrupted,
+                    control_tainted=control_tainted,
+                )
+
+            if events.reset[0] == ONE:
+                # A power-on reset boundary (watchdog expiry); converge on
+                # the conservative post-reset state.
+                current = None
+                covered, merged = self._visit_widening(
+                    "POR", soc.snapshot()
+                )
+                if covered:
+                    node.end_reason = "merged"
+                    node.end_cycle = soc.cycle
+                    return
+                soc.restore(merged)
+                continue
+
+            if phase in (PHASE_E, PHASE_J) and current is not None:
+                if task_trusted and baseline_taint is not None:
+                    taint_now = self.circuit.dff_state(soc.state) & 1
+                    self.checker.note_instruction_end(
+                        current,
+                        task_name,
+                        task_trusted,
+                        soc.cycle,
+                        taint_grew=bool(
+                            (taint_now & ~baseline_taint).any()
+                        ),
+                    )
+                done = self._instruction_completed(
+                    current, node, worklist
+                )
+                if done:
+                    return
+                current = None
+
+    # ------------------------------------------------------------------
+    def _instruction_completed(
+        self,
+        instruction: DecodedInstruction,
+        node: TreeNode,
+        worklist: List[_WorkItem],
+    ) -> bool:
+        """Handle PC-changing instructions; True ends the current path."""
+        soc = self.runner.soc
+        pc_word = soc.pc()
+
+        if pc_word.xmask:
+            return self._fork(instruction, pc_word, node, worklist)
+
+        # Idle self-loop: fast-forward to watchdog expiry or end the path.
+        if instruction.is_self_loop:
+            watchdog = soc.space.watchdog
+            remaining = watchdog.cycles_until_expiry()
+            if remaining is None:
+                node.end_reason = "halt"
+                node.end_cycle = soc.cycle
+                return True
+            por = watchdog.fast_forward(remaining)
+            soc.space.timer.fast_forward(remaining)
+            soc.pending_por = por
+            soc.cycle += remaining
+            self.stats.fast_forwarded_cycles += remaining
+            return False
+
+        changes_pc = (
+            instruction.is_jump
+            or instruction.writes_pc
+            or instruction.mnemonic == "call"
+        )
+        if not changes_pc:
+            return False
+
+        key = instruction.address
+        verdict, continuation = self._visit_concrete(key, soc.snapshot())
+        if verdict == "stop":
+            node.end_reason = "merged"
+            node.end_cycle = soc.cycle
+            return True
+        if verdict == "widened":
+            # Continue from the conservative state (Section 4.1), keeping
+            # the PC on this path's concrete successor.
+            soc.restore(continuation)
+            merged_pc_taint = soc.pc().tmask
+            soc.force_pc(pc_word.bits, pc_word.tmask | merged_pc_taint)
+        return False
+
+    # ------------------------------------------------------------------
+    def _fork(
+        self,
+        instruction: DecodedInstruction,
+        pc_word: TWord,
+        node: TreeNode,
+        worklist: List[_WorkItem],
+    ) -> bool:
+        soc = self.runner.soc
+        if instruction.is_conditional_jump:
+            candidates = [instruction.jump_target, instruction.fallthrough]
+        else:
+            try:
+                candidates = sorted(
+                    pc_word.possible_values(limit=self.fork_limit)
+                )
+            except ValueError:
+                # A computed control transfer through a widely unknown
+                # target (e.g. a return address clobbered by the Figure 4
+                # smear).  Exploring 64K successors is pointless; report
+                # the control-flow loss and close the path.  When the
+                # target is untainted the analysis is marked incomplete
+                # instead of silently under-approximating.
+                task_name, task_trusted = self._task_info(
+                    instruction.address
+                )
+                self.checker.note_unbounded_control(
+                    instruction,
+                    task_name,
+                    task_trusted,
+                    soc.cycle,
+                    tainted=bool(pc_word.tmask),
+                )
+                if not pc_word.tmask:
+                    self.stats.incomplete_paths += 1
+                node.end_reason = "unbounded"
+                node.end_cycle = soc.cycle
+                node.fork_address = instruction.address
+                return True
+
+        covered, merged = self._visit_widening(
+            instruction.address, soc.snapshot()
+        )
+        node.end_reason = "merged" if covered else "fork"
+        node.end_cycle = soc.cycle
+        node.fork_address = instruction.address
+        if covered:
+            return True
+
+        self.stats.forks += 1
+        for candidate in candidates:
+            soc.restore(merged)
+            soc.force_pc(candidate, pc_word.tmask)
+            child = self.tree.new_node(
+                node.node_id, candidate, soc.cycle, pc_taint=pc_word.tmask
+            )
+            worklist.append(_WorkItem(soc.snapshot(), child.node_id))
+        return True

@@ -1,0 +1,108 @@
+"""Union analysis for multi-programmed systems (Section 8).
+
+"In a multi-programmed setting (including systems that support dynamic
+linking), we consider the union of all application code (e.g., caller,
+callee, and relevant OS code in case of dynamic linking) to identify all
+possible execution states."
+
+:func:`build_union_source` assembles N alternative untrusted tasks into
+one system binary behind a dispatcher that selects the callee from an
+*unknown, untainted* word (standing for the link-time/boot-time choice the
+analysis cannot see).  Because the selector is an unknown the tracker
+forks over every alternative, so a single analysis covers every possible
+linked configuration -- :func:`analyze_union` then reports the union of
+root causes across them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.labels import SecurityPolicy
+from repro.core.tracker import AnalysisResult, TaintTracker
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+
+
+def build_union_source(
+    alternatives: Sequence[Tuple[str, str]],
+    data: str = "",
+    stack: int = 0x0FFE,
+) -> str:
+    """A system binary whose untrusted callee is any of *alternatives*.
+
+    Each alternative is ``(name, body)``; bodies follow the benchmark
+    convention (entered by ``call``, leaving with ``ret``).  The
+    dispatcher reads the selector from the untainted port P3 (unknown at
+    analysis time, not attacker-controlled), bounds it to the alternative
+    count, and calls through an aligned jump table of ``br #task``
+    trampolines so the computed transfer enumerates exactly.
+
+    The default *stack* sits outside the tainted partition so return
+    addresses cannot be clobbered by a masked (partition-confined) store;
+    alternatives that push tainted data should instead end in idle loops
+    under watchdog bounding, like the benchmark harness after repair.
+    """
+    if not alternatives:
+        raise ValueError("need at least one alternative task")
+    count = len(alternatives)
+    table_size = 1
+    while table_size < count:
+        table_size *= 2
+    if table_size > 16:
+        raise ValueError("at most 16 alternatives supported")
+    # The table sits at an aligned address so `base + 2*selector` has no
+    # carries: the unknown selector bits enumerate the trampolines exactly.
+    table_base = 0x40
+
+    lines: List[str] = [
+        ".task sys trusted",
+        "start:",
+        f"    mov #0x{stack:04X}, sp",
+        "    mov &P3IN, r15         ; link/boot-time selection (unknown)",
+        f"    and #{table_size - 1}, r15",
+        "    rla r15                ; 2 words per trampoline",
+        f"    add #0x{table_base:04X}, r15",
+        "    call #do_dispatch",
+        "    jmp start",
+        "do_dispatch:",
+        "    mov r15, pc            ; enter the trampoline",
+        f".org 0x{table_base:04X}",
+        "dispatch:",
+    ]
+    for name, _ in alternatives:
+        lines.append(f"    br #{name}")
+    for _ in range(table_size - count):
+        lines.append(f"    br #{alternatives[0][0]}")
+    for name, body in alternatives:
+        lines.append(f".task {name} untrusted")
+        lines.append(f"{name}:")
+        lines.append(body.rstrip())
+        lines.append("    ret")
+    if data:
+        lines.append(data)
+    return "\n".join(lines) + "\n"
+
+
+def analyze_union(
+    alternatives: Sequence[Tuple[str, str]],
+    data: str = "",
+    policy: Optional[SecurityPolicy] = None,
+    name: str = "union",
+    **tracker_kwargs,
+) -> Tuple[AnalysisResult, Program]:
+    """Analyse every possible linked configuration in one run."""
+    source = build_union_source(alternatives, data)
+    program = assemble(source, name=name)
+    result = TaintTracker(program, policy=policy, **tracker_kwargs).run()
+    return result, program
+
+
+def per_task_causes(
+    result: AnalysisResult, program: Program
+) -> Dict[str, List[str]]:
+    """Group the union run's violations by owning task."""
+    grouped: Dict[str, List[str]] = {}
+    for violation in result.violations:
+        grouped.setdefault(violation.task, []).append(violation.kind)
+    return grouped

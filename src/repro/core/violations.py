@@ -1,0 +1,97 @@
+"""Violation records and the Section 5.1 sufficient-condition taxonomy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class ViolationKind:
+    """Closed set of violation kinds the checker emits."""
+
+    #: C1 -- tainted processor state while untainted code executes
+    TAINTED_STATE_IN_TRUSTED_CODE = "tainted_state_in_trusted_code"
+    #: C2 -- a store from tainted code may taint an untainted partition
+    TAINTED_WRITE_UNTAINTED_MEMORY = "tainted_write_untainted_memory"
+    #: C3 -- untainted code loads from a tainted partition
+    TRUSTED_READ_TAINTED_MEMORY = "trusted_read_tainted_memory"
+    #: C4 -- untainted code reads from a tainted input port
+    TRUSTED_READ_TAINTED_PORT = "trusted_read_tainted_port"
+    #: C5 -- tainted data (or a tainted task) reaches an untainted output
+    TAINTED_WRITE_UNTAINTED_PORT = "tainted_write_untainted_port"
+    #: the PC carries taint inside an untrusted task (control-flow leak;
+    #: repaired with the watchdog mechanism)
+    TAINTED_CONTROL_FLOW = "tainted_control_flow"
+    #: the watchdog's control state became tainted/unknown
+    WATCHDOG_TAINTED = "watchdog_tainted"
+
+    ALL = (
+        TAINTED_STATE_IN_TRUSTED_CODE,
+        TAINTED_WRITE_UNTAINTED_MEMORY,
+        TRUSTED_READ_TAINTED_MEMORY,
+        TRUSTED_READ_TAINTED_PORT,
+        TAINTED_WRITE_UNTAINTED_PORT,
+        TAINTED_CONTROL_FLOW,
+        WATCHDOG_TAINTED,
+    )
+
+
+#: Map each violation kind onto the sufficient condition (1..5) it breaks.
+#: Control-flow taint and a tainted watchdog undermine condition 1 (clean
+#: state when untainted code runs), which is how Table 2 accounts them.
+CONDITION_OF_KIND = {
+    ViolationKind.TAINTED_STATE_IN_TRUSTED_CODE: 1,
+    ViolationKind.TAINTED_CONTROL_FLOW: 1,
+    ViolationKind.WATCHDOG_TAINTED: 1,
+    ViolationKind.TAINTED_WRITE_UNTAINTED_MEMORY: 2,
+    ViolationKind.TRUSTED_READ_TAINTED_MEMORY: 3,
+    ViolationKind.TRUSTED_READ_TAINTED_PORT: 4,
+    ViolationKind.TAINTED_WRITE_UNTAINTED_PORT: 5,
+}
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One potential information-flow violation (a Figure 6 output row)."""
+
+    kind: str
+    cycle: int
+    address: int  # program address of the responsible instruction
+    task: str
+    detail: str = ""
+    port: Optional[str] = None
+    source_line: Optional[int] = None
+    source_text: Optional[str] = None
+    #: Advisory findings are repair hints (e.g. "this task's control flow
+    #: is tainted -- bound it with the watchdog"), not leaks by themselves:
+    #: a tainted PC confined to its own untrusted task violates nothing
+    #: until it reaches a sink, which the non-advisory checks catch.
+    advisory: bool = False
+
+    @property
+    def condition(self) -> int:
+        return CONDITION_OF_KIND[self.kind]
+
+    @property
+    def severity(self) -> str:
+        """Errors are direct leaks; warnings may lead to leaks (Section 6)."""
+        if self.advisory:
+            return "advisory"
+        direct = {
+            ViolationKind.TAINTED_WRITE_UNTAINTED_PORT,
+            ViolationKind.TRUSTED_READ_TAINTED_PORT,
+        }
+        return "error" if self.kind in direct else "warning"
+
+    def render(self) -> str:
+        location = f"0x{self.address:04x}"
+        if self.source_line is not None:
+            location += f" (line {self.source_line})"
+        head = f"{self.severity}: [{self.kind}] at {location}"
+        if self.task:
+            head += f" in task {self.task!r}"
+        if self.port:
+            head += f" port {self.port}"
+        if self.detail:
+            head += f": {self.detail}"
+        return head

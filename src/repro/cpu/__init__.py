@@ -1,0 +1,13 @@
+"""The gate-level LP430 microcontroller.
+
+A complete multi-cycle CPU implementing the :mod:`repro.isa.spec` contract,
+elaborated to library gates with the :class:`~repro.netlist.builder.
+CircuitBuilder` -- the reproduction's stand-in for the paper's synthesised
+openMSP430 netlist.  ``build_cpu()`` returns the netlist; ``compiled_cpu()``
+returns a cached :class:`~repro.sim.compiled.CompiledCircuit` ready to drop
+into a :class:`~repro.sim.soc.SoC`.
+"""
+
+from repro.cpu.build import build_cpu, compiled_cpu, cpu_stats
+
+__all__ = ["build_cpu", "compiled_cpu", "cpu_stats"]

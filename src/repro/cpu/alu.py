@@ -1,0 +1,116 @@
+"""The LP430 ALU: one shared add/sub plus logic and shift units.
+
+Flag semantics follow :mod:`repro.isa.spec` (MSP430 conventions): the carry
+of AND/BIT/XOR is *not Z*; BIC/BIS/MOV/SWPB leave flags alone (gated by the
+decoder's ``flags_en``); V is the signed overflow for the adder family,
+``src[15] & dst[15]`` for XOR and 0 otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.cpu.control import Decode
+from repro.netlist.builder import CircuitBuilder, Sig
+
+
+@dataclass
+class AluOutputs:
+    result: Sig
+    carry: int
+    zero: int
+    negative: int
+    overflow: int
+
+
+def build_alu(
+    b: CircuitBuilder,
+    decode: Decode,
+    src: Sig,
+    dst: Sig,
+    carry_flag: int,
+) -> AluOutputs:
+    """Elaborate the ALU over source/destination operand words."""
+    d = decode
+    with b.scope("alu"):
+        # --- adder family -------------------------------------------------
+        is_sub = b.or_bit(d.op1[0x7], d.op1[0x8], d.op1[0x9])  # subc sub cmp
+        use_carry = b.or_bit(d.op1[0x6], d.op1[0x7])  # addc subc
+        base_cin = is_sub  # add: 0, sub/cmp: 1
+        cin = b.mux_bit(use_carry, base_cin, carry_flag)
+        adder_out, adder_cout, adder_ovf = b.addsub(dst, src, is_sub, cin=cin)
+
+        # --- logic family -------------------------------------------------
+        and_out = b.and_(src, dst)
+        bic_out = b.and_(dst, b.not_(src))
+        bis_out = b.or_(src, dst)
+        xor_out = b.xor_(src, dst)
+
+        # --- format II shifts (operate on the operand in `dst`) -----------
+        rrc_out = Sig(list(dst[1:]) + [carry_flag])
+        rra_out = Sig(list(dst[1:]) + [dst[15]])
+        swpb_out = Sig(list(dst[8:16]) + list(dst[0:8]))
+
+        adder_sel = b.or_bit(
+            d.op1[0x5], d.op1[0x6], d.op1[0x7], d.op1[0x8], d.op1[0x9]
+        )
+        mov_sel = d.op1[0x4]
+        and_sel = b.or_bit(d.op1[0xF], d.op1[0xB])
+        rrc_sel = b.and_bit(d.fmt2, d.op2[0])
+        swpb_sel = b.and_bit(d.fmt2, d.op2[1])
+        rra_sel = b.and_bit(d.fmt2, d.op2[2])
+        # During fmt2/jump cycles the fmt1 one-hots can still fire (IR bits
+        # alias); qualify them with fmt1 so exactly one select is active.
+        fmt1_q = d.fmt1
+        selects = [
+            b.and_bit(mov_sel, fmt1_q),
+            b.and_bit(adder_sel, fmt1_q),
+            b.and_bit(and_sel, fmt1_q),
+            b.and_bit(d.op1[0xC], fmt1_q),
+            b.and_bit(d.op1[0xD], fmt1_q),
+            b.and_bit(d.op1[0xE], fmt1_q),
+            rrc_sel,
+            rra_sel,
+            swpb_sel,
+        ]
+        options = [
+            src,
+            adder_out,
+            and_out,
+            bic_out,
+            bis_out,
+            xor_out,
+            rrc_out,
+            rra_out,
+            swpb_out,
+        ]
+        result = b.onehot_mux(selects, options)
+
+        # --- flags ---------------------------------------------------------
+        zero = b.is_zero(result)
+        negative = result[15]
+        not_zero = b.not_bit(zero)
+        logic_flags_sel = b.and_bit(
+            b.or_bit(d.op1[0xB], d.op1[0xE], d.op1[0xF]), fmt1_q
+        )
+        shift_sel = b.or_bit(rrc_sel, rra_sel)
+        adder_sel_q = b.and_bit(adder_sel, fmt1_q)
+        carry = b.or_bit(
+            b.and_bit(adder_sel_q, adder_cout),
+            b.and_bit(logic_flags_sel, not_zero),
+            b.and_bit(shift_sel, dst[0]),
+        )
+        xor_sel = b.and_bit(d.op1[0xE], fmt1_q)
+        overflow = b.or_bit(
+            b.and_bit(adder_sel_q, adder_ovf),
+            b.and_bit(xor_sel, b.and_bit(src[15], dst[15])),
+        )
+
+    return AluOutputs(
+        result=result,
+        carry=carry,
+        zero=zero,
+        negative=negative,
+        overflow=overflow,
+    )

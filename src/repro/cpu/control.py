@@ -1,0 +1,229 @@
+"""Instruction decode and the multi-cycle FSM for the gate-level LP430.
+
+The FSM phases follow :mod:`repro.isa.spec`: F, SE, SL, DE, DL, E, J.  Six
+phase bits are registered (SE..J); F is *derived* as the NOR of the six, so
+a power-on reset (which clears every flip-flop) lands the machine in F with
+no special cases -- and, per the Figure 7 reset rule the builder implements,
+a tainted reset leaves the phase bits tainted exactly as the paper requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.netlist.builder import CircuitBuilder, Sig
+
+
+@dataclass
+class Decode:
+    """Combinational decode of the live instruction word."""
+
+    insn: Sig
+    fmt_jump: int
+    fmt2: int
+    fmt1: int
+    src_reg: Sig
+    dst_reg: Sig
+    ad: int
+    src_is_reg: int  # As == 00
+    src_indexed: int  # As == 01
+    src_is_imm: int
+    src_needs_ext: int
+    src_reads_mem: int
+    autoinc: int
+    dst_ext: int
+    needs_dl: int
+    op1: List[int]  # one-hot over IR[15:12]
+    op2: List[int]  # one-hot over IR[9:7] (format II)
+    writes_result: int
+    flags_en: int
+    is_push: int
+    is_call: int
+    fmt2_shift: int
+    fmt2_mem: int
+    fmt2_reg_write: int
+    fmt2_mem_write: int
+    pc_write_e: int
+    sr_write_e: int
+    regfile_write_e: int
+    cond: Sig  # IR[12:10]
+    jump_offset: Sig  # sign-extended to 16
+
+
+def build_decode(b: CircuitBuilder, insn: Sig) -> Decode:
+    """Elaborate the decoder for the instruction word *insn*."""
+    with b.scope("dec"):
+        fmt_jump = b.eq_const(b.slice_(insn, 13, 3), 0b001)
+        fmt2 = b.eq_const(b.slice_(insn, 10, 6), 0b000100)
+        fmt1 = b.nor_bit(fmt_jump, fmt2)
+
+        src_reg = b.mux(fmt2, b.slice_(insn, 8, 4), b.slice_(insn, 0, 4))
+        dst_reg = b.slice_(insn, 0, 4)
+        ad = insn[7]
+        as_lo, as_hi = insn[4], insn[5]
+        as00 = b.nor_bit(as_lo, as_hi)
+        as11 = b.and_bit(as_lo, as_hi)
+        as01 = b.and_bit(as_lo, b.not_bit(as_hi))
+
+        src_reg_is_pc = b.eq_const(src_reg, 0)
+        src_is_imm = b.and_bit(as11, src_reg_is_pc)
+        src_needs_ext = b.or_bit(as01, src_is_imm)
+        src_reads_mem = b.and_bit(
+            b.not_bit(as00), b.not_bit(src_is_imm)
+        )
+        autoinc = b.and_bit(as11, b.not_bit(src_is_imm))
+
+        op1 = b.decode(b.slice_(insn, 12, 4))
+        op2 = b.decode(b.slice_(insn, 7, 3))
+
+        is_mov = b.and_bit(fmt1, op1[0x4])
+        dst_ext = b.and_bit(fmt1, ad)
+        needs_dl = b.and_bit(dst_ext, b.not_bit(op1[0x4]))
+
+        no_writeback = b.or_bit(op1[0x9], op1[0xB])  # cmp, bit
+        writes_result = b.and_bit(fmt1, b.not_bit(no_writeback))
+
+        fmt1_flags = b.and_bit(
+            fmt1,
+            b.not_bit(b.or_bit(op1[0x4], op1[0xC], op1[0xD])),
+        )
+        fmt2_shift = b.and_bit(
+            fmt2, b.or_bit(op2[0], op2[1], op2[2])
+        )
+        fmt2_carry_shift = b.and_bit(fmt2, b.or_bit(op2[0], op2[2]))
+        flags_en = b.or_bit(fmt1_flags, fmt2_carry_shift)
+
+        is_push = b.and_bit(fmt2, op2[4])
+        is_call = b.and_bit(fmt2, op2[5])
+
+        fmt2_mem = b.and_bit(fmt2, src_reads_mem)
+        fmt2_reg_write = b.and_bit(fmt2_shift, as00)
+        fmt2_mem_write = b.and_bit(fmt2_shift, src_reads_mem)
+
+        dst_is_pc = b.eq_const(dst_reg, 0)
+        dst_is_sr = b.eq_const(dst_reg, 2)
+        dst_is_cg = b.eq_const(dst_reg, 3)
+        reg_dst = b.and_bit(writes_result, b.not_bit(ad))
+        pc_write_e = b.and_bit(reg_dst, dst_is_pc)
+        sr_write_e = b.and_bit(reg_dst, dst_is_sr)
+        plain_dst = b.nor_bit(dst_is_pc, dst_is_sr, dst_is_cg)
+        regfile_write_e = b.or_bit(
+            b.and_bit(reg_dst, plain_dst),
+            b.and_bit(fmt2_reg_write, plain_dst),
+        )
+
+        cond = b.slice_(insn, 10, 3)
+        jump_offset = b.sext(b.slice_(insn, 0, 10), 16)
+
+    return Decode(
+        insn=insn,
+        fmt_jump=fmt_jump,
+        fmt2=fmt2,
+        fmt1=fmt1,
+        src_reg=src_reg,
+        dst_reg=dst_reg,
+        ad=ad,
+        src_is_reg=as00,
+        src_indexed=as01,
+        src_is_imm=src_is_imm,
+        src_needs_ext=src_needs_ext,
+        src_reads_mem=src_reads_mem,
+        autoinc=autoinc,
+        dst_ext=dst_ext,
+        needs_dl=needs_dl,
+        op1=op1,
+        op2=op2,
+        writes_result=writes_result,
+        flags_en=flags_en,
+        is_push=is_push,
+        is_call=is_call,
+        fmt2_shift=fmt2_shift,
+        fmt2_mem=fmt2_mem,
+        fmt2_reg_write=fmt2_reg_write,
+        fmt2_mem_write=fmt2_mem_write,
+        pc_write_e=pc_write_e,
+        sr_write_e=sr_write_e,
+        regfile_write_e=regfile_write_e,
+        cond=cond,
+        jump_offset=jump_offset,
+    )
+
+
+@dataclass
+class Phases:
+    """The FSM phase bits (F derived from the registered six)."""
+
+    f: int
+    se: int
+    sl: int
+    de: int
+    dl: int
+    e: int
+    j: int
+
+
+def begin_fsm(b: CircuitBuilder, registers: dict) -> Phases:
+    """Create the phase registers and derive F before decode exists.
+
+    The FSM's next-state logic depends on the decode of the *live*
+    instruction word, which in turn needs the in-F bit (to mux IR vs the
+    freshly fetched word), so construction is split: ``begin_fsm`` allocates
+    the registers, :func:`finish_fsm` wires their next states.
+    """
+    with b.scope("fsm"):
+        for name in ("se", "sl", "de", "dl", "e", "j"):
+            registers[name] = b.reg(name, 1)
+        se = registers["se"].q[0]
+        sl = registers["sl"].q[0]
+        de = registers["de"].q[0]
+        dl = registers["dl"].q[0]
+        e = registers["e"].q[0]
+        j = registers["j"].q[0]
+        in_f = b.nor_bit(se, sl, de, dl, e, j)
+    return Phases(f=in_f, se=se, sl=sl, de=de, dl=dl, e=e, j=j)
+
+
+def finish_fsm(
+    b: CircuitBuilder,
+    registers: dict,
+    phases: Phases,
+    decode: Decode,
+    rst: int,
+) -> None:
+    """Wire the phase-sequencing next-state logic."""
+    with b.scope("fsm"):
+        d = decode
+        in_f, se, sl = phases.f, phases.se, phases.sl
+        de, dl = phases.de, phases.dl
+        not_jump = b.not_bit(d.fmt_jump)
+        no_src_ext = b.not_bit(d.src_needs_ext)
+        no_src_mem = b.not_bit(d.src_reads_mem)
+        no_dst_ext = b.not_bit(d.dst_ext)
+
+        next_se = b.and_bit(in_f, not_jump, d.src_needs_ext)
+        next_sl = b.or_bit(
+            b.and_bit(in_f, not_jump, no_src_ext, d.src_reads_mem),
+            b.and_bit(se, d.src_reads_mem),
+        )
+        next_de = b.or_bit(
+            b.and_bit(in_f, not_jump, no_src_ext, no_src_mem, d.dst_ext),
+            b.and_bit(se, no_src_mem, d.dst_ext),
+            b.and_bit(sl, d.dst_ext),
+        )
+        next_dl = b.and_bit(de, d.needs_dl)
+        next_e = b.or_bit(
+            b.and_bit(in_f, not_jump, no_src_ext, no_src_mem, no_dst_ext),
+            b.and_bit(se, no_src_mem, no_dst_ext),
+            b.and_bit(sl, no_dst_ext),
+            b.and_bit(de, b.not_bit(d.needs_dl)),
+            dl,
+        )
+        next_j = b.and_bit(in_f, d.fmt_jump)
+
+        b.drive(registers["se"], Sig([next_se]), rst=rst)
+        b.drive(registers["sl"], Sig([next_sl]), rst=rst)
+        b.drive(registers["de"], Sig([next_de]), rst=rst)
+        b.drive(registers["dl"], Sig([next_dl]), rst=rst)
+        b.drive(registers["e"], Sig([next_e]), rst=rst)
+        b.drive(registers["j"], Sig([next_j]), rst=rst)

@@ -1,0 +1,61 @@
+"""The LP430 register file (R1 and R4..R15 physically; R0/R2/R3 remapped).
+
+R0 (PC), R2 (SR) and R3 (constant generator) are architecturally registers
+but live outside the array: reads are remapped onto the PC/SR registers or a
+constant zero, and writes to them are routed by the datapath.
+
+Construction is two-phase (like :class:`~repro.netlist.builder.Reg` itself):
+``RegFileBuilder`` allocates the flip-flops so read ports can feed the ALU,
+and :meth:`RegFileBuilder.connect_write_port` wires the single write port
+once the datapath has produced the write data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.netlist.builder import CircuitBuilder, Sig
+
+PHYSICAL_REGS: List[int] = [1] + list(range(4, 16))
+
+
+class RegFileBuilder:
+    """Two-phase register-file elaboration."""
+
+    def __init__(self, b: CircuitBuilder, pc_q: Sig, sr_q: Sig):
+        self._b = b
+        self._pc_q = pc_q
+        self._sr_q = sr_q
+        with b.scope("rf"):
+            self.regs: Dict[int, object] = {
+                index: b.reg(f"r{index}", 16) for index in PHYSICAL_REGS
+            }
+        self._zero = b.const(0, 16)
+
+    @property
+    def sp(self) -> Sig:
+        """Direct (un-muxed) view of R1 for push/call address math."""
+        return self.regs[1].q
+
+    def read(self, raddr: Sig) -> Sig:
+        """One combinational read port (R0 -> PC, R2 -> SR, R3 -> 0)."""
+        options = []
+        for index in range(16):
+            if index == 0:
+                options.append(self._pc_q)
+            elif index == 2:
+                options.append(self._sr_q)
+            elif index == 3:
+                options.append(self._zero)
+            else:
+                options.append(self.regs[index].q)
+        return self._b.muxn(raddr, options)
+
+    def connect_write_port(
+        self, waddr: Sig, wdata: Sig, wen: int, rst: int
+    ) -> None:
+        b = self._b
+        write_select = b.decode(waddr)
+        for index in PHYSICAL_REGS:
+            enable = b.and_bit(write_select[index], wen)
+            b.drive(self.regs[index], wdata, en=enable, rst=rst)

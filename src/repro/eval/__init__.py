@@ -1,0 +1,26 @@
+"""The evaluation harness: regenerates every table and figure.
+
+Each module produces plain-data rows plus a formatted text block, so the
+``benchmarks/`` suite can both benchmark the generation and assert the
+paper's qualitative shape (see EXPERIMENTS.md for the per-experiment
+paper-vs-measured record):
+
+* :mod:`repro.eval.table1`   -- the benchmark roster + measured CPI.
+* :mod:`repro.eval.table2`   -- sufficient-condition violations before and
+  after modification.
+* :mod:`repro.eval.table3`   -- protection overhead with vs. without
+  application-specific analysis.
+* :mod:`repro.eval.table4`   -- micro-architectural features of embedded
+  processors (static survey data from the paper).
+* :mod:`repro.eval.figure1`  -- the GLIFT NAND truth table.
+* :mod:`repro.eval.figure7`  -- the symbolic execution tree example.
+* :mod:`repro.eval.motivation` -- Figures 2-5 outcomes.
+* :mod:`repro.eval.energy`   -- the energy model and headline numbers.
+* :mod:`repro.eval.runtime`  -- analysis tractability (footnote 4).
+* :mod:`repro.eval.rtos_case` -- the Section 7.3 scheduling use case.
+* :mod:`repro.eval.starlogic_eval` -- the footnote 8 *-logic comparison.
+"""
+
+from repro.eval.formatting import format_table
+
+__all__ = ["format_table"]

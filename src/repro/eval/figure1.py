@@ -1,0 +1,58 @@
+"""Figure 1: the GLIFT-augmented NAND gate truth table.
+
+Regenerated from the executable semantics in :mod:`repro.logic.glift`; the
+sixteen boolean rows must equal the paper's table bit for bit, and the
+ternary extension (the X rows the symbolic simulation adds) is shown
+alongside.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.eval.formatting import format_table
+from repro.logic.glift import GATE_FUNCTIONS, glift_eval, glift_nand_truth_table
+from repro.logic.ternary import TERNARY_VALUES, ternary_repr
+
+
+def boolean_rows() -> List[Tuple[int, int, int, int, int, int]]:
+    return glift_nand_truth_table()
+
+
+def ternary_rows() -> List[Tuple[str, int, str, int, str, int]]:
+    rows = []
+    nand = GATE_FUNCTIONS["NAND2"]
+    for value_a in TERNARY_VALUES:
+        for taint_a in (0, 1):
+            for value_b in TERNARY_VALUES:
+                for taint_b in (0, 1):
+                    out_value, out_taint = glift_eval(
+                        nand, (value_a, value_b), (taint_a, taint_b)
+                    )
+                    rows.append(
+                        (
+                            ternary_repr(value_a),
+                            taint_a,
+                            ternary_repr(value_b),
+                            taint_b,
+                            ternary_repr(out_value),
+                            out_taint,
+                        )
+                    )
+    return rows
+
+
+def render_figure1(include_ternary: bool = False) -> str:
+    table = format_table(
+        ["A", "AT", "B", "BT", "O", "OT"],
+        boolean_rows(),
+        title="Figure 1: GLIFT truth table for a NAND gate",
+    )
+    if not include_ternary:
+        return table
+    extended = format_table(
+        ["A", "AT", "B", "BT", "O", "OT"],
+        ternary_rows(),
+        title="ternary extension (all 36 value/taint combinations)",
+    )
+    return table + "\n\n" + extended

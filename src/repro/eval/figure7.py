@@ -1,0 +1,142 @@
+"""Figure 7: the illustrative symbolic execution tree on real gates.
+
+The paper's example circuit -- ``S' = S XOR In`` into a resettable
+flip-flop -- is built with the circuit DSL, compiled, and driven through
+the exact input/taint schedule of the figure.  The output reproduces the
+three per-cycle state tables (common prefix, left path with the tainted
+reset, right path with the untainted reset) and asserts the punchline:
+only the *untainted* reset clears the taint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.eval.formatting import format_table
+from repro.logic.ternary import ONE, UNKNOWN, ZERO, ternary_repr
+from repro.logic.words import TWord
+from repro.netlist.builder import CircuitBuilder, Sig
+from repro.sim.compiled import CompiledCircuit
+
+
+def figure7_circuit() -> CompiledCircuit:
+    builder = CircuitBuilder("fig7")
+    in_sig = builder.input("in", 1)
+    rst = builder.input("rst", 1)
+    state = builder.reg("S", 1)
+    builder.drive(state, builder.xor_(state.q, in_sig), rst=rst[0])
+    builder.output("S", state.q)
+    builder.output("S_next", Sig([builder.netlist.dffs[0].d]))
+    return CompiledCircuit(builder.build())
+
+
+@dataclass
+class Fig7Row:
+    cycle: int
+    s: Tuple[int, int]
+    in_: Tuple[int, int]
+    rst: Tuple[int, int]
+    s_next: Tuple[int, int]
+
+    def cells(self):
+        def render(pair):
+            value, taint = pair
+            return ternary_repr(value), taint
+
+        s_v, s_t = render(self.s)
+        in_v, in_t = render(self.in_)
+        rst_v, rst_t = render(self.rst)
+        next_v, next_t = render(self.s_next)
+        return (
+            self.cycle,
+            s_v,
+            s_t,
+            in_v,
+            in_t,
+            rst_v,
+            rst_t,
+            next_v,
+            next_t,
+        )
+
+
+HEADERS = ["cycle", "S", "ST", "In", "InT", "rst", "rstT", "S'", "S'T"]
+
+#: the figure's input schedule: (In, rst) per cycle for the prefix and
+#: each branch.  X = unknown, quoted = tainted.
+PREFIX = [
+    (TWord.unknown(1), TWord.const(1, 1)),  # cycle 0
+    (TWord.const(1, 1), TWord.const(0, 1)),  # cycle 1
+    (TWord.const(0, 1, tmask=1), TWord.const(0, 1)),  # cycle 2
+]
+LEFT_PATH = [
+    (TWord.unknown(1), TWord.const(0, 1)),  # cycle 3
+    (TWord.unknown(1), TWord.const(1, 1, tmask=1)),  # cycle 4: tainted rst
+]
+RIGHT_PATH = [
+    (TWord.const(1, 1, tmask=1), TWord.const(0, 1)),  # cycle 3
+    (TWord.unknown(1), TWord.const(1, 1)),  # cycle 4: untainted rst
+]
+
+
+def _run(circuit, state, schedule, start_cycle) -> List[Fig7Row]:
+    rows: List[Fig7Row] = []
+    for offset, (in_word, rst_word) in enumerate(schedule):
+        circuit.set_input(state, "in", in_word)
+        circuit.set_input(state, "rst", rst_word)
+        circuit.eval_combinational(state)
+        rows.append(
+            Fig7Row(
+                cycle=start_cycle + offset,
+                s=circuit.read_output(state, "S").bit(0),
+                in_=in_word.bit(0),
+                rst=rst_word.bit(0),
+                s_next=circuit.read_output(state, "S_next").bit(0),
+            )
+        )
+        circuit.clock_edge(state)
+    return rows
+
+
+def build_figure7():
+    """Returns (prefix rows, left rows, right rows, final states)."""
+    circuit = figure7_circuit()
+    state = circuit.new_state()
+    prefix = _run(circuit, state, PREFIX, 0)
+
+    fork = state.copy()
+    left = _run(circuit, state, LEFT_PATH, 3)
+    left_final = circuit.read_output(state, "S").bit(0)
+
+    state = fork
+    right = _run(circuit, state, RIGHT_PATH, 3)
+    right_final = circuit.read_output(state, "S").bit(0)
+    return prefix, left, right, left_final, right_final
+
+
+def render_figure7() -> str:
+    prefix, left, right, left_final, right_final = build_figure7()
+    parts = [
+        format_table(
+            HEADERS,
+            [row.cells() for row in prefix],
+            title="Figure 7: common prefix (reset, untainted then tainted "
+            "input)",
+        ),
+        format_table(
+            HEADERS,
+            [row.cells() for row in left],
+            title="left path: In unknown, then a *tainted* reset",
+        ),
+        f"  after tainted reset: S = {ternary_repr(left_final[0])}, "
+        f"ST = {left_final[1]}   (value clears, taint DOES NOT)",
+        format_table(
+            HEADERS,
+            [row.cells() for row in right],
+            title="right path: In tainted 1, then an *untainted* reset",
+        ),
+        f"  after untainted reset: S = {ternary_repr(right_final[0])}, "
+        f"ST = {right_final[1]}   (value and taint both clear)",
+    ]
+    return "\n\n".join(parts)

@@ -1,0 +1,196 @@
+"""Table 3: protection overhead with vs. without application analysis.
+
+Methodology (the paper's, Section 7.2): masking cost is *measured* by
+running the masked binary cycle-accurately; watchdog bounding follows the
+time-slicing model "as an RTOS might schedule one computational task
+across multiple time slices", i.e. the overhead-minimising slice plan over
+the four watchdog intervals with 20-cycle context switches and 10-cycle
+watchdog arming per slice, plus the idle fill of the final slice.
+
+* **With analysis**: clean benchmarks run unmodified (0%); violators get
+  masks only on the stores root-cause analysis flags, and watchdog
+  bounding only when their control flow is tainted.
+* **Without analysis** (unknown application): every store masked, every
+  task time-bounded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.baselines.alwayson import untrusted_store_addresses
+from repro.core import TaintTracker, default_policy
+from repro.eval.formatting import format_table
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.isasim.executor import run_concrete
+from repro.transform import choose_slicing, insert_masks
+from repro.workloads.registry import BENCHMARKS
+
+
+def measured_cycles(program: Program) -> int:
+    run = run_concrete(program, max_cycles=400_000, follow_watchdog=False)
+    if not run.halted:
+        raise RuntimeError(f"{program.name}: run never halted")
+    return run.cycles
+
+
+@dataclass
+class Table3Row:
+    name: str
+    base_cycles: int
+    with_cycles: int
+    without_cycles: int
+    needs_watchdog: bool
+    masked_with: int
+    masked_without: int
+
+    @property
+    def with_overhead(self) -> float:
+        return 100.0 * (self.with_cycles - self.base_cycles) / self.base_cycles
+
+    @property
+    def without_overhead(self) -> float:
+        return (
+            100.0
+            * (self.without_cycles - self.base_cycles)
+            / self.base_cycles
+        )
+
+
+def _masked_measurement_cycles(info, store_addresses) -> int:
+    """Measured runtime of the benchmark with masks on *store_addresses*."""
+    if not store_addresses:
+        return measured_cycles(
+            assemble(info.measurement_source, name=info.name)
+        )
+    program = assemble(info.measurement_source, name=info.name)
+    masked_source = insert_masks(
+        info.measurement_source, program, store_addresses, default_policy()
+    )
+    return measured_cycles(
+        assemble(masked_source, name=f"{info.name}_masked")
+    )
+
+
+def build_table3(
+    names: Optional[List[str]] = None,
+    max_cycles: int = 800_000,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[Table3Row]:
+    rows: List[Table3Row] = []
+    for name, info in BENCHMARKS.items():
+        if names is not None and name not in names:
+            continue
+        if progress:
+            progress(name)
+        base = measured_cycles(
+            assemble(info.measurement_source, name=name)
+        )
+
+        # --- with analysis: repair only the identified root causes -----
+        analysis = TaintTracker(
+            info.service_program(), max_cycles=max_cycles
+        ).run()
+        flagged_stores = analysis.violating_stores()
+        needs_watchdog = bool(analysis.tasks_needing_watchdog())
+        if analysis.secure:
+            with_cycles = base
+        else:
+            masked = _masked_measurement_cycles(info, flagged_stores)
+            if needs_watchdog:
+                with_cycles = choose_slicing(masked).total_cycles
+            else:
+                with_cycles = masked
+
+        # --- without analysis: protect everything ----------------------
+        program = assemble(info.service_source, name=name)
+        all_stores_service = untrusted_store_addresses(
+            program, include_pushes=True
+        )
+        measurement_program = assemble(info.measurement_source, name=name)
+        all_stores = untrusted_store_addresses(
+            measurement_program, include_pushes=True
+        )
+        masked_all = _masked_measurement_cycles(info, all_stores)
+        without_cycles = choose_slicing(masked_all).total_cycles
+
+        rows.append(
+            Table3Row(
+                name=name,
+                base_cycles=base,
+                with_cycles=with_cycles,
+                without_cycles=without_cycles,
+                needs_watchdog=needs_watchdog,
+                masked_with=len(flagged_stores),
+                masked_without=len(all_stores_service),
+            )
+        )
+    return rows
+
+
+def summarize(rows: List[Table3Row]) -> Dict[str, float]:
+    with_avg = sum(row.with_overhead for row in rows) / len(rows)
+    without_avg = sum(row.without_overhead for row in rows) / len(rows)
+    modified = [row for row in rows if row.with_overhead > 0]
+    with_mod = (
+        sum(row.with_overhead for row in modified) / len(modified)
+        if modified
+        else 0.0
+    )
+    without_mod = (
+        sum(row.without_overhead for row in modified) / len(modified)
+        if modified
+        else 0.0
+    )
+    return {
+        "with_avg": with_avg,
+        "without_avg": without_avg,
+        "reduction_factor": without_avg / with_avg
+        if with_avg
+        else float("inf"),
+        "with_avg_modified_only": with_mod,
+        "without_avg_modified_only": without_mod,
+    }
+
+
+def render_table3(rows=None, **kwargs) -> str:
+    if rows is None:
+        rows = build_table3(**kwargs)
+    table = format_table(
+        [
+            "benchmark",
+            "base cyc",
+            "without analysis %",
+            "with analysis %",
+            "masked w/o",
+            "masked w/",
+        ],
+        [
+            (
+                row.name,
+                row.base_cycles,
+                f"{row.without_overhead:.1f}",
+                f"{row.with_overhead:.1f}",
+                row.masked_without,
+                row.masked_with,
+            )
+            for row in rows
+        ],
+        title=(
+            "Table 3: performance overhead (%) of watchdog reset + "
+            "address masking, without vs. with application-specific "
+            "analysis"
+        ),
+    )
+    summary = summarize(rows)
+    return (
+        table
+        + f"\naverage overhead without analysis: "
+        f"{summary['without_avg']:.1f}%   (paper: ~49.8%)"
+        + f"\naverage overhead with analysis:    "
+        f"{summary['with_avg']:.1f}%   (paper: ~15.1%)"
+        + f"\ncost reduction from analysis:      "
+        f"{summary['reduction_factor']:.1f}x   (paper: 3.3x)"
+    )

@@ -1,0 +1,70 @@
+"""The LP430 instruction set: an openMSP430-inspired 16-bit ISA.
+
+* :mod:`repro.isa.spec`      -- registers, formats, opcodes, flags, timing.
+* :mod:`repro.isa.encode`    -- instruction <-> machine-word codec.
+* :mod:`repro.isa.assembler` -- two-pass assembler with labels, sections,
+  task/partition directives and debug info (the paper's Figure 11 compile
+  flow front end).
+* :mod:`repro.isa.disasm`    -- disassembler (the ``objdump`` stage).
+* :mod:`repro.isa.program`   -- the loadable system binary plus metadata.
+"""
+
+from repro.isa.spec import (
+    COND,
+    FLAG_C,
+    FLAG_N,
+    FLAG_V,
+    FLAG_Z,
+    FORMAT_I_OPCODES,
+    FORMAT_II_OPCODES,
+    JUMP_MNEMONICS,
+    MODE_INDEXED,
+    MODE_INDIRECT,
+    MODE_INDIRECT_INC,
+    MODE_REGISTER,
+    PC,
+    SP,
+    SR,
+    CG,
+)
+from repro.isa.encode import (
+    DecodedInstruction,
+    EncodeError,
+    Operand,
+    decode,
+    encode,
+)
+from repro.isa.assembler import AssemblyError, assemble
+from repro.isa.disasm import disassemble_program, disassemble_word
+from repro.isa.program import Program, SourceLine, TaskInfo
+
+__all__ = [
+    "PC",
+    "SP",
+    "SR",
+    "CG",
+    "FLAG_C",
+    "FLAG_Z",
+    "FLAG_N",
+    "FLAG_V",
+    "MODE_REGISTER",
+    "MODE_INDEXED",
+    "MODE_INDIRECT",
+    "MODE_INDIRECT_INC",
+    "FORMAT_I_OPCODES",
+    "FORMAT_II_OPCODES",
+    "JUMP_MNEMONICS",
+    "COND",
+    "Operand",
+    "DecodedInstruction",
+    "EncodeError",
+    "encode",
+    "decode",
+    "assemble",
+    "AssemblyError",
+    "Program",
+    "TaskInfo",
+    "SourceLine",
+    "disassemble_word",
+    "disassemble_program",
+]

@@ -1,0 +1,481 @@
+"""Two-pass LP430 assembler.
+
+Plays the ``msp430-as`` + ``msp430-ld`` role in the paper's Figure 11 flow:
+source text in, loadable :class:`~repro.isa.program.Program` out, including
+the task-partition table and per-line debug info that root-cause analysis
+and the automatic software-repair stage rely on.
+
+Syntax
+------
+::
+
+    ; comment
+    .org   0x0000            ; set code address (words)
+    .task  sys trusted       ; start a code partition
+    .equ   LIMIT 25
+    loop:                     ; label
+        mov   #100, r10       ; immediate
+        mov   &P1IN, r15      ; absolute (peripheral symbols built in)
+        mov   @r15+, r14      ; autoincrement
+        mov   2(r15), r14     ; indexed
+        sub   #1, r10
+        jnz   loop
+        jmp   $               ; idle self-loop ("halt")
+    .data  0x0400            ; switch to data-image emission
+    table: .word 1, 2, 3
+    .space 16
+
+Pseudo-instructions: ``nop ret pop br clr inc dec tst halt inv rla adc``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro import memmap
+from repro.isa import spec
+from repro.isa.encode import DecodedInstruction, EncodeError, Operand, encode
+from repro.isa.program import Program, SourceLine, TaskInfo
+from repro.isa.spec import (
+    FORMAT_I_OPCODES,
+    FORMAT_II_OPCODES,
+    JUMP_ALIASES,
+    JUMP_MNEMONICS,
+    REGISTER_ALIASES,
+)
+
+
+class AssemblyError(Exception):
+    """Raised with file/line context on any assembly problem."""
+
+    def __init__(self, message: str, line_no: int = 0, text: str = ""):
+        self.line_no = line_no
+        self.text = text
+        if line_no:
+            message = f"line {line_no}: {message}  [{text.strip()}]"
+        super().__init__(message)
+
+
+_LABEL = re.compile(r"^([A-Za-z_.$][\w.$]*):")
+_INDEXED = re.compile(r"^(.*)\((\w+)\)$")
+_NUMBER = re.compile(r"^-?(0x[0-9a-fA-F]+|0b[01]+|\d+)$")
+_SYMBOL = re.compile(r"^[A-Za-z_][\w.$]*$")
+
+
+def _parse_number(text: str) -> Optional[int]:
+    if _NUMBER.match(text):
+        return int(text, 0)
+    return None
+
+
+class _Item:
+    """One assembled line: either an instruction or data words."""
+
+    def __init__(self, line_no: int, text: str, address: int, task: str):
+        self.line_no = line_no
+        self.text = text
+        self.address = address
+        self.task = task
+        self.length = 0
+        self.kind = ""  # "insn" | "words"
+        self.mnemonic = ""
+        self.operands: List[str] = []
+        self.word_exprs: List[str] = []
+        self.in_data = False
+
+
+class Assembler:
+    """Two-pass assembler; use :func:`assemble` for the one-shot API."""
+
+    def __init__(self, source: str, name: str = "program"):
+        self.source_lines = source.splitlines()
+        self.program = Program(name=name, source=list(self.source_lines))
+        self.symbols: Dict[str, int] = dict(memmap.PERIPHERAL_SYMBOLS)
+        self.items: List[_Item] = []
+        self._task_starts: List[Tuple[str, bool, int]] = []
+        self._code_address = 0
+        self._data_address: Optional[int] = None
+        self._in_data = False
+
+    # ------------------------------------------------------------------
+    # Pass 1: sizing and symbol collection
+    # ------------------------------------------------------------------
+    def pass1(self) -> None:
+        for line_no, raw in enumerate(self.source_lines, start=1):
+            text = raw.split(";")[0].rstrip()
+            stripped = text.strip()
+            while True:
+                match = _LABEL.match(stripped)
+                if not match:
+                    break
+                label = match.group(1)
+                self._define(label, self._current_address(), line_no, text)
+                stripped = stripped[match.end():].strip()
+            if not stripped:
+                continue
+            if stripped.startswith("."):
+                self._directive(stripped, line_no, text)
+                continue
+            self._instruction(stripped, line_no, text)
+        self._close_task(self._code_address)
+
+    def _current_address(self) -> int:
+        if self._in_data:
+            assert self._data_address is not None
+            return self._data_address
+        return self._code_address
+
+    def _define(self, name: str, value: int, line_no: int, text: str) -> None:
+        if name in self.symbols or name in self.program.labels:
+            raise AssemblyError(f"duplicate symbol {name!r}", line_no, text)
+        self.program.labels[name] = value
+        self.symbols[name] = value
+
+    def _close_task(self, end: int) -> None:
+        if self._task_starts:
+            name, trusted, start = self._task_starts[-1]
+            if not self.program.tasks or self.program.tasks[-1].name != name:
+                self.program.tasks.append(
+                    TaskInfo(name, trusted, start, end)
+                )
+
+    def _directive(self, stripped: str, line_no: int, text: str) -> None:
+        parts = stripped.split(None, 1)
+        name = parts[0].lower()
+        rest = parts[1].strip() if len(parts) > 1 else ""
+        if name == ".org":
+            value = _parse_number(rest)
+            if value is None:
+                raise AssemblyError(".org needs a literal address", line_no, text)
+            if self._in_data:
+                self._data_address = value
+            else:
+                self._code_address = value
+        elif name == ".task":
+            fields = rest.split()
+            if len(fields) != 2 or fields[1] not in (
+                "trusted",
+                "untrusted",
+                "untainted",
+                "tainted",
+            ):
+                raise AssemblyError(
+                    ".task NAME trusted|untrusted", line_no, text
+                )
+            self._close_task(self._code_address)
+            trusted = fields[1] in ("trusted", "untainted")
+            self._task_starts.append(
+                (fields[0], trusted, self._code_address)
+            )
+        elif name == ".equ":
+            fields = rest.split(None, 1)
+            if len(fields) != 2:
+                raise AssemblyError(".equ NAME VALUE", line_no, text)
+            value = _parse_number(fields[1].strip())
+            if value is None:
+                raise AssemblyError(
+                    ".equ value must be a literal", line_no, text
+                )
+            self._define(fields[0], value & 0xFFFF, line_no, text)
+        elif name == ".data":
+            value = _parse_number(rest) if rest else None
+            self._in_data = True
+            if value is not None:
+                self._data_address = value
+            elif self._data_address is None:
+                self._data_address = memmap.RAM_BASE
+        elif name == ".text":
+            self._in_data = False
+        elif name == ".word":
+            exprs = [e.strip() for e in rest.split(",") if e.strip()]
+            if not exprs:
+                raise AssemblyError(".word needs values", line_no, text)
+            item = _Item(line_no, text, self._current_address(), self._task_name())
+            item.kind = "words"
+            item.word_exprs = exprs
+            item.length = len(exprs)
+            item.in_data = self._in_data
+            self.items.append(item)
+            self._advance(len(exprs))
+        elif name == ".space":
+            count = _parse_number(rest)
+            if count is None or count < 0:
+                raise AssemblyError(".space needs a literal count", line_no, text)
+            item = _Item(line_no, text, self._current_address(), self._task_name())
+            item.kind = "words"
+            item.word_exprs = ["0"] * count
+            item.length = count
+            item.in_data = self._in_data
+            self.items.append(item)
+            self._advance(count)
+        else:
+            raise AssemblyError(f"unknown directive {name!r}", line_no, text)
+
+    def _task_name(self) -> str:
+        if self._task_starts:
+            return self._task_starts[-1][0]
+        return ""
+
+    def _advance(self, words: int) -> None:
+        if self._in_data:
+            self._data_address += words
+        else:
+            self._code_address += words
+
+    def _instruction(self, stripped: str, line_no: int, text: str) -> None:
+        if self._in_data:
+            raise AssemblyError(
+                "instruction in data section", line_no, text
+            )
+        fields = stripped.split(None, 1)
+        mnemonic = fields[0].lower()
+        operand_text = fields[1] if len(fields) > 1 else ""
+        operands = self._split_operands(operand_text)
+        mnemonic, operands = self._expand_pseudo(
+            mnemonic, operands, line_no, text
+        )
+        item = _Item(line_no, text, self._code_address, self._task_name())
+        item.kind = "insn"
+        item.mnemonic = mnemonic
+        item.operands = operands
+        item.length = self._sizeof(mnemonic, operands, line_no, text)
+        self.items.append(item)
+        self._code_address += item.length
+
+    @staticmethod
+    def _split_operands(text: str) -> List[str]:
+        operands = []
+        depth = 0
+        current = ""
+        for char in text:
+            if char == "," and depth == 0:
+                operands.append(current.strip())
+                current = ""
+                continue
+            if char == "(":
+                depth += 1
+            elif char == ")":
+                depth -= 1
+            current += char
+        if current.strip():
+            operands.append(current.strip())
+        return operands
+
+    def _expand_pseudo(
+        self, mnemonic: str, operands: List[str], line_no: int, text: str
+    ) -> Tuple[str, List[str]]:
+        mnemonic = JUMP_ALIASES.get(mnemonic, mnemonic)
+        expansions = {
+            "nop": ("mov", ["r3", "r3"], 0),
+            "ret": ("mov", ["@sp+", "pc"], 0),
+            "halt": ("jmp", ["$"], 0),
+            "pop": ("mov", ["@sp+"], 1),
+            "br": ("mov", [], 1, ["pc"]),
+            "clr": ("mov", ["#0"], 1),
+            "inc": ("add", ["#1"], 1),
+            "dec": ("sub", ["#1"], 1),
+            "tst": ("cmp", ["#0"], 1),
+            "inv": ("xor", ["#0xFFFF"], 1),
+            "adc": ("addc", ["#0"], 1),
+        }
+        if mnemonic == "rla":
+            if len(operands) != 1:
+                raise AssemblyError("rla takes one operand", line_no, text)
+            return "add", [operands[0], operands[0]]
+        if mnemonic in expansions:
+            entry = expansions[mnemonic]
+            base, prefix, argc = entry[0], entry[1], entry[2]
+            suffix = entry[3] if len(entry) > 3 else []
+            if len(operands) != argc:
+                raise AssemblyError(
+                    f"{mnemonic} takes {argc} operand(s)", line_no, text
+                )
+            return base, prefix + operands + suffix
+        return mnemonic, operands
+
+    def _sizeof(
+        self, mnemonic: str, operands: List[str], line_no: int, text: str
+    ) -> int:
+        if mnemonic in JUMP_MNEMONICS:
+            return 1
+        length = 1
+        if mnemonic in FORMAT_II_OPCODES:
+            expected = 1
+        elif mnemonic in FORMAT_I_OPCODES:
+            expected = 2
+        else:
+            raise AssemblyError(f"unknown mnemonic {mnemonic!r}", line_no, text)
+        if len(operands) != expected:
+            raise AssemblyError(
+                f"{mnemonic} takes {expected} operand(s)", line_no, text
+            )
+        for operand in operands:
+            if self._operand_needs_ext(operand, line_no, text):
+                length += 1
+        return length
+
+    def _operand_needs_ext(
+        self, operand: str, line_no: int, text: str
+    ) -> bool:
+        if operand.startswith("#") or operand.startswith("&"):
+            return True
+        if operand.lower() in REGISTER_ALIASES:
+            return False
+        if operand.startswith("@"):
+            return False
+        if _INDEXED.match(operand):
+            return True
+        raise AssemblyError(f"bad operand {operand!r}", line_no, text)
+
+    # ------------------------------------------------------------------
+    # Pass 2: expression evaluation and encoding
+    # ------------------------------------------------------------------
+    def pass2(self) -> Program:
+        for item in self.items:
+            if item.kind == "words":
+                self._emit_words(item)
+            else:
+                self._emit_instruction(item)
+        self.program.lines.sort(key=lambda line: line.address)
+        return self.program
+
+    def _emit_words(self, item: _Item) -> None:
+        for offset, expr in enumerate(item.word_exprs):
+            value = self._eval(expr, item) & 0xFFFF
+            if item.in_data:
+                self.program.data[item.address + offset] = value
+            else:
+                self.program.code[item.address + offset] = value
+        if not item.in_data:
+            self._note_line(item)
+
+    def _emit_instruction(self, item: _Item) -> None:
+        mnemonic = item.mnemonic
+        try:
+            if mnemonic in JUMP_MNEMONICS:
+                target = self._eval(item.operands[0], item)
+                offset = self._signed_word_delta(target, item)
+                instruction = DecodedInstruction(
+                    mnemonic=mnemonic,
+                    kind="jump",
+                    offset=offset,
+                    address=item.address,
+                )
+            elif mnemonic in FORMAT_II_OPCODES:
+                operand = self._operand(item.operands[0], item)
+                instruction = DecodedInstruction(
+                    mnemonic=mnemonic,
+                    kind="one",
+                    src=operand,
+                    address=item.address,
+                )
+            else:
+                src = self._operand(item.operands[0], item)
+                dst = self._operand(item.operands[1], item)
+                instruction = DecodedInstruction(
+                    mnemonic=mnemonic,
+                    kind="two",
+                    src=src,
+                    dst=dst,
+                    address=item.address,
+                )
+            words = encode(instruction)
+        except EncodeError as error:
+            raise AssemblyError(str(error), item.line_no, item.text) from error
+        for offset, word in enumerate(words):
+            self.program.code[item.address + offset] = word
+        self._note_line(item)
+
+    def _note_line(self, item: _Item) -> None:
+        self.program.lines.append(
+            SourceLine(
+                address=item.address,
+                length=item.length,
+                line_no=item.line_no,
+                text=item.text,
+                task=item.task,
+            )
+        )
+
+    def _signed_word_delta(self, target: int, item: _Item) -> int:
+        offset = target - (item.address + 1)
+        if not (spec.JUMP_OFFSET_MIN <= offset <= spec.JUMP_OFFSET_MAX):
+            raise AssemblyError(
+                f"jump target 0x{target:04x} out of range",
+                item.line_no,
+                item.text,
+            )
+        return offset
+
+    def _operand(self, text: str, item: _Item) -> Operand:
+        lowered = text.lower()
+        if lowered in REGISTER_ALIASES:
+            return Operand.register(REGISTER_ALIASES[lowered])
+        if text.startswith("#"):
+            return Operand.immediate(self._eval(text[1:], item))
+        if text.startswith("&"):
+            return Operand.absolute(self._eval(text[1:], item))
+        if text.startswith("@"):
+            body = text[1:]
+            autoincrement = body.endswith("+")
+            if autoincrement:
+                body = body[:-1]
+            reg = REGISTER_ALIASES.get(body.lower())
+            if reg is None:
+                raise AssemblyError(
+                    f"bad indirect operand {text!r}", item.line_no, item.text
+                )
+            if autoincrement:
+                return Operand.autoincrement(reg)
+            return Operand.indirect(reg)
+        match = _INDEXED.match(text)
+        if match:
+            reg = REGISTER_ALIASES.get(match.group(2).lower())
+            if reg is None:
+                raise AssemblyError(
+                    f"bad index register in {text!r}", item.line_no, item.text
+                )
+            return Operand.indexed(self._eval(match.group(1), item), reg)
+        raise AssemblyError(f"bad operand {text!r}", item.line_no, item.text)
+
+    def _eval(self, expr: str, item: _Item) -> int:
+        expr = expr.strip()
+        # Binary +/- chains (left-assoc), honouring a leading unary minus.
+        tokens = re.split(r"([+-])", expr)
+        tokens = [token.strip() for token in tokens if token.strip()]
+        if not tokens:
+            raise AssemblyError("empty expression", item.line_no, item.text)
+        if tokens[0] in "+-":
+            tokens.insert(0, "0")
+        value = self._atom(tokens[0], item)
+        index = 1
+        while index < len(tokens):
+            operator = tokens[index]
+            if operator not in "+-" or index + 1 >= len(tokens):
+                raise AssemblyError(
+                    f"bad expression {expr!r}", item.line_no, item.text
+                )
+            operand = self._atom(tokens[index + 1], item)
+            value = value + operand if operator == "+" else value - operand
+            index += 2
+        return value & 0xFFFF
+
+    def _atom(self, token: str, item: _Item) -> int:
+        if token == "$":
+            return item.address
+        number = _parse_number(token)
+        if number is not None:
+            return number
+        if _SYMBOL.match(token) and token in self.symbols:
+            return self.symbols[token]
+        raise AssemblyError(
+            f"undefined symbol {token!r}", item.line_no, item.text
+        )
+
+
+def assemble(source: str, name: str = "program") -> Program:
+    """Assemble LP430 source text into a :class:`Program`."""
+    assembler = Assembler(source, name=name)
+    assembler.pass1()
+    return assembler.pass2()

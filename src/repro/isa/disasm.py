@@ -1,0 +1,45 @@
+"""LP430 disassembler (the ``objdump`` stage of the Figure 11 flow)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.isa.encode import DecodedInstruction, EncodeError, decode
+from repro.isa.program import Program
+
+
+def disassemble_word(
+    words: Sequence[int], address: int = 0
+) -> DecodedInstruction:
+    """Decode one instruction from a word stream (alias of :func:`decode`)."""
+    return decode(words, address)
+
+
+def disassemble_program(program: Program) -> str:
+    """Produce an annotated listing of the whole program memory image."""
+    lines: List[str] = []
+    image = program.words()
+    address = 0
+    while address < len(image):
+        label = program.label_at(address)
+        if label:
+            lines.append(f"{label}:")
+        window = image[address : address + 3] + [0, 0]
+        try:
+            instruction = decode(window, address)
+        except EncodeError:
+            lines.append(f"  0x{address:04x}:  .word 0x{image[address]:04x}")
+            address += 1
+            continue
+        raw = " ".join(
+            f"{image[address + i]:04x}" for i in range(instruction.length)
+        )
+        task = program.task_of(address)
+        task_tag = ""
+        if task is not None:
+            task_tag = f"  ; {task.name} ({'trusted' if task.trusted else 'untrusted'})"
+        lines.append(
+            f"  0x{address:04x}:  {raw:<15} {instruction.render()}{task_tag}"
+        )
+        address += instruction.length
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,309 @@
+"""Instruction encoding and decoding for LP430."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.isa import spec
+from repro.isa.spec import (
+    CG,
+    COND,
+    FORMAT_I_MNEMONICS,
+    FORMAT_I_OPCODES,
+    FORMAT_II_MNEMONICS,
+    FORMAT_II_OPCODES,
+    JUMP_MNEMONICS,
+    MODE_INDEXED,
+    MODE_INDIRECT,
+    MODE_INDIRECT_INC,
+    MODE_REGISTER,
+    PC,
+    sign_extend,
+)
+
+
+class EncodeError(Exception):
+    """Raised for malformed instructions."""
+
+
+@dataclass(frozen=True)
+class Operand:
+    """One operand: addressing mode + register + optional extension word."""
+
+    mode: int
+    reg: int
+    ext: Optional[int] = None  # extension word (offset / immediate / address)
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def register(reg: int) -> "Operand":
+        return Operand(MODE_REGISTER, reg)
+
+    @staticmethod
+    def indexed(offset: int, reg: int) -> "Operand":
+        return Operand(MODE_INDEXED, reg, offset & 0xFFFF)
+
+    @staticmethod
+    def absolute(address: int) -> "Operand":
+        return Operand(MODE_INDEXED, CG, address & 0xFFFF)
+
+    @staticmethod
+    def indirect(reg: int) -> "Operand":
+        return Operand(MODE_INDIRECT, reg)
+
+    @staticmethod
+    def autoincrement(reg: int) -> "Operand":
+        return Operand(MODE_INDIRECT_INC, reg)
+
+    @staticmethod
+    def immediate(value: int) -> "Operand":
+        return Operand(MODE_INDIRECT_INC, PC, value & 0xFFFF)
+
+    # ------------------------------------------------------------------
+    @property
+    def is_immediate(self) -> bool:
+        return self.mode == MODE_INDIRECT_INC and self.reg == PC
+
+    @property
+    def is_absolute(self) -> bool:
+        return self.mode == MODE_INDEXED and self.reg == CG
+
+    @property
+    def needs_ext(self) -> bool:
+        return self.mode == MODE_INDEXED or self.is_immediate
+
+    @property
+    def reads_dmem(self) -> bool:
+        """Whether fetching this operand's value touches data memory."""
+        if self.mode == MODE_REGISTER or self.is_immediate:
+            return False
+        return True
+
+    def render(self) -> str:
+        if self.mode == MODE_REGISTER:
+            return f"r{self.reg}"
+        if self.is_immediate:
+            return f"#{self.ext}" if self.ext is not None else "#?"
+        if self.is_absolute:
+            return f"&0x{(self.ext or 0):04x}"
+        if self.mode == MODE_INDEXED:
+            return f"{sign_extend(self.ext or 0, 16)}(r{self.reg})"
+        if self.mode == MODE_INDIRECT:
+            return f"@r{self.reg}"
+        return f"@r{self.reg}+"
+
+
+@dataclass(frozen=True)
+class DecodedInstruction:
+    """A decoded instruction plus its location and encoding length."""
+
+    mnemonic: str
+    kind: str  # "two" | "one" | "jump"
+    src: Optional[Operand] = None
+    dst: Optional[Operand] = None
+    offset: Optional[int] = None  # jump offset (signed, words)
+    address: int = 0  # word address of the first word
+    length: int = 1  # total words including extensions
+
+    # ------------------------------------------------------------------
+    @property
+    def is_jump(self) -> bool:
+        return self.kind == "jump"
+
+    @property
+    def jump_target(self) -> int:
+        assert self.offset is not None
+        return (self.address + 1 + self.offset) & 0xFFFF
+
+    @property
+    def fallthrough(self) -> int:
+        return (self.address + self.length) & 0xFFFF
+
+    @property
+    def is_self_loop(self) -> bool:
+        """``jmp $`` -- the idle loop the tracker treats as END."""
+        return self.mnemonic == "jmp" and self.offset == -1
+
+    @property
+    def writes_pc(self) -> bool:
+        """Format I/II instructions that load the PC (``br``, ``call``...)."""
+        if self.kind == "two":
+            return (
+                self.dst is not None
+                and self.dst.mode == MODE_REGISTER
+                and self.dst.reg == PC
+                and self.mnemonic not in spec.NO_WRITEBACK
+            )
+        return self.mnemonic == "call"
+
+    @property
+    def is_store(self) -> bool:
+        """True when execution writes data memory."""
+        if self.mnemonic in ("push", "call"):
+            return True
+        if self.kind != "two" or self.mnemonic in spec.NO_WRITEBACK:
+            return False
+        return self.dst is not None and self.dst.mode != MODE_REGISTER
+
+    @property
+    def is_conditional_jump(self) -> bool:
+        return self.kind == "jump" and self.mnemonic != "jmp"
+
+    def render(self) -> str:
+        if self.kind == "jump":
+            return f"{self.mnemonic} 0x{self.jump_target:04x}"
+        if self.kind == "one":
+            return f"{self.mnemonic} {self.src.render()}"
+        return f"{self.mnemonic} {self.src.render()}, {self.dst.render()}"
+
+
+# ---------------------------------------------------------------------------
+# Encoding
+# ---------------------------------------------------------------------------
+def encode(instruction: DecodedInstruction) -> List[int]:
+    """Encode to machine words (base word + extension words, src first)."""
+    if instruction.kind == "jump":
+        if instruction.mnemonic not in COND:
+            raise EncodeError(f"unknown jump {instruction.mnemonic!r}")
+        offset = instruction.offset
+        if offset is None or not (
+            spec.JUMP_OFFSET_MIN <= offset <= spec.JUMP_OFFSET_MAX
+        ):
+            raise EncodeError(f"jump offset {offset} out of range")
+        word = (
+            (0b001 << 13)
+            | (COND[instruction.mnemonic] << 10)
+            | (offset & 0x3FF)
+        )
+        return [word]
+
+    if instruction.kind == "one":
+        opcode = FORMAT_II_OPCODES.get(instruction.mnemonic)
+        if opcode is None:
+            raise EncodeError(f"unknown format-II {instruction.mnemonic!r}")
+        operand = instruction.src
+        if operand is None:
+            raise EncodeError(f"{instruction.mnemonic} missing operand")
+        word = (
+            (0b000100 << 10)
+            | (opcode << 7)
+            | (operand.mode << 4)
+            | operand.reg
+        )
+        words = [word]
+        if operand.needs_ext:
+            if operand.ext is None:
+                raise EncodeError("missing extension word")
+            words.append(operand.ext & 0xFFFF)
+        return words
+
+    if instruction.kind == "two":
+        opcode = FORMAT_I_OPCODES.get(instruction.mnemonic)
+        if opcode is None:
+            raise EncodeError(f"unknown format-I {instruction.mnemonic!r}")
+        src, dst = instruction.src, instruction.dst
+        if src is None or dst is None:
+            raise EncodeError(f"{instruction.mnemonic} needs two operands")
+        if dst.mode not in (MODE_REGISTER, MODE_INDEXED):
+            raise EncodeError(
+                f"destination mode {dst.mode} not encodable (Ad is 1 bit)"
+            )
+        ad = 1 if dst.mode == MODE_INDEXED else 0
+        word = (
+            (opcode << 12)
+            | (src.reg << 8)
+            | (ad << 7)
+            | (src.mode << 4)
+            | dst.reg
+        )
+        words = [word]
+        if src.needs_ext:
+            if src.ext is None:
+                raise EncodeError("missing source extension word")
+            words.append(src.ext & 0xFFFF)
+        if dst.mode == MODE_INDEXED:
+            if dst.ext is None:
+                raise EncodeError("missing destination extension word")
+            words.append(dst.ext & 0xFFFF)
+        return words
+
+    raise EncodeError(f"unknown instruction kind {instruction.kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Decoding
+# ---------------------------------------------------------------------------
+def decode(
+    words: Sequence[int], address: int = 0
+) -> DecodedInstruction:
+    """Decode an instruction starting at ``words[0]``.
+
+    *words* must include enough following words to cover any extensions
+    (pass a slice of program memory starting at *address*).
+    """
+    word = words[0] & 0xFFFF
+    top3 = word >> 13
+    if top3 == 0b001:
+        cond = (word >> 10) & 0x7
+        offset = sign_extend(word, 10)
+        return DecodedInstruction(
+            mnemonic=JUMP_MNEMONICS[cond],
+            kind="jump",
+            offset=offset,
+            address=address,
+            length=1,
+        )
+
+    if (word >> 10) == 0b000100:
+        opcode = (word >> 7) & 0x7
+        mnemonic = FORMAT_II_MNEMONICS.get(opcode)
+        if mnemonic is None:
+            raise EncodeError(
+                f"reserved format-II opcode {opcode} at 0x{address:04x}"
+            )
+        mode = (word >> 4) & 0x3
+        reg = word & 0xF
+        operand = Operand(mode, reg)
+        length = 1
+        if operand.needs_ext:
+            operand = Operand(mode, reg, words[1] & 0xFFFF)
+            length = 2
+        return DecodedInstruction(
+            mnemonic=mnemonic,
+            kind="one",
+            src=operand,
+            address=address,
+            length=length,
+        )
+
+    opcode = word >> 12
+    mnemonic = FORMAT_I_MNEMONICS.get(opcode)
+    if mnemonic is None:
+        raise EncodeError(
+            f"illegal opcode 0x{opcode:x} at 0x{address:04x}"
+        )
+    src_reg = (word >> 8) & 0xF
+    ad = (word >> 7) & 0x1
+    src_mode = (word >> 4) & 0x3
+    dst_reg = word & 0xF
+    index = 1
+    src = Operand(src_mode, src_reg)
+    if src.needs_ext:
+        src = Operand(src_mode, src_reg, words[index] & 0xFFFF)
+        index += 1
+    if ad:
+        dst = Operand(MODE_INDEXED, dst_reg, words[index] & 0xFFFF)
+        index += 1
+    else:
+        dst = Operand(MODE_REGISTER, dst_reg)
+    return DecodedInstruction(
+        mnemonic=mnemonic,
+        kind="two",
+        src=src,
+        dst=dst,
+        address=address,
+        length=index,
+    )

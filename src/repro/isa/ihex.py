@@ -1,0 +1,108 @@
+"""Intel HEX reader/writer for LP430 program images.
+
+Figure 11's flow produces a "Loadable Program Binary (.ihex)" and the
+analysis consumes "the final hex (program memory contents)".  This module
+provides that interchange format: 16-bit words are emitted little-endian
+at byte address ``2 * word_address``, standard record types 00 (data) and
+01 (EOF), 16-byte rows, with the usual two's-complement checksum.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.isa.program import Program
+
+
+class IhexError(Exception):
+    """Raised on malformed Intel HEX input."""
+
+
+def _record(address: int, record_type: int, data: bytes) -> str:
+    payload = bytes(
+        [len(data), (address >> 8) & 0xFF, address & 0xFF, record_type]
+    ) + data
+    checksum = (-sum(payload)) & 0xFF
+    return ":" + (payload + bytes([checksum])).hex().upper()
+
+
+def write_ihex(program: Program, row_bytes: int = 16) -> str:
+    """Serialise the program-memory image as Intel HEX text."""
+    image: Dict[int, int] = {}  # byte address -> byte
+    for word_address, word in sorted(program.code.items()):
+        image[2 * word_address] = word & 0xFF
+        image[2 * word_address + 1] = (word >> 8) & 0xFF
+
+    lines: List[str] = []
+    addresses = sorted(image)
+    index = 0
+    while index < len(addresses):
+        start = addresses[index]
+        row: List[int] = []
+        while (
+            index < len(addresses)
+            and addresses[index] == start + len(row)
+            and len(row) < row_bytes
+        ):
+            row.append(image[addresses[index]])
+            index += 1
+        lines.append(_record(start, 0, bytes(row)))
+    lines.append(_record(0, 1, b""))
+    return "\n".join(lines) + "\n"
+
+
+def read_ihex(text: str) -> Dict[int, int]:
+    """Parse Intel HEX into a word-address -> word image."""
+    bytes_image: Dict[int, int] = {}
+    saw_eof = False
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if not line.startswith(":"):
+            raise IhexError(f"line {line_no}: missing ':' start code")
+        try:
+            payload = bytes.fromhex(line[1:])
+        except ValueError as error:
+            raise IhexError(f"line {line_no}: bad hex digits") from error
+        if len(payload) < 5:
+            raise IhexError(f"line {line_no}: record too short")
+        if sum(payload) & 0xFF:
+            raise IhexError(f"line {line_no}: checksum mismatch")
+        count, high, low, record_type = payload[:4]
+        data = payload[4:-1]
+        if len(data) != count:
+            raise IhexError(f"line {line_no}: length mismatch")
+        if record_type == 1:
+            saw_eof = True
+            break
+        if record_type != 0:
+            raise IhexError(
+                f"line {line_no}: unsupported record type {record_type}"
+            )
+        address = (high << 8) | low
+        for offset, value in enumerate(data):
+            bytes_image[address + offset] = value
+    if not saw_eof:
+        raise IhexError("missing EOF record")
+
+    words: Dict[int, int] = {}
+    for byte_address in sorted(bytes_image):
+        if byte_address % 2:
+            continue
+        low_byte = bytes_image[byte_address]
+        high_byte = bytes_image.get(byte_address + 1, 0)
+        words[byte_address // 2] = low_byte | (high_byte << 8)
+    # odd orphan bytes (no even partner) would indicate corruption
+    for byte_address in bytes_image:
+        if byte_address % 2 and byte_address - 1 not in bytes_image:
+            raise IhexError(
+                f"orphan high byte at byte address 0x{byte_address:04x}"
+            )
+    return words
+
+
+def load_ihex_into_rom(text: str, rom) -> None:
+    """Load an Intel HEX image into a :class:`repro.sim.soc.Rom`."""
+    for word_address, word in read_ihex(text).items():
+        rom.load(word_address, [word])

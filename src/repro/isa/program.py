@@ -1,0 +1,131 @@
+"""The loadable system binary and its metadata.
+
+A :class:`Program` is what the paper calls "the application": the *entire*
+binary loaded into program memory, including system code and computational
+tasks, together with the side tables the toolflow needs -- task/partition
+boundaries (tainted vs. untainted code), label addresses, a data-memory
+image, and an address -> source-line map used for root-cause reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro import memmap
+
+
+@dataclass(frozen=True)
+class TaskInfo:
+    """One code partition (Section 5's computational task)."""
+
+    name: str
+    trusted: bool
+    start: int
+    end: int  # exclusive
+
+    def contains(self, address: int) -> bool:
+        return self.start <= address < self.end
+
+
+@dataclass(frozen=True)
+class SourceLine:
+    """Debug info: one assembled source line."""
+
+    address: int
+    length: int
+    line_no: int
+    text: str
+    task: str
+
+
+@dataclass
+class Program:
+    """An assembled LP430 system binary."""
+
+    name: str = "program"
+    code: Dict[int, int] = field(default_factory=dict)
+    data: Dict[int, int] = field(default_factory=dict)
+    labels: Dict[str, int] = field(default_factory=dict)
+    tasks: List[TaskInfo] = field(default_factory=list)
+    lines: List[SourceLine] = field(default_factory=list)
+    source: List[str] = field(default_factory=list)
+    entry: int = 0
+
+    # ------------------------------------------------------------------
+    # Image access
+    # ------------------------------------------------------------------
+    @property
+    def code_size(self) -> int:
+        return (max(self.code) + 1) if self.code else 0
+
+    def words(self) -> List[int]:
+        """Dense program-memory image from address 0."""
+        image = [0] * self.code_size
+        for address, word in self.code.items():
+            image[address] = word
+        return image
+
+    def word_at(self, address: int) -> int:
+        return self.code.get(address, 0)
+
+    def slice_from(self, address: int, count: int = 3) -> List[int]:
+        return [self.word_at(address + i) for i in range(count)]
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def load_rom(self, rom) -> None:
+        """Load code into a :class:`repro.sim.soc.Rom` (honours task taints).
+
+        Footnote 3 of the paper: code partitions do not, by default, mark
+        their instructions as tainted in program memory, "although our tool
+        allows them to be" -- callers that want that pass per-task taints
+        via :meth:`load_rom_tainted`.
+        """
+        for address, word in self.code.items():
+            rom.load(address, [word])
+
+    def load_rom_tainted(self, rom, tainted_tasks) -> None:
+        """Load code, marking instructions of *tainted_tasks* as tainted."""
+        for address, word in self.code.items():
+            task = self.task_of(address)
+            tmask = (
+                0xFFFF if task is not None and task.name in tainted_tasks else 0
+            )
+            rom.load(address, [word], tmask=tmask)
+
+    def load_ram(self, memory) -> None:
+        """Load the data image into a :class:`TaintedMemory` (concrete)."""
+        for address, word in self.data.items():
+            memory.load(address, [word])
+
+    # ------------------------------------------------------------------
+    # Metadata queries
+    # ------------------------------------------------------------------
+    def task_of(self, address: int) -> Optional[TaskInfo]:
+        for task in self.tasks:
+            if task.contains(address):
+                return task
+        return None
+
+    def task_named(self, name: str) -> TaskInfo:
+        for task in self.tasks:
+            if task.name == name:
+                return task
+        raise KeyError(name)
+
+    def untrusted_tasks(self) -> List[TaskInfo]:
+        return [task for task in self.tasks if not task.trusted]
+
+    def line_at(self, address: int) -> Optional[SourceLine]:
+        for line in self.lines:
+            if line.address <= address < line.address + line.length:
+                return line
+        return None
+
+    def label_at(self, address: int) -> Optional[str]:
+        for name, label_address in self.labels.items():
+            if label_address == address:
+                return name
+        return None

@@ -1,0 +1,173 @@
+"""LP430 ISA specification.
+
+LP430 is the reproduction's stand-in for the openMSP430: a 16-bit,
+word-oriented, Harvard microcontroller ISA with MSP430 instruction formats,
+register conventions and addressing modes, trimmed of byte operations and
+the constant generator.
+
+Registers
+---------
+``R0``=PC, ``R1``=SP, ``R2``=SR (status), ``R3``=CG (reads as constant 0,
+writes ignored), ``R4``-``R15`` general purpose.
+
+Status register flags: C (bit 0), Z (bit 1), N (bit 2), V (bit 8).
+
+Instruction formats (one 16-bit word plus 0-2 extension words)
+--------------------------------------------------------------
+
+Format I -- two-operand, ``op src, dst`` computing ``dst = dst OP src``::
+
+    [15:12] opcode  [11:8] src reg  [7] Ad  [6] 0  [5:4] As  [3:0] dst reg
+
+    opcodes: MOV=4 ADD=5 ADDC=6 SUBC=7 SUB=8 CMP=9 BIT=B BIC=C BIS=D XOR=E AND=F
+
+Format II -- single-operand::
+
+    [15:10] = 000100  [9:7] opcode  [6] 0  [5:4] Ad  [3:0] reg
+
+    opcodes: RRC=0 SWPB=1 RRA=2 PUSH=4 CALL=5
+
+Format III -- conditional jumps::
+
+    [15:13] = 001  [12:10] cond  [9:0] signed word offset
+    target = (address of jump) + 1 + offset
+
+    cond: JNZ=0 JZ=1 JNC=2 JC=3 JN=4 JGE=5 JL=6 JMP=7
+
+Addressing modes (``As`` two bits for sources; ``Ad`` one bit for
+destinations supporting modes 00/01 only):
+
+====  =============  ==========================================
+As    syntax         meaning
+====  =============  ==========================================
+00    ``Rn``         register direct (R3 reads 0)
+01    ``x(Rn)``      indexed, extension word x (R3 base: ``&abs``)
+10    ``@Rn``        register indirect
+11    ``@Rn+``       indirect autoincrement; with Rn=PC: ``#imm``
+====  =============  ==========================================
+
+Execution phases (cycle-accurate contract shared by the gate-level CPU and
+the architectural simulator)::
+
+    F   fetch, IR <- pmem[PC], PC += 1
+    SE  source extension word (indexed offset or immediate), PC += 1
+    SL  source load from data memory (modes @Rn / @Rn+ / x(Rn) / &abs)
+    DE  destination extension word, PC += 1
+    DL  destination load (read-modify-write and CMP/BIT destinations)
+    E   execute: ALU, flags, register/memory/PC writeback, PUSH/CALL store
+    J   jump resolve: PC <- taken ? PC + offset : PC
+
+Every instruction takes F plus the phases its operands require; CPI ranges
+from 2 (reg-reg, jumps) to 6 (mem-mem read-modify-write with two extension
+words), in family with the real MSP430's 1-6 cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+# ---------------------------------------------------------------------------
+# Registers
+# ---------------------------------------------------------------------------
+PC = 0
+SP = 1
+SR = 2
+CG = 3
+NUM_REGS = 16
+
+REGISTER_ALIASES = {
+    "pc": PC,
+    "sp": SP,
+    "sr": SR,
+    "cg": CG,
+    **{f"r{i}": i for i in range(NUM_REGS)},
+}
+
+# ---------------------------------------------------------------------------
+# Status flags (bit positions in SR)
+# ---------------------------------------------------------------------------
+FLAG_C = 0
+FLAG_Z = 1
+FLAG_N = 2
+FLAG_V = 8
+
+FLAG_MASK = (1 << FLAG_C) | (1 << FLAG_Z) | (1 << FLAG_N) | (1 << FLAG_V)
+
+# ---------------------------------------------------------------------------
+# Addressing modes
+# ---------------------------------------------------------------------------
+MODE_REGISTER = 0  # Rn
+MODE_INDEXED = 1  # x(Rn); &abs when Rn == CG
+MODE_INDIRECT = 2  # @Rn
+MODE_INDIRECT_INC = 3  # @Rn+; #imm when Rn == PC
+
+# ---------------------------------------------------------------------------
+# Opcodes
+# ---------------------------------------------------------------------------
+FORMAT_I_OPCODES: Dict[str, int] = {
+    "mov": 0x4,
+    "add": 0x5,
+    "addc": 0x6,
+    "subc": 0x7,
+    "sub": 0x8,
+    "cmp": 0x9,
+    "bit": 0xB,
+    "bic": 0xC,
+    "bis": 0xD,
+    "xor": 0xE,
+    "and": 0xF,
+}
+FORMAT_I_MNEMONICS = {v: k for k, v in FORMAT_I_OPCODES.items()}
+
+FORMAT_II_OPCODES: Dict[str, int] = {
+    "rrc": 0,
+    "swpb": 1,
+    "rra": 2,
+    "push": 4,
+    "call": 5,
+}
+FORMAT_II_MNEMONICS = {v: k for k, v in FORMAT_II_OPCODES.items()}
+
+#: Format I instructions that do not write their destination.
+NO_WRITEBACK = frozenset({"cmp", "bit"})
+#: Format I instructions that do not update flags.
+NO_FLAGS = frozenset({"mov", "bic", "bis"})
+
+JUMP_MNEMONICS: Tuple[str, ...] = (
+    "jnz",
+    "jz",
+    "jnc",
+    "jc",
+    "jn",
+    "jge",
+    "jl",
+    "jmp",
+)
+COND: Dict[str, int] = {name: index for index, name in enumerate(JUMP_MNEMONICS)}
+JUMP_ALIASES = {"jne": "jnz", "jeq": "jz", "jlo": "jnc", "jhs": "jc"}
+
+JUMP_OFFSET_BITS = 10
+JUMP_OFFSET_MIN = -(1 << (JUMP_OFFSET_BITS - 1))
+JUMP_OFFSET_MAX = (1 << (JUMP_OFFSET_BITS - 1)) - 1
+
+# ---------------------------------------------------------------------------
+# Execution phases (one-hot indices shared with the gate-level FSM)
+# ---------------------------------------------------------------------------
+PHASE_F = 0
+PHASE_SE = 1
+PHASE_SL = 2
+PHASE_DE = 3
+PHASE_DL = 4
+PHASE_E = 5
+PHASE_J = 6
+NUM_PHASES = 7
+
+PHASE_NAMES = ("F", "SE", "SL", "DE", "DL", "E", "J")
+
+
+def sign_extend(value: int, bits: int) -> int:
+    """Interpret the low *bits* of *value* as signed two's complement."""
+    value &= (1 << bits) - 1
+    if value & (1 << (bits - 1)):
+        value -= 1 << bits
+    return value

@@ -1,0 +1,36 @@
+"""Architectural (ISA-level) ternary+taint simulator for LP430.
+
+This is the *golden model*: instruction-stepped, word-level GLIFT semantics
+built on :class:`repro.logic.words.TWord`, sharing the exact behavioural
+memory/peripheral models (:class:`repro.sim.soc.AddressSpace`) with the
+gate-level SoC.  It serves three purposes:
+
+1. cross-validation target for the gate-level LP430 CPU (concrete runs must
+   match state-for-state; symbolic runs must be covered by the gate level);
+2. fast cycle-accurate *concrete* simulation for the overhead measurements
+   of Table 3 and Section 7.3 (the paper's "input-based gate-level
+   simulations", substituted per DESIGN.md);
+3. a fast ISA-level variant of the paper's analysis used for sanity checks.
+"""
+
+from repro.isasim.state import ArchState, flags_of_sr, zero_flag
+from repro.isasim.executor import (
+    Executor,
+    ExecutorError,
+    InstructionEvents,
+    StepResult,
+    UnknownPCError,
+    run_concrete,
+)
+
+__all__ = [
+    "ArchState",
+    "zero_flag",
+    "flags_of_sr",
+    "Executor",
+    "ExecutorError",
+    "UnknownPCError",
+    "StepResult",
+    "InstructionEvents",
+    "run_concrete",
+]

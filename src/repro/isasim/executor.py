@@ -1,0 +1,629 @@
+"""Instruction-stepped LP430 executor with word-level GLIFT semantics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.isa import spec
+from repro.isa.encode import DecodedInstruction, decode
+from repro.isa.program import Program
+from repro.isa.spec import (
+    CG,
+    FLAG_C,
+    FLAG_N,
+    FLAG_V,
+    FLAG_Z,
+    MODE_INDEXED,
+    MODE_INDIRECT,
+    MODE_INDIRECT_INC,
+    MODE_REGISTER,
+    PC,
+    SP,
+    SR,
+)
+from repro.isasim.state import ArchState, negative_flag, not_flag, zero_flag
+from repro.logic.glift import GATE_FUNCTIONS, glift_eval
+from repro.logic.ternary import ONE, UNKNOWN, ZERO, t_not, t_xor
+from repro.logic.words import TWord
+from repro.sim.soc import AddressSpace, MemRead, MemWrite, Rom
+
+
+class ExecutorError(Exception):
+    """Raised on architecturally unexecutable situations."""
+
+
+class UnknownPCError(ExecutorError):
+    """The PC contains unknown bits; the caller must concretise it."""
+
+
+@dataclass
+class InstructionEvents:
+    """Everything observable about one executed instruction."""
+
+    pc: int
+    pc_taint: int
+    instruction: Optional[DecodedInstruction]
+    task: str
+    reads: List[MemRead] = field(default_factory=list)
+    writes: List[MemWrite] = field(default_factory=list)
+    port_events: list = field(default_factory=list)
+    por_next: Tuple[int, int] = (ZERO, 0)
+
+
+@dataclass
+class StepResult:
+    """Outcome of :meth:`Executor.step`."""
+
+    kind: str  # "ok" | "split" | "halt" | "reset"
+    cycles: int
+    events: InstructionEvents
+    #: for kind == "split": candidate successor PCs (taken, fallthrough) or
+    #: an enumeration of an unknown computed target
+    targets: Tuple[int, ...] = ()
+    #: taint to apply to the PC when forking on `targets`
+    branch_taint: int = 0
+
+
+_COND_FUNCS = {
+    "jnz": lambda f: not_flag(f[FLAG_Z]),
+    "jz": lambda f: f[FLAG_Z],
+    "jnc": lambda f: not_flag(f[FLAG_C]),
+    "jc": lambda f: f[FLAG_C],
+    "jn": lambda f: f[FLAG_N],
+    "jge": lambda f: (
+        t_not(t_xor(f[FLAG_N][0], f[FLAG_V][0])),
+        f[FLAG_N][1] | f[FLAG_V][1],
+    ),
+    "jl": lambda f: (
+        t_xor(f[FLAG_N][0], f[FLAG_V][0]),
+        f[FLAG_N][1] | f[FLAG_V][1],
+    ),
+    "jmp": lambda f: (ONE, 0),
+}
+
+
+class Executor:
+    """Steps a :class:`Program` on the architectural state."""
+
+    def __init__(
+        self,
+        program: Program,
+        space: Optional[AddressSpace] = None,
+        rom: Optional[Rom] = None,
+        load_data: bool = True,
+    ):
+        self.program = program
+        self.space = space if space is not None else AddressSpace()
+        if rom is None:
+            rom = Rom()
+            program.load_rom(rom)
+        self.rom = rom
+        if load_data:
+            program.load_ram(self.space.ram)
+        self.state = ArchState()
+        self.state.reset(0)
+        self.cycle = 0
+        self.pending_por: Tuple[int, int] = (ZERO, 0)
+        self.halted = False
+
+    # ------------------------------------------------------------------
+    # Fetch helpers
+    # ------------------------------------------------------------------
+    def pc_word(self) -> TWord:
+        return self.state.read(PC)
+
+    def fetch_decode(self) -> Tuple[DecodedInstruction, int]:
+        """Decode at the current PC; returns (instruction, code taint)."""
+        pc = self.pc_word()
+        if pc.xmask:
+            raise UnknownPCError(f"PC is not concrete: {pc!r}")
+        address = pc.value
+        words = []
+        taint = 0
+        for offset in range(3):
+            word = self.rom.read(TWord.const((address + offset) & 0xFFFF))
+            words.append(word.bits)
+            if offset == 0:
+                taint = word.tmask
+        instruction = decode(words, address)
+        for offset in range(1, instruction.length):
+            word = self.rom.read(TWord.const((address + offset) & 0xFFFF))
+            taint |= word.tmask
+        return instruction, taint
+
+    # ------------------------------------------------------------------
+    # The step function
+    # ------------------------------------------------------------------
+    def step(self) -> StepResult:
+        if self.pending_por[0] == ONE:
+            return self._apply_reset()
+
+        instruction, code_taint = self.fetch_decode()
+        pc = self.pc_word()
+        control_taint = 0xFFFF if (pc.tmask or code_taint) else 0
+        events = InstructionEvents(
+            pc=pc.value,
+            pc_taint=pc.tmask,
+            instruction=instruction,
+            task=self._task_name(pc.value),
+        )
+
+        if instruction.kind == "jump":
+            return self._step_jump(instruction, pc, control_taint, events)
+        if instruction.kind == "one":
+            return self._step_format2(instruction, pc, control_taint, events)
+        return self._step_format1(instruction, pc, control_taint, events)
+
+    def _task_name(self, address: int) -> str:
+        task = self.program.task_of(address)
+        return task.name if task else ""
+
+    def _apply_reset(self) -> StepResult:
+        _, taint = self.pending_por
+        self.state.reset(taint)
+        self.space.watchdog.power_on_reset(taint)
+        self.pending_por = (ZERO, 0)
+        self.halted = False
+        events = InstructionEvents(
+            pc=0, pc_taint=0, instruction=None, task=""
+        )
+        self._tick_peripherals(1, events)
+        self.cycle += 1
+        return StepResult(kind="reset", cycles=1, events=events)
+
+    # ------------------------------------------------------------------
+    # Jumps
+    # ------------------------------------------------------------------
+    def _step_jump(
+        self,
+        instruction: DecodedInstruction,
+        pc: TWord,
+        control_taint: int,
+        events: InstructionEvents,
+    ) -> StepResult:
+        cycles = 2  # F + J
+        flags = {
+            FLAG_C: self.state.flag(FLAG_C),
+            FLAG_Z: self.state.flag(FLAG_Z),
+            FLAG_N: self.state.flag(FLAG_N),
+            FLAG_V: self.state.flag(FLAG_V),
+        }
+        value, taint = _COND_FUNCS[instruction.mnemonic](flags)
+
+        if instruction.is_self_loop and value == ONE and not taint:
+            # The idle loop: architecturally an infinite `jmp $`.
+            self.halted = True
+            self._tick_peripherals(cycles, events)
+            self.cycle += cycles
+            return StepResult(kind="halt", cycles=cycles, events=events)
+
+        if value == UNKNOWN:
+            # Input-dependent control flow: the caller forks (Algorithm 1's
+            # possible_PC_next_vals), keeping the condition's taint on PC.
+            self._tick_peripherals(cycles, events)
+            self.cycle += cycles
+            return StepResult(
+                kind="split",
+                cycles=cycles,
+                events=events,
+                targets=(instruction.jump_target, instruction.fallthrough),
+                branch_taint=0xFFFF
+                if (taint or pc.tmask or control_taint)
+                else 0,
+            )
+
+        target = (
+            instruction.jump_target if value == ONE else instruction.fallthrough
+        )
+        new_taint = pc.tmask | control_taint | (0xFFFF if taint else 0)
+        self.state.write(PC, TWord(target, 0, new_taint, 16))
+        self._tick_peripherals(cycles, events)
+        self.cycle += cycles
+        return StepResult(kind="ok", cycles=cycles, events=events)
+
+    # ------------------------------------------------------------------
+    # Operand plumbing
+    # ------------------------------------------------------------------
+    def _reg_read(self, reg: int, instruction: DecodedInstruction) -> TWord:
+        if reg == PC:
+            pc = self.pc_word()
+            return TWord(instruction.fallthrough, 0, pc.tmask, 16)
+        return self.state.read(reg)
+
+    def _operand_address(
+        self, operand, instruction: DecodedInstruction
+    ) -> TWord:
+        if operand.mode == MODE_INDEXED:
+            base = self._reg_read(operand.reg, instruction)
+            address, _, _ = base.add(TWord.const(operand.ext or 0))
+            return address
+        return self._reg_read(operand.reg, instruction)
+
+    def _read_operand(
+        self,
+        operand,
+        instruction: DecodedInstruction,
+        events: InstructionEvents,
+        control_taint: int,
+    ) -> Tuple[TWord, int, Optional[TWord]]:
+        """Returns (value, extra cycles, memory address or None)."""
+        if operand.mode == MODE_REGISTER:
+            return self._reg_read(operand.reg, instruction), 0, None
+        if operand.is_immediate:
+            word = self.rom.read(
+                TWord.const((instruction.address + 1) & 0xFFFF)
+            )
+            return (
+                TWord(operand.ext or 0, 0, word.tmask | control_taint, 16),
+                1,  # SE
+                None,
+            )
+        cycles = 1  # SL
+        if operand.mode == MODE_INDEXED:
+            cycles += 1  # SE (the offset word)
+        address = self._operand_address(operand, instruction)
+        value = self.space.read(address)
+        events.reads.append(MemRead(address, value, (ONE, 0)))
+        if operand.mode == MODE_INDIRECT_INC:
+            bumped, _, _ = self.state.read(operand.reg).add(TWord.const(1))
+            self.state.write(
+                operand.reg, bumped.or_taint(control_taint)
+            )
+        return value.or_taint(control_taint), cycles, address
+
+    def _write_memory(
+        self,
+        address: TWord,
+        data: TWord,
+        events: InstructionEvents,
+        control_taint: int,
+    ) -> None:
+        wen = (ONE, 1 if control_taint else 0)
+        data = data.or_taint(control_taint)
+        ram_match = self.space.write(address, data, wen)
+        events.writes.append(MemWrite(address, data, wen, ram_match))
+
+    # ------------------------------------------------------------------
+    # Format I (two-operand)
+    # ------------------------------------------------------------------
+    def _step_format1(
+        self,
+        instruction: DecodedInstruction,
+        pc: TWord,
+        control_taint: int,
+        events: InstructionEvents,
+    ) -> StepResult:
+        cycles = 2  # F + E
+        src, extra, _ = self._read_operand(
+            instruction.src, instruction, events, control_taint
+        )
+        cycles += extra
+
+        dst_operand = instruction.dst
+        dst_address: Optional[TWord] = None
+        needs_old = instruction.mnemonic != "mov"
+        if dst_operand.mode == MODE_INDEXED:
+            cycles += 1  # DE
+            dst_address = self._operand_address(dst_operand, instruction)
+            if needs_old:
+                cycles += 1  # DL
+                dst_old = self.space.read(dst_address)
+                events.reads.append(MemRead(dst_address, dst_old, (ONE, 0)))
+            else:
+                dst_old = TWord.const(0)
+        else:
+            dst_old = self._reg_read(dst_operand.reg, instruction)
+
+        result, flags = self._alu(instruction.mnemonic, src, dst_old)
+        if flags is not None:
+            carry, zero, negative, overflow = flags
+            taint_bump = 1 if control_taint else 0
+            self.state.set_flags(
+                (carry[0], carry[1] | taint_bump),
+                (zero[0], zero[1] | taint_bump),
+                (negative[0], negative[1] | taint_bump),
+                (overflow[0], overflow[1] | taint_bump),
+            )
+
+        wrote_pc = False
+        if result is not None:
+            result = result.or_taint(control_taint)
+            if dst_operand.mode == MODE_REGISTER:
+                if dst_operand.reg == PC:
+                    wrote_pc = True
+                    if result.xmask:
+                        return self._computed_jump_split(
+                            result, cycles, events
+                        )
+                    self.state.write(PC, result)
+                else:
+                    self.state.write(dst_operand.reg, result)
+            else:
+                self._write_memory(
+                    dst_address, result, events, control_taint
+                )
+
+        if not wrote_pc:
+            self._advance_pc(instruction, pc, control_taint)
+        self._tick_peripherals(cycles, events)
+        self.cycle += cycles
+        return StepResult(kind="ok", cycles=cycles, events=events)
+
+    def _computed_jump_split(
+        self, target: TWord, cycles: int, events: InstructionEvents
+    ) -> StepResult:
+        try:
+            candidates = tuple(target.possible_values(limit=64))
+        except ValueError as error:
+            raise ExecutorError(
+                "computed jump through a widely unknown target "
+                f"({target!r}); bound it in software"
+            ) from error
+        self._tick_peripherals(cycles, events)
+        self.cycle += cycles
+        return StepResult(
+            kind="split",
+            cycles=cycles,
+            events=events,
+            targets=candidates,
+            branch_taint=0xFFFF if target.tmask else 0,
+        )
+
+    # ------------------------------------------------------------------
+    # Format II (single-operand)
+    # ------------------------------------------------------------------
+    def _step_format2(
+        self,
+        instruction: DecodedInstruction,
+        pc: TWord,
+        control_taint: int,
+        events: InstructionEvents,
+    ) -> StepResult:
+        mnemonic = instruction.mnemonic
+        operand = instruction.src
+        cycles = 2  # F + E
+        value, extra, address = self._read_operand(
+            operand, instruction, events, control_taint
+        )
+        cycles += extra
+
+        if mnemonic == "push":
+            new_sp, _, _ = self.state.read(SP).sub(TWord.const(1))
+            new_sp = new_sp.or_taint(control_taint)
+            self.state.write(SP, new_sp)
+            self._write_memory(new_sp, value, events, control_taint)
+            self._advance_pc(instruction, pc, control_taint)
+        elif mnemonic == "call":
+            return_address = TWord(
+                instruction.fallthrough, 0, pc.tmask | control_taint, 16
+            )
+            new_sp, _, _ = self.state.read(SP).sub(TWord.const(1))
+            new_sp = new_sp.or_taint(control_taint)
+            self.state.write(SP, new_sp)
+            self._write_memory(new_sp, return_address, events, control_taint)
+            target = value.or_taint(control_taint)
+            if target.xmask:
+                return self._computed_jump_split(target, cycles, events)
+            self.state.write(PC, target)
+        else:
+            if mnemonic == "rrc":
+                result, carry = value.rrc(self.state.flag(FLAG_C))
+            elif mnemonic == "rra":
+                result, carry = value.rra()
+            else:  # swpb
+                result, carry = value.swpb(), None
+            result = result.or_taint(control_taint)
+            if carry is not None:
+                taint_bump = 1 if control_taint else 0
+                self.state.set_flags(
+                    (carry[0], carry[1] | taint_bump),
+                    _bump(zero_flag(result), taint_bump),
+                    _bump(negative_flag(result), taint_bump),
+                    (ZERO, taint_bump),
+                )
+            if operand.mode == MODE_REGISTER:
+                self.state.write(operand.reg, result)
+            else:
+                self._write_memory(address, result, events, control_taint)
+            self._advance_pc(instruction, pc, control_taint)
+
+        self._tick_peripherals(cycles, events)
+        self.cycle += cycles
+        return StepResult(kind="ok", cycles=cycles, events=events)
+
+    # ------------------------------------------------------------------
+    # ALU
+    # ------------------------------------------------------------------
+    def _alu(self, mnemonic: str, src: TWord, dst: TWord):
+        if mnemonic == "mov":
+            return src, None
+        if mnemonic in ("add", "addc"):
+            carry_in = (
+                self.state.flag(FLAG_C) if mnemonic == "addc" else (ZERO, 0)
+            )
+            result, carry, overflow = dst.add(src, carry_in=carry_in)
+            return result, (
+                carry,
+                zero_flag(result),
+                negative_flag(result),
+                overflow,
+            )
+        if mnemonic in ("sub", "cmp", "subc"):
+            if mnemonic == "subc":
+                result, carry, overflow = dst.add(
+                    ~src, carry_in=self.state.flag(FLAG_C)
+                )
+            else:
+                result, carry, overflow = dst.sub(src)
+            flags = (carry, zero_flag(result), negative_flag(result), overflow)
+            if mnemonic == "cmp":
+                return None, flags
+            return result, flags
+        if mnemonic in ("and", "bit"):
+            result = src & dst
+            zero = zero_flag(result)
+            flags = (not_flag(zero), zero, negative_flag(result), (ZERO, 0))
+            if mnemonic == "bit":
+                return None, flags
+            return result, flags
+        if mnemonic == "xor":
+            result = src ^ dst
+            zero = zero_flag(result)
+            overflow = glift_eval(
+                GATE_FUNCTIONS["AND2"],
+                (src.bit(15)[0], dst.bit(15)[0]),
+                (src.bit(15)[1], dst.bit(15)[1]),
+            )
+            return result, (
+                not_flag(zero),
+                zero,
+                negative_flag(result),
+                overflow,
+            )
+        if mnemonic == "bic":
+            return dst & ~src, None
+        if mnemonic == "bis":
+            return dst | src, None
+        raise ExecutorError(f"unimplemented mnemonic {mnemonic!r}")
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _advance_pc(
+        self,
+        instruction: DecodedInstruction,
+        pc: TWord,
+        control_taint: int,
+    ) -> None:
+        self.state.write(
+            PC,
+            TWord(
+                instruction.fallthrough, 0, pc.tmask | control_taint, 16
+            ),
+        )
+
+    def _tick_peripherals(
+        self, cycles: int, events: InstructionEvents
+    ) -> None:
+        for _ in range(cycles):
+            self.space.timer.tick()
+            por = self.space.watchdog.tick()
+            if por[0] == ONE:
+                self.pending_por = por
+            elif por[1] and self.pending_por[0] != ONE:
+                self.pending_por = (self.pending_por[0], 1)
+        events.por_next = self.pending_por
+        events.port_events = self.space.drain_port_events()
+
+    # ------------------------------------------------------------------
+    # Fork/merge support
+    # ------------------------------------------------------------------
+    def force_pc(self, value: int, taint: int = 0) -> None:
+        self.state.write(PC, TWord(value, 0, taint, 16))
+        self.halted = False
+
+    def snapshot(self):
+        return (
+            self.state.copy(),
+            self.space.snapshot(),
+            self.pending_por,
+            self.cycle,
+            self.halted,
+        )
+
+    def restore(self, snap) -> None:
+        state, space, por, cycle, halted = snap
+        self.state = state.copy()
+        self.space.restore(space)
+        self.pending_por = por
+        self.cycle = cycle
+        self.halted = halted
+
+
+def _bump(flag: Tuple[int, int], taint: int) -> Tuple[int, int]:
+    return flag[0], flag[1] | taint
+
+
+def run_concrete(
+    program: Program,
+    inputs: Optional[Callable[[str], int]] = None,
+    max_cycles: int = 2_000_000,
+    follow_watchdog: bool = True,
+    stop: Optional[Callable[["ConcreteRun"], bool]] = None,
+) -> "ConcreteRun":
+    """Cycle-accurate concrete run (the Table 3 measurement harness).
+
+    *inputs* maps a port name to the next value read from it (called once
+    per read); default feeds a small deterministic LCG per port.
+    """
+    space = AddressSpace()
+    seeds = {}
+
+    def default_inputs(port_name: str) -> int:
+        seed = seeds.get(port_name, sum(map(ord, port_name)) | 1)
+        seed = (seed * 75 + 74) % 65537
+        seeds[port_name] = seed
+        return seed & 0xFFFF
+
+    provider = inputs if inputs is not None else default_inputs
+    for port in space.input_ports:
+        port.driver = (
+            lambda name=port.name: provider(name)
+        )
+    executor = Executor(program, space=space)
+    run = ConcreteRun()
+    while executor.cycle < max_cycles:
+        if executor.halted:
+            remaining = space.watchdog.cycles_until_expiry()
+            if not follow_watchdog or remaining is None:
+                break
+            # Fast-forward the idle loop to the watchdog expiry.
+            executor.cycle += remaining
+            por = space.watchdog.fast_forward(remaining)
+            executor.pending_por = por
+            executor.halted = False
+        result = executor.step()
+        run.steps += 1
+        if result.kind == "split":
+            raise ExecutorError(
+                "concrete run encountered an unknown branch condition; "
+                "provide concrete inputs for every port it reads"
+            )
+        if result.kind == "reset":
+            run.resets += 1
+        if result.events.writes:
+            run.dynamic_stores += len(result.events.writes)
+            for write in result.events.writes:
+                address = write.address
+                if address.is_concrete:
+                    run.stores_by_pc[result.events.pc] = (
+                        run.stores_by_pc.get(result.events.pc, 0) + 1
+                    )
+        for event in result.events.port_events:
+            if event.kind == "write":
+                run.port_writes.append((event.port, event.data))
+        run.cycles = executor.cycle
+        if stop is not None and stop(run):
+            break
+    run.cycles = executor.cycle
+    run.halted = executor.halted
+    run.executor = executor
+    return run
+
+
+@dataclass
+class ConcreteRun:
+    """Result of :func:`run_concrete`."""
+
+    cycles: int = 0
+    steps: int = 0
+    resets: int = 0
+    halted: bool = False
+    dynamic_stores: int = 0
+    stores_by_pc: dict = field(default_factory=dict)
+    port_writes: List[Tuple[str, TWord]] = field(default_factory=list)
+    executor: Optional[Executor] = None
+
+    def writes_to(self, port: str) -> int:
+        return sum(1 for name, _ in self.port_writes if name == port)

@@ -1,0 +1,142 @@
+"""Architectural register state with ternary+taint words."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.isa import spec
+from repro.logic.ternary import ONE, UNKNOWN, ZERO, t_not
+from repro.logic.words import TWord
+
+_ZERO_WORD = TWord.const(0)
+
+
+class ArchState:
+    """The sixteen architectural registers (R3 reads as constant 0)."""
+
+    __slots__ = ("regs",)
+
+    def __init__(self):
+        self.regs: List[TWord] = [TWord.unknown(16) for _ in range(16)]
+        self.regs[spec.CG] = _ZERO_WORD
+
+    def read(self, reg: int) -> TWord:
+        if reg == spec.CG:
+            return _ZERO_WORD
+        return self.regs[reg]
+
+    def write(self, reg: int, value: TWord) -> None:
+        if reg == spec.CG:
+            return
+        self.regs[reg] = value
+
+    def reset(self, taint: int = 0) -> None:
+        """Power-on reset: every register cleared.
+
+        A *tainted* reset (taint=1) clears the values but leaves every bit
+        tainted -- the Figure 7 flip-flop rule lifted to word level.
+        """
+        cleared = TWord.const(0, tmask=0xFFFF if taint else 0)
+        for reg in range(16):
+            self.regs[reg] = cleared
+        self.regs[spec.CG] = _ZERO_WORD
+
+    # ------------------------------------------------------------------
+    # Status-register helpers
+    # ------------------------------------------------------------------
+    @property
+    def sr(self) -> TWord:
+        return self.regs[spec.SR]
+
+    def flag(self, position: int) -> Tuple[int, int]:
+        return self.regs[spec.SR].bit(position)
+
+    def set_flags(
+        self,
+        carry: Tuple[int, int],
+        zero: Tuple[int, int],
+        negative: Tuple[int, int],
+        overflow: Tuple[int, int],
+    ) -> None:
+        sr = self.regs[spec.SR]
+        bits = sr.bits & ~spec.FLAG_MASK
+        xmask = sr.xmask & ~spec.FLAG_MASK
+        tmask = sr.tmask & ~spec.FLAG_MASK
+        for position, (value, taint) in (
+            (spec.FLAG_C, carry),
+            (spec.FLAG_Z, zero),
+            (spec.FLAG_N, negative),
+            (spec.FLAG_V, overflow),
+        ):
+            probe = 1 << position
+            if value == UNKNOWN:
+                xmask |= probe
+            elif value == ONE:
+                bits |= probe
+            if taint:
+                tmask |= probe
+        self.regs[spec.SR] = TWord(bits, xmask, tmask, 16)
+
+    # ------------------------------------------------------------------
+    # Tracker lattice support
+    # ------------------------------------------------------------------
+    def copy(self) -> "ArchState":
+        clone = ArchState.__new__(ArchState)
+        clone.regs = list(self.regs)
+        return clone
+
+    def merge_from(self, other: "ArchState") -> None:
+        self.regs = [
+            mine.merge(theirs) for mine, theirs in zip(self.regs, other.regs)
+        ]
+        self.regs[spec.CG] = _ZERO_WORD
+
+    def covers(self, other: "ArchState") -> bool:
+        return all(
+            mine.covers(theirs)
+            for mine, theirs in zip(self.regs, other.regs)
+        )
+
+    def tainted_registers(self) -> List[int]:
+        return [reg for reg in range(16) if self.regs[reg].tmask]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ArchState):
+            return NotImplemented
+        return self.regs == other.regs
+
+
+def zero_flag(word: TWord) -> Tuple[int, int]:
+    """Value-aware GLIFT zero detect (a wide NOR at gate level).
+
+    A known *untainted* 1 anywhere forces Z = 0 untainted no matter how
+    tainted the rest of the word is -- the same masking effect as Figure 1.
+    """
+    untainted_one = word.bits & ~word.tmask
+    if untainted_one:
+        return ZERO, 0
+    if word.bits:
+        value = ZERO
+    elif word.xmask:
+        value = UNKNOWN
+    else:
+        value = ONE
+    return value, 1 if word.tmask else 0
+
+
+def negative_flag(word: TWord) -> Tuple[int, int]:
+    return word.bit(word.width - 1)
+
+
+def not_flag(flag: Tuple[int, int]) -> Tuple[int, int]:
+    return t_not(flag[0]), flag[1]
+
+
+def flags_of_sr(sr: TWord) -> dict:
+    """Decode the four flags from an SR word (diagnostics)."""
+    return {
+        "C": sr.bit(spec.FLAG_C),
+        "Z": sr.bit(spec.FLAG_Z),
+        "N": sr.bit(spec.FLAG_N),
+        "V": sr.bit(spec.FLAG_V),
+    }

@@ -1,0 +1,62 @@
+"""Ternary logic and GLIFT taint-propagation algebra.
+
+This package implements the two value systems the whole reproduction is
+built on:
+
+* :mod:`repro.logic.ternary` -- three-valued (``0``, ``1``, ``X``) logic used
+  for input-independent ("symbolic") simulation, where ``X`` stands for an
+  unknown bit.
+* :mod:`repro.logic.glift` -- gate-level information flow tracking (GLIFT)
+  taint semantics in the style of Tiwari et al., extended to ternary values
+  (Figure 1 of the paper is the NAND instance of these semantics).
+* :mod:`repro.logic.words` -- word-level ternary+taint values (:class:`TWord`)
+  used by the architectural simulator and the memory models.
+"""
+
+from repro.logic.ternary import (
+    ONE,
+    TERNARY_VALUES,
+    UNKNOWN,
+    ZERO,
+    concretizations,
+    t_and,
+    t_buf,
+    t_mux,
+    t_nand,
+    t_nor,
+    t_not,
+    t_or,
+    t_xnor,
+    t_xor,
+    ternary_repr,
+)
+from repro.logic.glift import (
+    GATE_FUNCTIONS,
+    glift_eval,
+    glift_nand_truth_table,
+    glift_table,
+)
+from repro.logic.words import TWord
+
+__all__ = [
+    "ZERO",
+    "ONE",
+    "UNKNOWN",
+    "TERNARY_VALUES",
+    "concretizations",
+    "ternary_repr",
+    "t_not",
+    "t_buf",
+    "t_and",
+    "t_or",
+    "t_xor",
+    "t_nand",
+    "t_nor",
+    "t_xnor",
+    "t_mux",
+    "GATE_FUNCTIONS",
+    "glift_eval",
+    "glift_table",
+    "glift_nand_truth_table",
+    "TWord",
+]

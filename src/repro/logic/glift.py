@@ -1,0 +1,204 @@
+"""Gate-level information flow tracking (GLIFT) taint semantics.
+
+GLIFT augments every gate with *shadow logic* that decides whether the gate's
+output is influenced by tainted inputs, **taking the logical values of the
+inputs into account**.  The canonical example is the paper's Figure 1: a
+NAND gate with ``A = 1`` tainted and ``B = 0`` untainted produces an
+*untainted* 1, because the untainted ``B = 0`` fully controls the output and
+the tainted input cannot affect it.
+
+This module gives an executable definition of those semantics, extended to
+ternary (``0/1/X``) values:
+
+    The output of a gate is **tainted** iff there exists a concretization of
+    the unknown *untainted* inputs under which varying the *tainted* inputs
+    (jointly, over all boolean assignments) changes the gate output.
+
+The output *value* is the ordinary ternary evaluation: the boolean function
+is evaluated over every concretization of the unknown inputs and yields a
+known value only when they all agree.
+
+Everything is defined by exhaustive enumeration over a gate's boolean
+function, which keeps the semantics obviously correct; the simulator
+(:mod:`repro.sim.compiled`) bakes these semantics into lookup tables once at
+circuit-compile time, so the enumeration cost is never paid per cycle.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.logic.ternary import ONE, UNKNOWN, ZERO, concretizations
+
+BoolFunc = Callable[..., int]
+
+
+def _and(*inputs: int) -> int:
+    out = 1
+    for bit in inputs:
+        out &= bit
+    return out
+
+
+def _or(*inputs: int) -> int:
+    out = 0
+    for bit in inputs:
+        out |= bit
+    return out
+
+
+def _xor(*inputs: int) -> int:
+    out = 0
+    for bit in inputs:
+        out ^= bit
+    return out
+
+
+def _nand(*inputs: int) -> int:
+    return 1 - _and(*inputs)
+
+
+def _nor(*inputs: int) -> int:
+    return 1 - _or(*inputs)
+
+
+def _xnor(*inputs: int) -> int:
+    return 1 - _xor(*inputs)
+
+
+def _not(a: int) -> int:
+    return 1 - a
+
+
+def _buf(a: int) -> int:
+    return a
+
+
+def _mux(sel: int, a: int, b: int) -> int:
+    return b if sel else a
+
+
+#: Boolean functions for every combinational cell type in the library.
+#: MUX2 input order is ``(sel, a, b)``; output is ``a`` when ``sel == 0``.
+GATE_FUNCTIONS: Dict[str, BoolFunc] = {
+    "BUF": _buf,
+    "NOT": _not,
+    "AND2": _and,
+    "AND3": _and,
+    "AND4": _and,
+    "OR2": _or,
+    "OR3": _or,
+    "OR4": _or,
+    "NAND2": _nand,
+    "NAND3": _nand,
+    "NOR2": _nor,
+    "NOR3": _nor,
+    "XOR2": _xor,
+    "XOR3": _xor,
+    "XNOR2": _xnor,
+    "MUX2": _mux,
+}
+
+
+def ternary_eval(func: BoolFunc, values: Sequence[int]) -> int:
+    """Ternary evaluation of a boolean function by enumeration."""
+    seen = set()
+    for combo in itertools.product(*(concretizations(v) for v in values)):
+        seen.add(func(*combo))
+        if len(seen) == 2:
+            return UNKNOWN
+    (only,) = seen
+    return only
+
+
+def glift_eval(
+    func: BoolFunc, values: Sequence[int], taints: Sequence[int]
+) -> Tuple[int, int]:
+    """Evaluate a gate under GLIFT semantics.
+
+    Parameters
+    ----------
+    func:
+        The gate's boolean function over concrete bits.
+    values:
+        Ternary input values (``0``, ``1`` or ``X``).
+    taints:
+        Input taint bits (1 = tainted).
+
+    Returns
+    -------
+    (value, taint):
+        The ternary output value and the output taint bit.
+    """
+    out_value = ternary_eval(func, values)
+
+    tainted_positions = [i for i, t in enumerate(taints) if t]
+    if not tainted_positions:
+        return out_value, 0
+
+    untainted_positions = [i for i, t in enumerate(taints) if not t]
+    # Enumerate concretizations of unknown *untainted* inputs; a tainted
+    # input ranges over both boolean values regardless of its current value
+    # (the attacker controls it).
+    untainted_choices = itertools.product(
+        *(concretizations(values[i]) for i in untainted_positions)
+    )
+    for untainted_combo in untainted_choices:
+        assignment: List[int] = [0] * len(values)
+        for position, bit in zip(untainted_positions, untainted_combo):
+            assignment[position] = bit
+        outputs = set()
+        for tainted_combo in itertools.product(
+            (0, 1), repeat=len(tainted_positions)
+        ):
+            for position, bit in zip(tainted_positions, tainted_combo):
+                assignment[position] = bit
+            outputs.add(func(*assignment))
+            if len(outputs) == 2:
+                return out_value, 1
+    return out_value, 0
+
+
+def glift_table(cell_type: str) -> Dict[Tuple[int, ...], Tuple[int, int]]:
+    """Exhaustive GLIFT truth table for a library cell.
+
+    The key is ``(v0, t0, v1, t1, ...)`` -- interleaved ternary values and
+    taints -- and the result is ``(out_value, out_taint)``.
+    """
+    func = GATE_FUNCTIONS[cell_type]
+    arity = _cell_arity(cell_type)
+    table: Dict[Tuple[int, ...], Tuple[int, int]] = {}
+    for values in itertools.product((ZERO, ONE, UNKNOWN), repeat=arity):
+        for taints in itertools.product((0, 1), repeat=arity):
+            key = tuple(
+                item for pair in zip(values, taints) for item in pair
+            )
+            table[key] = glift_eval(func, values, taints)
+    return table
+
+
+def _cell_arity(cell_type: str) -> int:
+    if cell_type in ("BUF", "NOT"):
+        return 1
+    if cell_type == "MUX2":
+        return 3
+    return int(cell_type[-1])
+
+
+def glift_nand_truth_table() -> List[Tuple[int, int, int, int, int, int]]:
+    """The 16-row boolean GLIFT table for a NAND gate (paper Figure 1).
+
+    Rows are ``(A, AT, B, BT, O, OT)`` in the paper's column order, for
+    concrete input values only, sorted in the paper's row order.
+    """
+    rows = []
+    for a in (0, 1):
+        for a_taint in (0, 1):
+            for b in (0, 1):
+                for b_taint in (0, 1):
+                    value, taint = glift_eval(
+                        _nand, (a, b), (a_taint, b_taint)
+                    )
+                    rows.append((a, a_taint, b, b_taint, value, taint))
+    return rows

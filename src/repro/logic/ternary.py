@@ -1,0 +1,138 @@
+"""Three-valued (ternary) logic primitives.
+
+Values are plain integers for speed:
+
+* ``ZERO`` (0) -- known logic 0
+* ``ONE`` (1) -- known logic 1
+* ``UNKNOWN`` (2) -- the symbol ``X``: an unknown-but-digital value
+
+``X`` is the workhorse of the paper's *input-independent* simulation: every
+bit read from an input port is an ``X``, and the gate-level simulator
+propagates ``X`` with standard ternary gate semantics (a gate output is
+known only when the known inputs force it).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+ZERO = 0
+ONE = 1
+UNKNOWN = 2
+
+TERNARY_VALUES: Tuple[int, int, int] = (ZERO, ONE, UNKNOWN)
+
+_REPR = {ZERO: "0", ONE: "1", UNKNOWN: "X"}
+
+
+def ternary_repr(value: int) -> str:
+    """Return ``'0'``, ``'1'`` or ``'X'`` for a ternary value."""
+    return _REPR[value]
+
+
+def is_known(value: int) -> bool:
+    """True when *value* is a concrete 0 or 1."""
+    return value != UNKNOWN
+
+
+def concretizations(value: int) -> Tuple[int, ...]:
+    """All boolean values a ternary value may take (``X`` -> ``(0, 1)``)."""
+    if value == UNKNOWN:
+        return (ZERO, ONE)
+    return (value,)
+
+
+def t_not(a: int) -> int:
+    if a == UNKNOWN:
+        return UNKNOWN
+    return ONE - a
+
+
+def t_buf(a: int) -> int:
+    return a
+
+
+def t_and(a: int, b: int) -> int:
+    if a == ZERO or b == ZERO:
+        return ZERO
+    if a == ONE and b == ONE:
+        return ONE
+    return UNKNOWN
+
+
+def t_or(a: int, b: int) -> int:
+    if a == ONE or b == ONE:
+        return ONE
+    if a == ZERO and b == ZERO:
+        return ZERO
+    return UNKNOWN
+
+
+def t_xor(a: int, b: int) -> int:
+    if a == UNKNOWN or b == UNKNOWN:
+        return UNKNOWN
+    return a ^ b
+
+
+def t_nand(a: int, b: int) -> int:
+    return t_not(t_and(a, b))
+
+
+def t_nor(a: int, b: int) -> int:
+    return t_not(t_or(a, b))
+
+
+def t_xnor(a: int, b: int) -> int:
+    return t_not(t_xor(a, b))
+
+
+def t_mux(sel: int, a: int, b: int) -> int:
+    """Ternary 2:1 mux: *a* when ``sel == 0``, *b* when ``sel == 1``.
+
+    With an unknown select the output is known only when both data inputs
+    agree.
+    """
+    if sel == ZERO:
+        return a
+    if sel == ONE:
+        return b
+    if a == b and a != UNKNOWN:
+        return a
+    return UNKNOWN
+
+
+def t_all(values: Iterable[int]) -> int:
+    """Ternary AND-reduce over an iterable."""
+    out = ONE
+    for value in values:
+        out = t_and(out, value)
+        if out == ZERO:
+            return ZERO
+    return out
+
+
+def t_any(values: Iterable[int]) -> int:
+    """Ternary OR-reduce over an iterable."""
+    out = ZERO
+    for value in values:
+        out = t_or(out, value)
+        if out == ONE:
+            return ONE
+    return out
+
+
+def merge(a: int, b: int) -> int:
+    """Most conservative value covering both *a* and *b* (differ -> ``X``)."""
+    if a == b:
+        return a
+    return UNKNOWN
+
+
+def covers(general: int, specific: int) -> bool:
+    """True when *general* is at least as conservative as *specific*.
+
+    ``X`` covers everything; a concrete value covers only itself.  This is
+    the per-bit building block of the tracker's sub-state check
+    (Algorithm 1, lines 21 and 31).
+    """
+    return general == UNKNOWN or general == specific

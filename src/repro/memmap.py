@@ -1,0 +1,99 @@
+"""The LP430 system memory map.
+
+Word-addressed Harvard layout, openMSP430-flavoured:
+
+* **Program memory**: 4K words, addresses ``0x0000 .. 0x0FFF``; the reset
+  vector is address 0 (execution starts there after any power-on reset,
+  including watchdog-generated ones).
+* **Data address space** (loads/stores/peripherals):
+
+  ====================  ======================================
+  ``0x0000 .. 0x00FF``  peripheral page (see below)
+  ``0x0100 .. 0x0FFF``  RAM (3840 words)
+  ====================  ======================================
+
+* **Peripheral page registers** (word addresses):
+
+  ==========  ======  =====================================
+  ``P1IN``    0x0020  GPIO input port 1
+  ``P2OUT``   0x0021  GPIO output port 2
+  ``P3IN``    0x0022  GPIO input port 3
+  ``P4OUT``   0x0023  GPIO output port 4
+  ``P5IN``    0x0024  GPIO input port 5
+  ``P6OUT``   0x0025  GPIO output port 6
+  ``WDTCTL``  0x0080  watchdog control (password ``0x5A__``)
+  ``TACTL``   0x0082  auxiliary timer control
+  ``TAR``     0x0083  auxiliary timer counter (read)
+  ==========  ======  =====================================
+
+The default partitioning used throughout the evaluation mirrors the paper's
+Figure 9: the *tainted* task owns RAM ``0x0400 .. 0x07FF`` (so a tainted
+store address is repaired with ``AND #0x03FF`` + ``BIS #0x0400``), untainted
+code owns the rest of RAM, and the stack grows down from ``0x0FFE``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+PMEM_SIZE = 4096
+DMEM_SIZE = 4096
+
+PERIPH_BASE = 0x0000
+PERIPH_END = 0x0100  # exclusive
+RAM_BASE = 0x0100
+RAM_END = DMEM_SIZE  # exclusive
+
+P1IN = 0x0020
+P2OUT = 0x0021
+P3IN = 0x0022
+P4OUT = 0x0023
+P5IN = 0x0024
+P6OUT = 0x0025
+WDTCTL = 0x0080
+TACTL = 0x0082
+TAR = 0x0083
+
+#: Symbols the assembler exposes (usable as ``&WDTCTL`` etc.).
+PERIPHERAL_SYMBOLS = {
+    "P1IN": P1IN,
+    "P2OUT": P2OUT,
+    "P3IN": P3IN,
+    "P4OUT": P4OUT,
+    "P5IN": P5IN,
+    "P6OUT": P6OUT,
+    "WDTCTL": WDTCTL,
+    "TACTL": TACTL,
+    "TAR": TAR,
+}
+
+#: Figure 9 partitioning: the tainted task's RAM window.
+TAINTED_RAM_BASE = 0x0400
+TAINTED_RAM_END = 0x0800  # exclusive
+TAINTED_RAM_MASK = 0x03FF  # AND-mask confining an offset to the window
+
+STACK_TOP = 0x0FFE
+
+#: Watchdog password (high byte of any WDTCTL write).
+WDT_PASSWORD = 0x5A
+
+
+@dataclass(frozen=True)
+class MemoryRegion:
+    """A named half-open word-address interval in the data space."""
+
+    name: str
+    low: int
+    high: int
+
+    def contains(self, address: int) -> bool:
+        return self.low <= address < self.high
+
+    @property
+    def size(self) -> int:
+        return self.high - self.low
+
+
+PERIPHERAL_REGION = MemoryRegion("peripherals", PERIPH_BASE, PERIPH_END)
+RAM_REGION = MemoryRegion("ram", RAM_BASE, RAM_END)
+TAINTED_REGION = MemoryRegion("tainted_ram", TAINTED_RAM_BASE, TAINTED_RAM_END)

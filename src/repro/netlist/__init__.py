@@ -1,0 +1,41 @@
+"""Gate-level netlist intermediate representation.
+
+The paper's toolflow consumes "the processor's gate-level netlist".  This
+package provides that substrate:
+
+* :mod:`repro.netlist.cells`    -- the standard-cell library (combinational
+  gates from :mod:`repro.logic.glift` plus ``DFF`` and tie cells).
+* :mod:`repro.netlist.netlist`  -- the flat netlist graph (nets, gates,
+  flip-flops, ports) with structural validation.
+* :mod:`repro.netlist.levelize` -- topological levelisation used by the
+  compiled simulator; detects combinational cycles.
+* :mod:`repro.netlist.builder`  -- a small word-level construction DSL (a
+  "mini-HDL") used to build the LP430 processor out of library gates.
+* :mod:`repro.netlist.verilog`  -- structural-Verilog writer and parser for
+  the same subset, so netlists can round-trip through text like a synthesis
+  flow's output would.
+* :mod:`repro.netlist.stats`    -- cell counts, unit-area and depth reports.
+"""
+
+from repro.netlist.cells import CELL_LIBRARY, CellSpec
+from repro.netlist.netlist import DFF, Gate, Netlist, NetlistError
+from repro.netlist.builder import CircuitBuilder, Sig
+from repro.netlist.levelize import CombinationalCycleError, levelize
+from repro.netlist.verilog import parse_verilog, write_verilog
+from repro.netlist.stats import netlist_stats
+
+__all__ = [
+    "CELL_LIBRARY",
+    "CellSpec",
+    "Netlist",
+    "NetlistError",
+    "Gate",
+    "DFF",
+    "CircuitBuilder",
+    "Sig",
+    "levelize",
+    "CombinationalCycleError",
+    "parse_verilog",
+    "write_verilog",
+    "netlist_stats",
+]

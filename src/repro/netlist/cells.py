@@ -1,0 +1,70 @@
+"""The standard-cell library.
+
+Every combinational cell's logical function lives in
+:data:`repro.logic.glift.GATE_FUNCTIONS`; this module wraps them with
+metadata (arity, unit area) and adds the non-combinational cells:
+
+* ``DFF``  -- positive-edge D flip-flop (the only sequential primitive; the
+  builder synthesises enables and resets from muxes/gates so the GLIFT
+  semantics of those paths come from ordinary gate rules).
+* ``TIE0`` / ``TIE1`` -- constant drivers.
+
+Unit areas are rough NAND2-equivalents, used only for reporting netlist
+statistics comparable to a synthesis report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.logic.glift import GATE_FUNCTIONS
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """Metadata for one library cell."""
+
+    name: str
+    arity: int
+    area: float
+    sequential: bool = False
+
+
+def _arity(cell_type: str) -> int:
+    if cell_type in ("BUF", "NOT"):
+        return 1
+    if cell_type == "MUX2":
+        return 3
+    return int(cell_type[-1])
+
+
+_AREAS = {
+    "BUF": 0.75,
+    "NOT": 0.5,
+    "AND2": 1.25,
+    "AND3": 1.75,
+    "AND4": 2.25,
+    "OR2": 1.25,
+    "OR3": 1.75,
+    "OR4": 2.25,
+    "NAND2": 1.0,
+    "NAND3": 1.5,
+    "NOR2": 1.0,
+    "NOR3": 1.5,
+    "XOR2": 2.25,
+    "XOR3": 4.0,
+    "XNOR2": 2.25,
+    "MUX2": 2.25,
+}
+
+CELL_LIBRARY: Dict[str, CellSpec] = {
+    name: CellSpec(name=name, arity=_arity(name), area=_AREAS[name])
+    for name in GATE_FUNCTIONS
+}
+CELL_LIBRARY["TIE0"] = CellSpec(name="TIE0", arity=0, area=0.25)
+CELL_LIBRARY["TIE1"] = CellSpec(name="TIE1", arity=0, area=0.25)
+CELL_LIBRARY["DFF"] = CellSpec(name="DFF", arity=1, area=4.5, sequential=True)
+
+COMBINATIONAL_CELLS = frozenset(GATE_FUNCTIONS)
+CONSTANT_CELLS = frozenset({"TIE0", "TIE1"})

@@ -1,0 +1,184 @@
+"""Flat gate-level netlist graph.
+
+A :class:`Netlist` is a set of integer-identified *nets* connected by
+*gates* (combinational cells), *flip-flops* and *ports*.  Every net must
+have exactly one driver: a gate output, a DFF ``Q`` pin, an input port, or a
+tie cell.  The structure is deliberately simple -- the same shape a
+structural-Verilog netlist out of a synthesis tool has -- because the
+paper's analysis operates on exactly that artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.netlist.cells import CELL_LIBRARY, CONSTANT_CELLS
+
+
+class NetlistError(Exception):
+    """Raised for structurally invalid netlists."""
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One combinational cell instance."""
+
+    cell_type: str
+    inputs: Tuple[int, ...]
+    output: int
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class DFF:
+    """One flip-flop: at each clock edge ``q`` takes the value of ``d``."""
+
+    q: int
+    d: int
+    name: str = ""
+
+
+@dataclass
+class Port:
+    """A named, multi-bit port (LSB-first net list)."""
+
+    name: str
+    nets: Tuple[int, ...]
+
+    @property
+    def width(self) -> int:
+        return len(self.nets)
+
+
+@dataclass
+class Netlist:
+    """A flat gate-level design."""
+
+    name: str = "top"
+    net_names: List[str] = field(default_factory=list)
+    gates: List[Gate] = field(default_factory=list)
+    dffs: List[DFF] = field(default_factory=list)
+    inputs: List[Port] = field(default_factory=list)
+    outputs: List[Port] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_net(self, name: Optional[str] = None) -> int:
+        net_id = len(self.net_names)
+        self.net_names.append(name if name is not None else f"n{net_id}")
+        return net_id
+
+    def add_nets(self, count: int, prefix: str = "n") -> List[int]:
+        return [self.add_net(f"{prefix}{i}") for i in range(count)]
+
+    def add_gate(
+        self,
+        cell_type: str,
+        inputs: Sequence[int],
+        output: int,
+        name: str = "",
+    ) -> Gate:
+        spec = CELL_LIBRARY.get(cell_type)
+        if spec is None:
+            raise NetlistError(f"unknown cell type {cell_type!r}")
+        if spec.sequential:
+            raise NetlistError("use add_dff for sequential cells")
+        if len(inputs) != spec.arity:
+            raise NetlistError(
+                f"{cell_type} expects {spec.arity} inputs, got {len(inputs)}"
+            )
+        gate = Gate(cell_type, tuple(inputs), output, name)
+        self.gates.append(gate)
+        return gate
+
+    def add_dff(self, q: int, d: int, name: str = "") -> DFF:
+        dff = DFF(q=q, d=d, name=name)
+        self.dffs.append(dff)
+        return dff
+
+    def add_input(self, name: str, nets: Sequence[int]) -> Port:
+        port = Port(name, tuple(nets))
+        self.inputs.append(port)
+        return port
+
+    def add_output(self, name: str, nets: Sequence[int]) -> Port:
+        port = Port(name, tuple(nets))
+        self.outputs.append(port)
+        return port
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_nets(self) -> int:
+        return len(self.net_names)
+
+    def input_port(self, name: str) -> Port:
+        return self._find_port(self.inputs, name)
+
+    def output_port(self, name: str) -> Port:
+        return self._find_port(self.outputs, name)
+
+    @staticmethod
+    def _find_port(ports: Iterable[Port], name: str) -> Port:
+        for port in ports:
+            if port.name == name:
+                return port
+        raise KeyError(name)
+
+    def drivers(self) -> Dict[int, str]:
+        """Map each net to a description of its driver (for validation)."""
+        driver: Dict[int, str] = {}
+
+        def claim(net: int, description: str) -> None:
+            if net in driver:
+                raise NetlistError(
+                    f"net {net} ({self.net_names[net]}) driven by both "
+                    f"{driver[net]} and {description}"
+                )
+            driver[net] = description
+
+        for port in self.inputs:
+            for net in port.nets:
+                claim(net, f"input {port.name}")
+        for dff in self.dffs:
+            claim(dff.q, f"dff {dff.name or dff.q}")
+        for gate in self.gates:
+            claim(gate.output, f"{gate.cell_type} {gate.name or gate.output}")
+        return driver
+
+    def validate(self) -> None:
+        """Check structural sanity: single drivers, no floating nets."""
+        driver = self.drivers()
+        for gate in self.gates:
+            for net in gate.inputs:
+                if net not in driver:
+                    raise NetlistError(
+                        f"{gate.cell_type} {gate.name!r} input net "
+                        f"{net} ({self.net_names[net]}) is undriven"
+                    )
+        for dff in self.dffs:
+            if dff.d not in driver:
+                raise NetlistError(
+                    f"dff {dff.name!r} D input net {dff.d} is undriven"
+                )
+        for port in self.outputs:
+            for net in port.nets:
+                if net not in driver:
+                    raise NetlistError(
+                        f"output {port.name} net {net} is undriven"
+                    )
+
+    def constant_nets(self) -> Dict[int, int]:
+        """Nets driven by tie cells, mapped to their constant value."""
+        constants: Dict[int, int] = {}
+        for gate in self.gates:
+            if gate.cell_type in CONSTANT_CELLS:
+                constants[gate.output] = 1 if gate.cell_type == "TIE1" else 0
+        return constants
+
+    def state_nets(self) -> List[int]:
+        """All DFF outputs -- the processor's state elements."""
+        return [dff.q for dff in self.dffs]

@@ -1,0 +1,56 @@
+"""Netlist statistics -- the synthesis-report view of a design."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.netlist.cells import CELL_LIBRARY
+from repro.netlist.levelize import levelize
+from repro.netlist.netlist import Netlist
+
+
+@dataclass
+class NetlistStats:
+    """Summary numbers for a gate-level design."""
+
+    name: str
+    num_nets: int
+    num_gates: int
+    num_dffs: int
+    logic_depth: int
+    area: float
+    cells: Dict[str, int] = field(default_factory=dict)
+
+    def format(self) -> str:
+        lines = [
+            f"netlist {self.name}:",
+            f"  nets        {self.num_nets}",
+            f"  gates       {self.num_gates}",
+            f"  flip-flops  {self.num_dffs}",
+            f"  logic depth {self.logic_depth}",
+            f"  area (NAND2-eq) {self.area:.1f}",
+            "  cells:",
+        ]
+        for cell_type in sorted(self.cells):
+            lines.append(f"    {cell_type:<6} {self.cells[cell_type]}")
+        return "\n".join(lines)
+
+
+def netlist_stats(netlist: Netlist) -> NetlistStats:
+    cells = Counter(gate.cell_type for gate in netlist.gates)
+    area = sum(
+        CELL_LIBRARY[cell].area * count for cell, count in cells.items()
+    )
+    area += CELL_LIBRARY["DFF"].area * len(netlist.dffs)
+    levels = levelize(netlist)
+    return NetlistStats(
+        name=netlist.name,
+        num_nets=netlist.num_nets,
+        num_gates=len(netlist.gates),
+        num_dffs=len(netlist.dffs),
+        logic_depth=max(0, len(levels) - 1),
+        area=area,
+        cells=dict(cells),
+    )

@@ -1,0 +1,245 @@
+"""Structural-Verilog writer and parser.
+
+The paper's tool consumes the netlist a synthesis flow emits.  To keep that
+interface honest, :func:`write_verilog` serialises a :class:`Netlist` to a
+small structural-Verilog subset and :func:`parse_verilog` reads the same
+subset back; the round trip is exact (tested property-style on the real CPU
+netlist).
+
+Subset conventions:
+
+* One module; ports declared in the header as vectors (``input [15:0] irq``).
+* Every internal net is declared with a ``wire`` statement.
+* Instances use **positional** connections with the output pin first::
+
+      NAND2 g42 (n17, n3, n4);
+      DFF   pc_0 (n9, n21);      // Q, D
+      TIE1  t1 (n2);
+
+* Identifiers that are not plain Verilog identifiers are escaped with the
+  standard ``\\name `` syntax (backslash, name, mandatory trailing space).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, TextIO, Tuple
+
+from repro.netlist.cells import CELL_LIBRARY
+from repro.netlist.netlist import Netlist, NetlistError
+
+_PLAIN_IDENT = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def _escape(name: str) -> str:
+    if _PLAIN_IDENT.match(name):
+        return name
+    return "\\" + name + " "
+
+
+def write_verilog(netlist: Netlist, stream: TextIO) -> None:
+    """Serialise *netlist* as structural Verilog."""
+    port_decls = []
+    for port in netlist.inputs:
+        port_decls.append(
+            f"input [{port.width - 1}:0] {_escape(port.name)}"
+        )
+    for port in netlist.outputs:
+        port_decls.append(
+            f"output [{port.width - 1}:0] {_escape(port.name)}"
+        )
+    stream.write(f"module {_escape(netlist.name)} (\n")
+    stream.write(",\n".join("  " + decl for decl in port_decls))
+    stream.write("\n);\n")
+
+    # Net id -> textual reference.  Port bits are referenced through their
+    # port vector; everything else gets a declared wire.  An output port
+    # bit that aliases an already-referenced net (e.g. a debug port wired
+    # straight onto a register also feeding another port) is driven by an
+    # explicit BUF, since Verilog ports cannot share a net by name.
+    reference: Dict[int, str] = {}
+    aliases: List[Tuple[str, str]] = []  # (port bit ref, source ref)
+    for port in netlist.inputs:
+        for index, net in enumerate(port.nets):
+            reference.setdefault(net, f"{_escape(port.name)}[{index}]")
+    for port in netlist.outputs:
+        for index, net in enumerate(port.nets):
+            bit_ref = f"{_escape(port.name)}[{index}]"
+            if net in reference:
+                aliases.append((bit_ref, reference[net]))
+            else:
+                reference[net] = bit_ref
+    wires: List[Tuple[int, str]] = []
+    for net_id in range(netlist.num_nets):
+        if net_id not in reference:
+            text = _escape(netlist.net_names[net_id])
+            reference[net_id] = text
+            wires.append((net_id, text))
+    for _, text in wires:
+        stream.write(f"  wire {text};\n")
+
+    for index, gate in enumerate(netlist.gates):
+        pins = ", ".join(
+            [reference[gate.output]] + [reference[n] for n in gate.inputs]
+        )
+        name = _escape(gate.name or f"g{index}")
+        stream.write(f"  {gate.cell_type} {name} ({pins});\n")
+    for index, dff in enumerate(netlist.dffs):
+        name = _escape(dff.name or f"dff{index}")
+        stream.write(
+            f"  DFF {name} ({reference[dff.q]}, {reference[dff.d]});\n"
+        )
+    for index, (bit_ref, source_ref) in enumerate(aliases):
+        stream.write(f"  BUF alias_{index} ({bit_ref}, {source_ref});\n")
+    stream.write("endmodule\n")
+
+
+_TOKEN = re.compile(
+    r"""
+    \\(?P<escaped>[^\s]+)\s          # escaped identifier
+    | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+    | (?P<number>\d+)
+    | (?P<punct>[\[\]():;,])
+    """,
+    re.VERBOSE,
+)
+
+
+class VerilogParseError(NetlistError):
+    """Raised on malformed input to :func:`parse_verilog`."""
+
+
+class _Tokens:
+    def __init__(self, text: str):
+        text = re.sub(r"//[^\n]*", "", text)
+        text = re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
+        self.tokens: List[Tuple[str, str]] = []
+        position = 0
+        while position < len(text):
+            if text[position].isspace():
+                position += 1
+                continue
+            match = _TOKEN.match(text, position)
+            if not match:
+                raise VerilogParseError(
+                    f"unexpected character {text[position]!r} at {position}"
+                )
+            position = match.end()
+            kind = match.lastgroup
+            value = match.group(kind)
+            self.tokens.append((kind, value))
+        self.index = 0
+
+    def peek(self) -> Tuple[str, str]:
+        if self.index >= len(self.tokens):
+            return ("eof", "")
+        return self.tokens[self.index]
+
+    def next(self) -> Tuple[str, str]:
+        token = self.peek()
+        self.index += 1
+        return token
+
+    def expect(self, kind: str, value: str = None) -> str:
+        got_kind, got_value = self.next()
+        if got_kind != kind or (value is not None and got_value != value):
+            raise VerilogParseError(
+                f"expected {value or kind}, got {got_value!r}"
+            )
+        return got_value
+
+    def expect_ident(self) -> str:
+        kind, value = self.next()
+        if kind not in ("ident", "escaped"):
+            raise VerilogParseError(f"expected identifier, got {value!r}")
+        return value
+
+
+def parse_verilog(text: str) -> Netlist:
+    """Parse the structural subset produced by :func:`write_verilog`."""
+    tokens = _Tokens(text)
+    tokens.expect("ident", "module")
+    netlist = Netlist(name=tokens.expect_ident())
+    tokens.expect("punct", "(")
+
+    # name -> (direction, width), in declaration order
+    ports: List[Tuple[str, str, int]] = []
+    while True:
+        kind, value = tokens.peek()
+        if kind == "punct" and value == ")":
+            tokens.next()
+            break
+        if kind == "punct" and value == ",":
+            tokens.next()
+            continue
+        direction = tokens.expect_ident()
+        if direction not in ("input", "output"):
+            raise VerilogParseError(f"bad port direction {direction!r}")
+        tokens.expect("punct", "[")
+        high = int(tokens.expect("number"))
+        tokens.expect("punct", ":")
+        low = int(tokens.expect("number"))
+        tokens.expect("punct", "]")
+        name = tokens.expect_ident()
+        ports.append((name, direction, high - low + 1))
+    tokens.expect("punct", ";")
+
+    net_ids: Dict[str, int] = {}
+
+    def net_for(text_ref: str) -> int:
+        if text_ref not in net_ids:
+            net_ids[text_ref] = netlist.add_net(text_ref)
+        return net_ids[text_ref]
+
+    for name, direction, width in ports:
+        nets = [net_for(f"{name}[{i}]") for i in range(width)]
+        if direction == "input":
+            netlist.add_input(name, nets)
+        else:
+            netlist.add_output(name, nets)
+
+    def parse_ref() -> int:
+        base = tokens.expect_ident()
+        kind, value = tokens.peek()
+        if kind == "punct" and value == "[":
+            tokens.next()
+            index = tokens.expect("number")
+            tokens.expect("punct", "]")
+            return net_for(f"{base}[{index}]")
+        return net_for(base)
+
+    while True:
+        kind, value = tokens.next()
+        if kind == "eof":
+            raise VerilogParseError("missing endmodule")
+        if kind in ("ident", "escaped") and value == "endmodule":
+            break
+        if value == "wire":
+            parse_ref()
+            tokens.expect("punct", ";")
+            continue
+        cell_type = value
+        if cell_type not in CELL_LIBRARY:
+            raise VerilogParseError(f"unknown cell {cell_type!r}")
+        instance = tokens.expect_ident()
+        tokens.expect("punct", "(")
+        pins: List[int] = []
+        while True:
+            kind, value = tokens.peek()
+            if kind == "punct" and value == ")":
+                tokens.next()
+                break
+            if kind == "punct" and value == ",":
+                tokens.next()
+                continue
+            pins.append(parse_ref())
+        tokens.expect("punct", ";")
+        if cell_type == "DFF":
+            if len(pins) != 2:
+                raise VerilogParseError("DFF needs exactly (Q, D)")
+            netlist.add_dff(q=pins[0], d=pins[1], name=instance)
+        else:
+            netlist.add_gate(cell_type, pins[1:], pins[0], instance)
+
+    netlist.validate()
+    return netlist

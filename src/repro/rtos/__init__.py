@@ -1,0 +1,16 @@
+"""MiniRTOS: the Section 7.3 system-level use case substrate.
+
+A tiny round-robin scheduler in LP430 assembly standing in for the
+paper's FreeRTOS port: trusted kernel code schedules a trusted task
+(``div``) and an untrusted one (``binSearch``), with the reset vector
+(address 0) doubling as the scheduler entry so the watchdog's power-on
+reset re-enters scheduling -- "on a watchdog-invoked reset, scheduling is
+performed as usual".
+"""
+
+from repro.rtos.scheduler import (
+    rtos_source,
+    rtos_completion_stop,
+)
+
+__all__ = ["rtos_source", "rtos_completion_stop"]

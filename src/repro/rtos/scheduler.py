@@ -1,0 +1,139 @@
+"""MiniRTOS source generation (Section 7.3's FreeRTOS stand-in).
+
+The system schedules two computational tasks round-robin:
+
+* ``div_task`` -- trusted: a constant-time (branchless) restoring divider
+  serving the untainted ports P3 (in) / P4 (out);
+* ``bs_task`` -- untrusted: the binSearch kernel serving the tainted
+  ports P1 (in) / P2 (out), including its tainted-index probe counters.
+
+The scheduler lives at address 0 -- which is also the reset vector, so a
+watchdog-invoked power-on reset "performs scheduling as usual", exactly
+the paper's FreeRTOS modification.  The round-robin index lives in kernel
+RAM and survives the reset (footnote 5: POR does not clear memory).
+
+The generated source uses the toolflow's ``call``/``ret`` convention for
+the untrusted task, so :func:`repro.transform.secure_compile` can apply
+the watchdog bounding and store masking automatically.
+"""
+
+from __future__ import annotations
+
+KERNEL_STACK = 0x0F80  # trusted kernel/div stack (untainted RAM)
+TASK_STACK = 0x07FE  # untrusted task stack (top of tainted partition)
+RTOS_CUR = 0x0200  # scheduler round-robin index (kernel RAM)
+
+
+def rtos_source(rounds_hint: str = "") -> str:
+    """The (unprotected) MiniRTOS system binary source."""
+    return f"""\
+; MiniRTOS -- round-robin scheduler with a trusted and an untrusted task.
+{rounds_hint}
+.task rtos trusted
+scheduler:
+    mov #0x{KERNEL_STACK:04X}, sp
+    ; round-robin: advance the task index (survives watchdog resets)
+    mov &rtos_cur, r4
+    inc r4
+    and #1, r4
+    mov r4, &rtos_cur
+    tst r4
+    jnz sched_untrusted
+    call #div_task
+    jmp scheduler
+sched_untrusted:
+    mov #0x{TASK_STACK:04X}, sp   ; the untrusted task gets its own stack
+    call #bs_task
+    jmp scheduler
+
+.task div_task trusted
+div_task:
+    ; constant-time restoring division over a batch of untainted reads
+    push r10
+    push r11
+    mov #8, r11            ; batch of eight divisions per activation
+div_batch:
+    mov &P3IN, r4          ; dividend
+    mov &P3IN, r5          ; divisor
+    bis #1, r5
+    clr r6                 ; quotient
+    clr r7                 ; remainder
+    mov #16, r10
+div_step:
+    rla r6
+    rla r7
+    rla r4
+    adc r7
+    ; branchless conditional subtract: fits = (remainder >= divisor)
+    cmp r5, r7             ; C = no-borrow = fits
+    clr r8
+    adc r8                 ; r8 = fits (0/1)
+    bis r8, r6             ; quotient bit
+    clr r9
+    sub r8, r9             ; r9 = fits ? 0xFFFF : 0
+    mov r5, r12
+    and r9, r12            ; divisor if fits else 0
+    sub r12, r7            ; conditional restore-free subtract
+    dec r10
+    jnz div_step
+    mov r6, &P4OUT         ; trusted result on the untainted port
+    dec r11
+    jnz div_batch
+    pop r11
+    pop r10
+    ret
+
+.task bs_task untrusted
+bs_task:
+    push r10
+    push r11
+    mov &P1IN, r12         ; key (tainted)
+    clr r4                 ; lo
+    mov #15, r5            ; hi
+    mov #0xFFFF, r6
+    mov #4, r10
+rbs_loop:
+    mov r4, r7
+    add r5, r7
+    rra r7                 ; mid
+    mov r7, r8
+    add #rbs_table, r8
+    mov @r8, r9
+    add #1, rbs_hits(r7)   ; probe counter (tainted index)
+    cmp r12, r9
+    jz rbs_found
+    jl rbs_right
+    mov r7, r5
+    dec r5
+    jmp rbs_next
+rbs_right:
+    mov r7, r4
+    inc r4
+    jmp rbs_next
+rbs_found:
+    mov r7, r6
+rbs_next:
+    dec r10
+    jnz rbs_loop
+    mov r6, &P2OUT         ; untrusted result on the tainted port
+    pop r11
+    pop r10
+    ret
+
+.data 0x{RTOS_CUR:04X}
+rtos_cur:
+    .word 1                ; initialised .bss: first round runs div_task
+
+.data 0x0400
+rbs_table:
+    .word 2, 5, 7, 11, 19, 23, 31, 40, 51, 64, 79, 96, 115, 136, 159, 184
+rbs_hits:
+    .space 16
+"""
+
+
+def rtos_completion_stop(run) -> bool:
+    """Measurement stop: both tasks have produced a result (Section 7.3:
+    'runtime is measured from when the first task is scheduled to when
+    both tasks have completed')."""
+    return run.writes_to("P2OUT") >= 1 and run.writes_to("P4OUT") >= 1

@@ -1,0 +1,40 @@
+"""Gate-level GLIFT simulation and SoC behavioural models.
+
+* :mod:`repro.sim.compiled`    -- the netlist is compiled once into
+  levelised, cell-type-grouped lookup-table kernels; per-cycle evaluation is
+  a handful of vectorised numpy gathers.  This plays the role of the paper's
+  "custom gate-level simulator that implements application-specific
+  gate-level information flow tracking".
+* :mod:`repro.sim.memory`      -- word-addressed memory with per-bit ternary
+  values and taints, including the conservative *smearing* of stores/loads
+  through unknown or tainted addresses.
+* :mod:`repro.sim.peripherals` -- GPIO input/output ports and the auxiliary
+  timer.
+* :mod:`repro.sim.watchdog`    -- the watchdog timer whose untainted reset is
+  the paper's control-flow recovery mechanism.
+* :mod:`repro.sim.soc`         -- glues CPU netlist + memories + peripherals
+  into a steppable system-on-chip with full taint accounting and per-cycle
+  event records.
+"""
+
+from repro.sim.compiled import CircuitState, CompiledCircuit, code_of, decode_code
+from repro.sim.memory import TaintedMemory
+from repro.sim.peripherals import InputPort, OutputPort, AuxTimer
+from repro.sim.watchdog import Watchdog, WDT_INTERVALS
+from repro.sim.soc import SoC, SoCState, CycleEvents
+
+__all__ = [
+    "CompiledCircuit",
+    "CircuitState",
+    "code_of",
+    "decode_code",
+    "TaintedMemory",
+    "InputPort",
+    "OutputPort",
+    "AuxTimer",
+    "Watchdog",
+    "WDT_INTERVALS",
+    "SoC",
+    "SoCState",
+    "CycleEvents",
+]

@@ -1,0 +1,327 @@
+"""Compiled gate-level GLIFT simulator.
+
+A :class:`CompiledCircuit` turns a :class:`~repro.netlist.netlist.Netlist`
+into vectorised evaluation kernels:
+
+* the netlist is levelised once (:mod:`repro.netlist.levelize`);
+* within each level, gates are grouped by cell type;
+* each cell type's full ternary+taint behaviour -- the GLIFT semantics of
+  :func:`repro.logic.glift.glift_eval` -- is baked into a lookup table over
+  per-net *codes*.
+
+A net's code packs its ternary value and taint into one byte::
+
+    code = value * 2 + taint        # value in {0, 1, X=2}, taint in {0, 1}
+
+so a k-input gate's LUT has ``6**k`` entries, and evaluating a group of N
+same-type gates is one gather ``lut[idx]`` over an N-vector of base-6 packed
+input codes.  The per-cycle cost is a few dozen numpy operations regardless
+of gate count.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.logic.glift import GATE_FUNCTIONS, glift_eval
+from repro.logic.ternary import UNKNOWN
+from repro.logic.words import TWord
+from repro.netlist.cells import CONSTANT_CELLS
+from repro.netlist.levelize import levelize
+from repro.netlist.netlist import Netlist
+
+#: Codes for common states.
+CODE_0 = 0  # value 0, untainted
+CODE_1 = 2  # value 1, untainted
+CODE_X = 4  # value X, untainted
+
+
+def code_of(value: int, taint: int) -> int:
+    """Pack a ternary value and a taint bit into a net code."""
+    return value * 2 + taint
+
+
+def decode_code(code: int) -> Tuple[int, int]:
+    """Unpack a net code into ``(ternary value, taint)``."""
+    return code >> 1, code & 1
+
+
+def _lut_for(cell_type: str, taint_mode: str = "glift") -> np.ndarray:
+    """Exhaustive taint lookup table for one cell type, indexed base-6.
+
+    ``taint_mode="glift"`` uses the value-aware semantics of
+    :func:`repro.logic.glift.glift_eval` (the paper's Figure 1);
+    ``taint_mode="naive"`` uses conservative DIFT-style propagation --
+    the output is tainted whenever *any* input is -- used by the ablation
+    study to show why value-awareness is load-bearing (a naive tracker
+    can never verify the masking repair: AND with an untainted constant
+    would stay tainted).
+    """
+    func = GATE_FUNCTIONS[cell_type]
+    arity = 1 if cell_type in ("BUF", "NOT") else (
+        3 if cell_type == "MUX2" else int(cell_type[-1])
+    )
+    lut = np.zeros(6 ** arity, dtype=np.uint8)
+    for codes in itertools.product(range(6), repeat=arity):
+        values = [c >> 1 for c in codes]
+        taints = [c & 1 for c in codes]
+        index = 0
+        for code in codes:
+            index = index * 6 + code
+        value, taint = glift_eval(func, values, taints)
+        if taint_mode == "naive":
+            taint = 1 if any(taints) else 0
+        elif taint_mode != "glift":
+            raise ValueError(f"unknown taint mode {taint_mode!r}")
+        lut[index] = code_of(value, taint)
+    return lut
+
+
+_LUT_CACHE: Dict[Tuple[str, str], np.ndarray] = {}
+
+
+def _cached_lut(cell_type: str, taint_mode: str = "glift") -> np.ndarray:
+    key = (cell_type, taint_mode)
+    if key not in _LUT_CACHE:
+        _LUT_CACHE[key] = _lut_for(cell_type, taint_mode)
+    return _LUT_CACHE[key]
+
+
+@dataclass
+class _Group:
+    """All gates of one cell type within one level."""
+
+    lut: np.ndarray
+    inputs: List[np.ndarray]  # arity arrays of net ids
+    outputs: np.ndarray
+
+
+class CircuitState:
+    """Per-net codes for one simulation state (mutable, cheap to copy)."""
+
+    __slots__ = ("codes",)
+
+    def __init__(self, codes: np.ndarray):
+        self.codes = codes
+
+    def copy(self) -> "CircuitState":
+        return CircuitState(self.codes.copy())
+
+
+class CompiledCircuit:
+    """A netlist compiled for fast ternary+taint cycle simulation."""
+
+    def __init__(self, netlist: Netlist, taint_mode: str = "glift"):
+        netlist.validate()
+        self.netlist = netlist
+        self.taint_mode = taint_mode
+        self.num_nets = netlist.num_nets
+
+        self._const_nets: List[int] = []
+        self._const_codes: List[int] = []
+        for gate in netlist.gates:
+            if gate.cell_type in CONSTANT_CELLS:
+                self._const_nets.append(gate.output)
+                self._const_codes.append(
+                    CODE_1 if gate.cell_type == "TIE1" else CODE_0
+                )
+        self._const_nets_arr = np.array(self._const_nets, dtype=np.int64)
+        self._const_codes_arr = np.array(self._const_codes, dtype=np.uint8)
+
+        self._levels: List[List[_Group]] = []
+        for level in levelize(netlist)[1:]:
+            by_type: Dict[str, List] = {}
+            for gate in level:
+                by_type.setdefault(gate.cell_type, []).append(gate)
+            groups = []
+            for cell_type, gates in sorted(by_type.items()):
+                arity = len(gates[0].inputs)
+                inputs = [
+                    np.array(
+                        [g.inputs[position] for g in gates], dtype=np.int64
+                    )
+                    for position in range(arity)
+                ]
+                outputs = np.array([g.output for g in gates], dtype=np.int64)
+                groups.append(
+                    _Group(
+                        _cached_lut(cell_type, taint_mode),
+                        inputs,
+                        outputs,
+                    )
+                )
+            self._levels.append(groups)
+
+        self._dff_q = np.array([d.q for d in netlist.dffs], dtype=np.int64)
+        self._dff_d = np.array([d.d for d in netlist.dffs], dtype=np.int64)
+
+        self._inputs = {p.name: p.nets for p in netlist.inputs}
+        self._outputs = {p.name: p.nets for p in netlist.outputs}
+
+    # ------------------------------------------------------------------
+    # State management
+    # ------------------------------------------------------------------
+    def new_state(self) -> CircuitState:
+        """Fresh state: every net (including all flip-flops) untainted X.
+
+        This is Algorithm 1 line 2: "initialize all memory cells and all
+        gates in design_netlist to untainted X".
+        """
+        codes = np.full(self.num_nets, CODE_X, dtype=np.uint8)
+        return CircuitState(codes)
+
+    def dff_state(self, state: CircuitState) -> np.ndarray:
+        """The flip-flop snapshot (copy) -- the circuit's true state."""
+        return state.codes[self._dff_q].copy()
+
+    def set_dff_state(self, state: CircuitState, snapshot: np.ndarray) -> None:
+        state.codes[self._dff_q] = snapshot
+
+    @property
+    def num_dffs(self) -> int:
+        return len(self._dff_q)
+
+    # ------------------------------------------------------------------
+    # Port access
+    # ------------------------------------------------------------------
+    def set_input(self, state: CircuitState, name: str, word: TWord) -> None:
+        nets = self._inputs[name]
+        if len(nets) != word.width:
+            raise ValueError(
+                f"port {name} is {len(nets)} bits, got {word.width}"
+            )
+        self.set_nets(state, nets, word)
+
+    def read_output(self, state: CircuitState, name: str) -> TWord:
+        return self.read_nets(state, self._outputs[name])
+
+    def set_nets(
+        self, state: CircuitState, nets: Sequence[int], word: TWord
+    ) -> None:
+        codes = state.codes
+        for index, net in enumerate(nets):
+            value, taint = word.bit(index)
+            codes[net] = code_of(value, taint)
+
+    def read_nets(self, state: CircuitState, nets: Sequence[int]) -> TWord:
+        bits = 0
+        xmask = 0
+        tmask = 0
+        codes = state.codes
+        for index, net in enumerate(nets):
+            code = int(codes[net])
+            value, taint = code >> 1, code & 1
+            probe = 1 << index
+            if value == UNKNOWN:
+                xmask |= probe
+            elif value:
+                bits |= probe
+            if taint:
+                tmask |= probe
+        return TWord(bits, xmask, tmask, len(nets))
+
+    def input_nets(self, name: str) -> Tuple[int, ...]:
+        return self._inputs[name]
+
+    def output_nets(self, name: str) -> Tuple[int, ...]:
+        return self._outputs[name]
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def eval_combinational(self, state: CircuitState) -> None:
+        """Propagate codes through all combinational logic (one pass)."""
+        codes = state.codes
+        if len(self._const_nets_arr):
+            codes[self._const_nets_arr] = self._const_codes_arr
+        for groups in self._levels:
+            for group in groups:
+                index = codes[group.inputs[0]].astype(np.int32)
+                for column in group.inputs[1:]:
+                    index *= 6
+                    index += codes[column]
+                codes[group.outputs] = group.lut[index]
+
+    def cone_plan(self, port_names: Sequence[str]) -> List[List[_Group]]:
+        """Pre-group only the gates feeding the named output ports.
+
+        Used by the SoC's first evaluation pass, which only needs the
+        memory-interface signals; the full pass runs after read data is
+        applied.
+        """
+        wanted = set()
+        for name in port_names:
+            wanted.update(self._outputs[name])
+        producers: Dict[int, object] = {}
+        for groups in self._levels:
+            for group in groups:
+                for position, output in enumerate(group.outputs):
+                    producers[int(output)] = (group, position)
+        needed = set()
+        stack = list(wanted)
+        while stack:
+            net = stack.pop()
+            if net in needed:
+                continue
+            needed.add(net)
+            producer = producers.get(net)
+            if producer is None:
+                continue
+            group, position = producer
+            for column in group.inputs:
+                stack.append(int(column[position]))
+        plan: List[List[_Group]] = []
+        for groups in self._levels:
+            level_plan: List[_Group] = []
+            for group in groups:
+                keep = [
+                    i
+                    for i, output in enumerate(group.outputs)
+                    if int(output) in needed
+                ]
+                if not keep:
+                    continue
+                if len(keep) == len(group.outputs):
+                    level_plan.append(group)
+                else:
+                    level_plan.append(
+                        _Group(
+                            group.lut,
+                            [column[keep] for column in group.inputs],
+                            group.outputs[keep],
+                        )
+                    )
+            if level_plan:
+                plan.append(level_plan)
+        return plan
+
+    def eval_plan(
+        self, state: CircuitState, plan: List[List[_Group]]
+    ) -> None:
+        """Evaluate a pre-grouped cone (see :meth:`cone_plan`)."""
+        codes = state.codes
+        if len(self._const_nets_arr):
+            codes[self._const_nets_arr] = self._const_codes_arr
+        for groups in plan:
+            for group in groups:
+                index = codes[group.inputs[0]].astype(np.int32)
+                for column in group.inputs[1:]:
+                    index *= 6
+                    index += codes[column]
+                codes[group.outputs] = group.lut[index]
+
+    def clock_edge(self, state: CircuitState) -> None:
+        """Latch every flip-flop: ``Q <= D``."""
+        state.codes[self._dff_q] = state.codes[self._dff_d]
+
+    def taint_fraction(self, state: CircuitState) -> float:
+        """Fraction of nets currently tainted (used by the *-logic study)."""
+        return float(np.mean(state.codes & 1))
+
+    def unknown_fraction(self, state: CircuitState) -> float:
+        """Fraction of nets currently unknown."""
+        return float(np.mean(state.codes >= 4))

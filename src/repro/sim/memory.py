@@ -1,0 +1,224 @@
+"""Word-addressed memory with per-bit ternary values and taints.
+
+This is the behavioural memory model the gate-level (and architectural)
+simulators attach to the processor's memory interface.  Its defining feature
+is the conservative handling of *unknown or tainted addresses*:
+
+* a **store** through an address with unknown/tainted bits may land on any
+  word matching the address's known untainted bits, so every such word is
+  *merged* with the stored data (differing bits become ``X``) and picks up
+  the data's taint plus the address's taint;
+* a **load** through such an address returns the merge of every matching
+  word, tainted if any matching word (or the address itself) is tainted.
+
+This is exactly the mechanism behind the paper's Figure 9: an unmasked
+store whose address derives from a tainted input "ends up tainting the
+whole data memory space", while inserting ``AND #0x03FF`` / ``BIS #0x0400``
+mask instructions confines the match region to the tainted partition.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.logic.ternary import ONE, UNKNOWN, ZERO
+from repro.logic.words import TWord
+
+FULL16 = 0xFFFF
+
+
+class TaintedMemory:
+    """A bank of *size* words, each ``width`` bits of ternary+taint state."""
+
+    def __init__(self, size: int, width: int = 16):
+        self.size = size
+        self.width = width
+        self._full = (1 << width) - 1
+        self.bits = np.zeros(size, dtype=np.uint32)
+        self.xmask = np.full(size, self._full, dtype=np.uint32)
+        self.tmask = np.zeros(size, dtype=np.uint32)
+        self._indices = np.arange(size, dtype=np.uint32)
+
+    # ------------------------------------------------------------------
+    # Direct (concrete-index) access
+    # ------------------------------------------------------------------
+    def get(self, index: int) -> TWord:
+        return TWord(
+            int(self.bits[index]),
+            int(self.xmask[index]),
+            int(self.tmask[index]),
+            self.width,
+        )
+
+    def set(self, index: int, word: TWord) -> None:
+        self.bits[index] = word.bits
+        self.xmask[index] = word.xmask
+        self.tmask[index] = word.tmask
+
+    def load(self, base: int, values: Sequence[int], tmask: int = 0) -> None:
+        """Load a concrete image (e.g. a binary's data section)."""
+        for offset, value in enumerate(values):
+            self.bits[base + offset] = value & self._full
+            self.xmask[base + offset] = 0
+            self.tmask[base + offset] = tmask
+
+    def clear(self, tainted: bool = False) -> None:
+        """Reset every word to (un)tainted ``X``."""
+        self.bits[:] = 0
+        self.xmask[:] = self._full
+        self.tmask[:] = self._full if tainted else 0
+
+    # ------------------------------------------------------------------
+    # Address-pattern machinery
+    # ------------------------------------------------------------------
+    def match_mask(self, address: TWord) -> np.ndarray:
+        """Words a load/store through *address* may touch on this path.
+
+        Only *unknown* address bits wildcard.  A tainted-but-concrete
+        address names a definite location here: the analysis concretises
+        control flow per path (Algorithm 1's PC handling), so the attacker's
+        cross-world steering is covered by exploring the other paths, and
+        within a path the taint travels on the *data* (see
+        ``_address_smear_taint``), not by widening the footprint.  This is
+        precisely what separates the paper's per-path analysis from
+        *-logic's everything-goes-unknown collapse (footnote 8).
+        """
+        known = self._full & ~(address.xmask & self._full)
+        return (self._indices & known) == (address.bits & known)
+
+    def _address_smear_taint(self, address: TWord) -> int:
+        return self._full if address.tmask else 0
+
+    # ------------------------------------------------------------------
+    # Load / store through symbolic addresses
+    # ------------------------------------------------------------------
+    def read(self, address: TWord) -> TWord:
+        """Load through a possibly unknown/tainted address.
+
+        The value and taint both follow the unknown-bit footprint (a single
+        word when the address is concrete, tainted or not); a tainted
+        address additionally taints the whole result, since *which* word
+        was read is attacker-influenced.
+        """
+        taint = self._address_smear_taint(address)
+        if address.xmask == 0:
+            word = self.get(address.bits % self.size)
+            return word.or_taint(taint)
+        match = self.match_mask(address)
+        if not match.any():
+            # Address provably outside this bank.
+            return TWord.unknown(self.width, tmask=taint)
+        any_x = int(np.bitwise_or.reduce(self.xmask[match]))
+        and_bits = int(np.bitwise_and.reduce(self.bits[match]))
+        or_bits = int(np.bitwise_or.reduce(self.bits[match]))
+        taint |= int(np.bitwise_or.reduce(self.tmask[match]))
+        known1 = and_bits & ~any_x
+        known0 = ~or_bits & ~any_x & self._full
+        xmask = self._full & ~(known0 | known1)
+        return TWord(known1, xmask, taint, self.width)
+
+    def write(
+        self,
+        address: TWord,
+        data: TWord,
+        wen: Tuple[int, int] = (ONE, 0),
+    ) -> np.ndarray:
+        """Store through a possibly unknown/tainted address.
+
+        *wen* is the (ternary value, taint) of the write strobe.  Returns
+        the boolean mask of words that may have been affected (used by the
+        policy checker to detect writes into untainted partitions).
+        """
+        wen_value, wen_taint = wen
+        none = np.zeros(self.size, dtype=bool)
+        if wen_value == ZERO:
+            # No store happens on this path.  A tainted strobe reflects
+            # attacker-chosen control flow, and the paths where the store
+            # *does* happen are explored separately.
+            return none
+
+        smear = self._address_smear_taint(address) | (
+            self._full if wen_taint else 0
+        )
+        if address.xmask == 0 and wen_value == ONE:
+            # Definite write: the word's taint becomes the data's taint
+            # (plus the smear for attacker-influenced address/strobe) -- an
+            # untainted definite overwrite *cleans* the word, matching the
+            # gate-level semantics.
+            index = address.bits % self.size
+            self.set(index, data.or_taint(smear))
+            mask = none
+            mask[index] = True
+            return mask
+        # Unknown address and/or maybe-strobe: merge into the footprint.
+        match = self.match_mask(address)
+        if not match.any():
+            return none
+        differ = (
+            (self.bits[match] ^ np.uint32(data.bits))
+            | self.xmask[match]
+            | np.uint32(data.xmask)
+        )
+        self.bits[match] &= ~differ
+        self.xmask[match] = differ
+        self.tmask[match] |= data.tmask | smear
+        return match
+
+    # ------------------------------------------------------------------
+    # Region / policy queries
+    # ------------------------------------------------------------------
+    def tainted_words(self) -> np.ndarray:
+        return self.tmask != 0
+
+    def region_taint_count(self, low: int, high: int) -> int:
+        """Number of tainted words in ``[low, high)``."""
+        return int(np.count_nonzero(self.tmask[low:high]))
+
+    def region_tainted(self, low: int, high: int) -> bool:
+        return bool((self.tmask[low:high] != 0).any())
+
+    def taint_region(self, low: int, high: int) -> None:
+        self.tmask[low:high] = self._full
+
+    def untaint_region(self, low: int, high: int) -> None:
+        self.tmask[low:high] = 0
+
+    # ------------------------------------------------------------------
+    # State management (tracker support)
+    # ------------------------------------------------------------------
+    def copy(self) -> "TaintedMemory":
+        clone = TaintedMemory.__new__(TaintedMemory)
+        clone.size = self.size
+        clone.width = self.width
+        clone._full = self._full
+        clone.bits = self.bits.copy()
+        clone.xmask = self.xmask.copy()
+        clone.tmask = self.tmask.copy()
+        clone._indices = self._indices
+        return clone
+
+    def merge_from(self, other: "TaintedMemory") -> None:
+        """In-place most-conservative merge with *other*."""
+        differ = (self.bits ^ other.bits) | self.xmask | other.xmask
+        self.bits &= ~differ
+        self.xmask = differ
+        self.tmask |= other.tmask
+
+    def covers(self, other: "TaintedMemory") -> bool:
+        """True when every word of *self* covers the matching word of *other*."""
+        if (other.tmask & ~self.tmask).any():
+            return False
+        differ = ((self.bits ^ other.bits) | other.xmask) & ~self.xmask
+        return not differ.any()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TaintedMemory):
+            return NotImplemented
+        return (
+            self.size == other.size
+            and bool((self.bits == other.bits).all())
+            and bool((self.xmask == other.xmask).all())
+            and bool((self.tmask == other.tmask).all())
+        )

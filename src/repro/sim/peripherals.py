@@ -1,0 +1,245 @@
+"""Behavioural peripheral models with full taint accounting.
+
+Ports model the paper's ``P1``/``P3`` (inputs) and ``P2``/``P4`` (outputs):
+an input port read yields a fresh unknown word whose taint is the port's
+security label; an output port write is recorded so the policy checker can
+flag tainted data leaving an untainted port (sufficient condition 5) or
+untainted code touching a tainted port (condition 4).
+
+All peripherals implement a tiny uniform interface used by the SoC's
+address decoder:
+
+* ``read_reg(address) -> TWord``
+* ``write_reg(address, data, wen) -> None``  (*wen* covers maybe-writes
+  coming from smeared store addresses)
+* ``snapshot()`` / ``restore(state)`` / ``merge(state)`` / ``covers(state)``
+  so the symbolic tracker can fork and merge execution paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.logic.ternary import ONE, ZERO
+from repro.logic.words import TWord
+
+
+@dataclass(frozen=True)
+class PortEvent:
+    """One observed port access (produced per cycle, consumed by checker)."""
+
+    port: str
+    kind: str  # "read" or "write"
+    data: TWord
+    address_taint: int  # taint mask of the address used to reach the port
+    definite: bool  # False when reached only via a smeared address
+
+
+class InputPort:
+    """A memory-mapped GPIO input.
+
+    Every read returns a fresh fully-unknown word; the taint is the port's
+    label (1 for untrusted/secret ports under the active policy).
+    """
+
+    def __init__(self, name: str, address: int, tainted: bool = False):
+        self.name = name
+        self.address = address
+        self.tainted = tainted
+        self.events: List[PortEvent] = []
+        #: When set, reads return ``driver()`` instead of X (concrete runs).
+        self.driver: Optional[Callable[[], int]] = None
+
+    def read_reg(self, address: int, address_taint: int = 0, definite: bool = True) -> TWord:
+        taint = 0xFFFF if self.tainted else 0
+        if self.driver is not None and definite:
+            word = TWord.const(self.driver() & 0xFFFF, tmask=taint)
+        else:
+            word = TWord.unknown(16, tmask=taint)
+        self.events.append(
+            PortEvent(self.name, "read", word, address_taint, definite)
+        )
+        return word
+
+    def write_reg(
+        self,
+        address: int,
+        data: TWord,
+        wen: Tuple[int, int],
+        address_taint: int = 0,
+    ) -> None:
+        # Writing an input port has no architectural effect; still record it
+        # so the checker can flag suspicious accesses.
+        self.events.append(
+            PortEvent(
+                self.name,
+                "write",
+                data,
+                address_taint,
+                wen == (ONE, 0) and address_taint == 0,
+            )
+        )
+
+    # Ports are stateless between cycles (events drain per cycle).
+    def snapshot(self):
+        return None
+
+    def restore(self, state) -> None:
+        pass
+
+    def merge(self, state) -> None:
+        pass
+
+    def covers(self, state) -> bool:
+        return True
+
+
+class OutputPort:
+    """A memory-mapped GPIO output; remembers its last driven value."""
+
+    def __init__(self, name: str, address: int, tainted: bool = False):
+        self.name = name
+        self.address = address
+        self.tainted = tainted
+        self.value = TWord.const(0)
+        self.events: List[PortEvent] = []
+
+    def read_reg(self, address: int, address_taint: int = 0, definite: bool = True) -> TWord:
+        return self.value.or_taint(
+            0xFFFF if address_taint else 0
+        )
+
+    def write_reg(
+        self,
+        address: int,
+        data: TWord,
+        wen: Tuple[int, int],
+        address_taint: int = 0,
+    ) -> None:
+        wen_value, wen_taint = wen
+        if wen_value == ZERO:
+            return
+        smear = 0xFFFF if (wen_taint or address_taint) else 0
+        if wen_value == ONE:
+            # The write happens on this path.
+            self.value = data.or_taint(smear)
+            definite = smear == 0
+        else:
+            # Maybe-written (unknown strobe or smeared address).
+            self.value = self.value.merge(data).or_taint(smear)
+            definite = False
+        self.events.append(
+            PortEvent(self.name, "write", self.value, address_taint, definite)
+        )
+
+    def snapshot(self) -> TWord:
+        return self.value
+
+    def restore(self, state: TWord) -> None:
+        self.value = state
+
+    def merge(self, state: TWord) -> None:
+        self.value = self.value.merge(state)
+
+    def covers(self, state: TWord) -> bool:
+        return self.value.covers(state)
+
+
+class AuxTimer:
+    """A small auxiliary up-counting timer (``TACTL`` / ``TAR``).
+
+    Section 5.2 notes that a tainted task that itself needs the watchdog can
+    often be given "a different timer"; this is that timer.  ``TACTL`` bit 0
+    enables counting; reading ``TAR`` returns the current count.
+    """
+
+    def __init__(self, tactl_address: int, tar_address: int):
+        self.tactl_address = tactl_address
+        self.tar_address = tar_address
+        self.control = TWord.const(0)
+        self.counter = 0
+        self.counter_taint = 0
+        self.counter_x = 0
+
+    def read_reg(self, address: int, address_taint: int = 0, definite: bool = True) -> TWord:
+        if address == self.tactl_address:
+            return self.control
+        return TWord(
+            self.counter & 0xFFFF,
+            0xFFFF if self.counter_x else 0,
+            0xFFFF if self.counter_taint else 0,
+            16,
+        )
+
+    def write_reg(
+        self,
+        address: int,
+        data: TWord,
+        wen: Tuple[int, int],
+        address_taint: int = 0,
+    ) -> None:
+        wen_value, wen_taint = wen
+        if wen_value == ZERO and not wen_taint:
+            return
+        definite = wen == (ONE, 0) and address_taint == 0
+        if address == self.tactl_address:
+            if definite:
+                self.control = data
+            else:
+                self.control = self.control.merge(data).or_taint(0xFFFF)
+        elif address == self.tar_address:
+            if definite and data.is_concrete:
+                self.counter = data.value
+                self.counter_taint = 1 if data.tmask else 0
+                self.counter_x = 0
+            else:
+                self.counter_taint = 1
+                self.counter_x = 1
+
+    def tick(self) -> None:
+        enabled, enabled_taint = self.control.bit(0)
+        if enabled == ONE:
+            self.counter = (self.counter + 1) & 0xFFFF
+        if enabled_taint:
+            self.counter_taint = 1
+        if self.control.xmask & 1:
+            self.counter_x = 1
+
+    def fast_forward(self, cycles: int) -> None:
+        enabled, enabled_taint = self.control.bit(0)
+        if enabled == ONE:
+            self.counter = (self.counter + cycles) & 0xFFFF
+        if enabled_taint:
+            self.counter_taint = 1
+        if self.control.xmask & 1:
+            self.counter_x = 1
+
+    def snapshot(self):
+        return (self.control, self.counter, self.counter_taint, self.counter_x)
+
+    def restore(self, state) -> None:
+        (
+            self.control,
+            self.counter,
+            self.counter_taint,
+            self.counter_x,
+        ) = state
+
+    def merge(self, state) -> None:
+        control, counter, counter_taint, counter_x = state
+        self.control = self.control.merge(control)
+        if counter != self.counter:
+            self.counter_x = 1
+        self.counter_taint |= counter_taint
+        self.counter_x |= counter_x
+
+    def covers(self, state) -> bool:
+        control, counter, counter_taint, counter_x = state
+        if not self.control.covers(control):
+            return False
+        if counter_taint and not self.counter_taint:
+            return False
+        if counter_x and not self.counter_x:
+            return False
+        return self.counter == counter or bool(self.counter_x)

@@ -1,0 +1,113 @@
+"""Convenience harness for running programs on the gate-level SoC.
+
+Used by the test-suite's gate-vs-architectural cross-validation and by the
+evaluation harness when it wants ground-truth gate-level runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.isa.encode import EncodeError, decode
+from repro.isa.program import Program
+from repro.logic.ternary import ONE, UNKNOWN, ZERO
+from repro.logic.words import TWord
+from repro.sim.compiled import CompiledCircuit
+from repro.sim.soc import AddressSpace, CycleEvents, Rom, SoC
+
+#: dbg_phase bit indices (matches the build order in repro.cpu.build).
+PHASE_F, PHASE_SE, PHASE_SL, PHASE_DE, PHASE_DL, PHASE_E, PHASE_J = range(7)
+
+
+class GateRunner:
+    """Loads a program into a gate-level SoC and steps it."""
+
+    def __init__(
+        self,
+        circuit: CompiledCircuit,
+        program: Program,
+        space: Optional[AddressSpace] = None,
+        inputs: Optional[Callable[[str], int]] = None,
+    ):
+        self.program = program
+        rom = Rom()
+        program.load_rom(rom)
+        self.soc = SoC(circuit, rom=rom, space=space)
+        program.load_ram(self.soc.space.ram)
+        if inputs is not None:
+            for port in self.soc.space.input_ports:
+                port.driver = lambda name=port.name: inputs(name)
+        self._net_ids: Dict[str, int] = {
+            name: index
+            for index, name in enumerate(circuit.netlist.net_names)
+        }
+        self.soc.reset()
+        self.events: List[CycleEvents] = []
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def read_named(self, prefix: str, width: int = 16) -> TWord:
+        """Read an internal register by its net-name prefix (e.g. 'rf/r4')."""
+        nets = [self._net_ids[f"{prefix}[{i}]"] for i in range(width)]
+        return self.soc.circuit.read_nets(self.soc.state, nets)
+
+    def register(self, index: int) -> TWord:
+        if index == 0:
+            return self.soc.pc()
+        if index == 2:
+            return self.soc.read_debug("dbg_sr")
+        if index == 3:
+            return TWord.const(0)
+        return self.read_named(f"rf/r{index}")
+
+    def phase(self) -> int:
+        """Current FSM phase, read from the *registered* bits only.
+
+        After a clock edge the combinational nets (including the derived F
+        bit) are stale until the next evaluation, but the six registered
+        phase bits are fresh; F is the all-zero case.
+        """
+        word = self.soc.read_debug("dbg_phase")
+        unknown = False
+        for bit in range(1, 7):
+            value, _ = word.bit(bit)
+            if value == ONE:
+                return bit
+            if value != ZERO:
+                unknown = True
+        if unknown:
+            return -1  # the FSM itself has unknown state bits
+        return PHASE_F
+
+    def at_halt(self) -> bool:
+        """True when executing the idle self-loop (``jmp $``)."""
+        if self.phase() != PHASE_J:
+            return False
+        ir = self.soc.instruction_register()
+        if not ir.is_concrete:
+            return False
+        try:
+            instruction = decode([ir.value, 0, 0], 0)
+        except EncodeError:
+            return False
+        return instruction.mnemonic == "jmp" and instruction.offset == -1
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+    def step(self) -> CycleEvents:
+        events = self.soc.step()
+        self.events.append(events)
+        return events
+
+    def run(
+        self, max_cycles: int = 100_000, stop_at_halt: bool = True
+    ) -> int:
+        """Step until the idle loop (or *max_cycles*); returns cycles run."""
+        start = self.soc.cycle
+        while self.soc.cycle - start < max_cycles:
+            if stop_at_halt and self.at_halt():
+                break
+            self.step()
+        return self.soc.cycle - start

@@ -1,0 +1,437 @@
+"""System-on-chip model: CPU netlist + memories + peripherals.
+
+The :class:`SoC` steps a compiled CPU netlist one clock cycle at a time,
+servicing its Harvard memory interface against behavioural models with full
+taint accounting, and returning a :class:`CycleEvents` record that the
+policy checker consumes.
+
+CPU port contract (any netlist with these ports can be driven):
+
+=================  ===  =====================================================
+``rst``            in   power-on reset (watchdog POR ORed in by the SoC)
+``pmem_rdata``     in   instruction word at ``pmem_addr``
+``dmem_rdata``     in   data word at ``dmem_addr``
+``pmem_addr``      out  program-memory word address (register-sourced)
+``dmem_addr``      out  data-memory word address (register-sourced)
+``dmem_wdata``     out  store data (register-sourced)
+``dmem_wen``       out  store strobe
+``dmem_ren``       out  load strobe
+``dbg_pc``         out  the PC register (wired straight to its DFF Qs, so
+                        writing this port *forces* the PC -- used when the
+                        tracker concretises an unknown PC)
+``dbg_pc_next``    out  the PC register's D inputs (next-cycle PC)
+``dbg_ir``         out  instruction register
+``dbg_sr``         out  status register
+``dbg_phase``      out  one-hot FSM phase
+=================  ===  =====================================================
+
+The memory-facing outputs must not combinationally depend on the same
+cycle's ``*_rdata`` inputs (the LP430 datapath guarantees this by sourcing
+them from registers), which lets the SoC evaluate each cycle with exactly
+two combinational passes: one to observe the addresses/strobes, one after
+read data is applied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import memmap
+from repro.logic.ternary import ONE, UNKNOWN, ZERO
+from repro.logic.words import TWord
+from repro.sim.compiled import CircuitState, CompiledCircuit
+from repro.sim.memory import TaintedMemory
+from repro.sim.peripherals import AuxTimer, InputPort, OutputPort, PortEvent
+from repro.sim.watchdog import Watchdog
+
+
+class Rom:
+    """Program memory: concrete words, optionally tainted per word."""
+
+    def __init__(self, size: int = memmap.PMEM_SIZE):
+        self.size = size
+        self.words = np.zeros(size, dtype=np.uint32)
+        self.tmask = np.zeros(size, dtype=np.uint32)
+        self._indices = np.arange(size, dtype=np.uint32)
+
+    def load(self, base: int, words: Sequence[int], tmask: int = 0) -> None:
+        for offset, word in enumerate(words):
+            self.words[base + offset] = word & 0xFFFF
+            self.tmask[base + offset] = tmask
+
+    def read(self, address: TWord) -> TWord:
+        """Instruction fetch: value follows the unknown bits of the
+        address; a tainted (attacker-steerable) address fully taints the
+        fetched word even when concrete here."""
+        taint = 0xFFFF if address.tmask else 0
+        if address.xmask == 0:
+            index = address.bits % self.size
+            return TWord(
+                int(self.words[index]), 0, int(self.tmask[index]) | taint, 16
+            )
+        known = 0xFFFF & ~address.xmask
+        match = (self._indices & known) == (address.bits & known)
+        if not match.any():
+            return TWord.unknown(16, tmask=taint)
+        and_bits = int(np.bitwise_and.reduce(self.words[match]))
+        or_bits = int(np.bitwise_or.reduce(self.words[match]))
+        taint |= int(np.bitwise_or.reduce(self.tmask[match]))
+        known1 = and_bits
+        known0 = ~or_bits & 0xFFFF
+        xmask = 0xFFFF & ~(known0 | known1)
+        return TWord(known1, xmask, taint, 16)
+
+
+@dataclass
+class MemWrite:
+    """One (possible) data-memory store observed this cycle."""
+
+    address: TWord
+    data: TWord
+    wen: Tuple[int, int]
+    ram_match: np.ndarray  # boolean mask over RAM words possibly written
+
+
+@dataclass
+class MemRead:
+    """One (possible) data-memory load observed this cycle."""
+
+    address: TWord
+    data: TWord
+    ren: Tuple[int, int]
+
+
+@dataclass
+class CycleEvents:
+    """Everything observable about one simulated cycle."""
+
+    cycle: int
+    pc: TWord
+    instruction: TWord
+    reset: Tuple[int, int]
+    read: Optional[MemRead] = None
+    write: Optional[MemWrite] = None
+    port_events: List[PortEvent] = field(default_factory=list)
+    por_next: Tuple[int, int] = (ZERO, 0)
+
+
+class AddressSpace:
+    """Routes data-space accesses to RAM, GPIO ports and timers.
+
+    Shared by the gate-level SoC and the architectural simulator so both
+    observe identical memory/peripheral semantics.
+    """
+
+    def __init__(
+        self,
+        tainted_input_ports: Sequence[str] = ("P1IN",),
+        tainted_output_ports: Sequence[str] = ("P2OUT",),
+    ):
+        self.ram = TaintedMemory(memmap.DMEM_SIZE)
+        self.watchdog = Watchdog(memmap.WDTCTL)
+        self.timer = AuxTimer(memmap.TACTL, memmap.TAR)
+        self.ports: Dict[int, object] = {}
+        self.input_ports: List[InputPort] = []
+        self.output_ports: List[OutputPort] = []
+        for name, address in (
+            ("P1IN", memmap.P1IN),
+            ("P3IN", memmap.P3IN),
+            ("P5IN", memmap.P5IN),
+        ):
+            port = InputPort(name, address, tainted=name in tainted_input_ports)
+            self.ports[address] = port
+            self.input_ports.append(port)
+        for name, address in (
+            ("P2OUT", memmap.P2OUT),
+            ("P4OUT", memmap.P4OUT),
+            ("P6OUT", memmap.P6OUT),
+        ):
+            port = OutputPort(
+                name, address, tainted=name in tainted_output_ports
+            )
+            self.ports[address] = port
+            self.output_ports.append(port)
+        self.ports[memmap.WDTCTL] = self.watchdog
+        self.ports[memmap.TACTL] = self.timer
+        self.ports[memmap.TAR] = self.timer
+
+    # ------------------------------------------------------------------
+    def _matching_peripherals(self, address: TWord) -> List[Tuple[int, object]]:
+        """Peripherals reachable through the address's *unknown* bits."""
+        known = 0xFFFF & ~address.xmask
+        return [
+            (reg_address, peripheral)
+            for reg_address, peripheral in self.ports.items()
+            if (reg_address & known) == (address.bits & known)
+        ]
+
+    def read(self, address: TWord, ren: Tuple[int, int] = (ONE, 0)) -> TWord:
+        """Load from the data space (RAM merged with matching peripherals).
+
+        A concrete address routes to exactly one device for the *value*
+        (even when tainted -- the attacker-steerability is carried by the
+        taint smear, not by merging in other devices' values).
+        """
+        address_taint = 0xFFFF if address.tmask else 0
+        if address.xmask == 0:
+            definite = ren == (ONE, 0) and address_taint == 0
+            index = address.bits
+            if index in self.ports:
+                word = self.ports[index].read_reg(
+                    index, address_taint, definite
+                )
+            else:
+                word = self.ram.read(address)
+            return word.or_taint(address_taint)
+        # Smeared load: merge RAM view with any reachable peripheral.
+        result = self.ram.read(address)
+        for reg_address, peripheral in self._matching_peripherals(address):
+            word = peripheral.read_reg(reg_address, address_taint, False)
+            result = result.merge(word)
+        return result
+
+    def write(
+        self, address: TWord, data: TWord, wen: Tuple[int, int] = (ONE, 0)
+    ) -> np.ndarray:
+        """Store into the data space; returns the RAM possibly-written mask.
+
+        Value effects follow the concrete/unknown address bits; taint
+        effects (the "shadow worlds" an attacker can steer) reach every
+        device matching the address's unknown *or tainted* bits.
+        """
+        wen_value, wen_taint = wen
+        none = np.zeros(self.ram.size, dtype=bool)
+        if wen_value == ZERO:
+            # No store on this path (see TaintedMemory.write).
+            return none
+        address_taint = 0xFFFF if address.tmask else 0
+
+        if address.xmask == 0:
+            index = address.bits
+            if index in self.ports:
+                self.ports[index].write_reg(index, data, wen, address_taint)
+                return none
+            return self.ram.write(address, data, wen)
+
+        # Unknown address: maybe-effects on every matching device.
+        maybe_wen = (UNKNOWN, wen_taint | (1 if address.tmask else 0))
+        for reg_address, peripheral in self._matching_peripherals(address):
+            peripheral.write_reg(reg_address, data, maybe_wen, address_taint)
+        return self.ram.write(address, data, wen)
+
+    def drain_port_events(self) -> List[PortEvent]:
+        events: List[PortEvent] = []
+        for port in self.input_ports + self.output_ports:
+            events.extend(port.events)
+            port.events.clear()
+        return events
+
+    # ------------------------------------------------------------------
+    # Tracker state management
+    # ------------------------------------------------------------------
+    def snapshot(self):
+        return (
+            self.ram.bits.copy(),
+            self.ram.xmask.copy(),
+            self.ram.tmask.copy(),
+            self.watchdog.snapshot(),
+            self.timer.snapshot(),
+            tuple(port.snapshot() for port in self.output_ports),
+        )
+
+    def restore(self, state) -> None:
+        bits, xmask, tmask, wdt, timer, outputs = state
+        self.ram.bits[:] = bits
+        self.ram.xmask[:] = xmask
+        self.ram.tmask[:] = tmask
+        self.watchdog.restore(wdt)
+        self.timer.restore(timer)
+        for port, value in zip(self.output_ports, outputs):
+            port.restore(value)
+
+    def merge(self, state) -> None:
+        bits, xmask, tmask, wdt, timer, outputs = state
+        differ = (self.ram.bits ^ bits) | self.ram.xmask | xmask
+        self.ram.bits &= ~differ
+        self.ram.xmask = differ
+        self.ram.tmask |= tmask
+        self.watchdog.merge(wdt)
+        self.timer.merge(timer)
+        for port, value in zip(self.output_ports, outputs):
+            port.merge(value)
+
+    def covers(self, state) -> bool:
+        bits, xmask, tmask, wdt, timer, outputs = state
+        if (tmask & ~self.ram.tmask).any():
+            return False
+        differ = ((self.ram.bits ^ bits) | xmask) & ~self.ram.xmask
+        if differ.any():
+            return False
+        if not self.watchdog.covers(wdt):
+            return False
+        if not self.timer.covers(timer):
+            return False
+        return all(
+            port.covers(value)
+            for port, value in zip(self.output_ports, outputs)
+        )
+
+
+@dataclass
+class SoCState:
+    """A forkable snapshot of the full system state."""
+
+    dff_codes: np.ndarray
+    space_state: tuple
+    pending_por: Tuple[int, int]
+    cycle: int
+
+
+class SoC:
+    """A steppable LP430 system with gate-level GLIFT tracking."""
+
+    def __init__(
+        self,
+        circuit: CompiledCircuit,
+        rom: Optional[Rom] = None,
+        space: Optional[AddressSpace] = None,
+    ):
+        self.circuit = circuit
+        self.rom = rom if rom is not None else Rom()
+        self.space = space if space is not None else AddressSpace()
+        self.state: CircuitState = circuit.new_state()
+        self.pending_por: Tuple[int, int] = (ZERO, 0)
+        self.cycle = 0
+        # Pass 1 only needs the (register-sourced) memory interface.
+        self._interface_plan = circuit.cone_plan(
+            ["pmem_addr", "dmem_addr", "dmem_ren"]
+        )
+
+    # ------------------------------------------------------------------
+    # Observation helpers
+    # ------------------------------------------------------------------
+    def read_debug(self, name: str) -> TWord:
+        return self.circuit.read_output(self.state, name)
+
+    def pc(self) -> TWord:
+        return self.read_debug("dbg_pc")
+
+    def pc_next(self) -> TWord:
+        """The PC register's D inputs (valid after the cycle's evaluation)."""
+        return self.read_debug("dbg_pc_next")
+
+    def instruction_register(self) -> TWord:
+        return self.read_debug("dbg_ir")
+
+    def status_register(self) -> TWord:
+        return self.read_debug("dbg_sr")
+
+    def force_pc(self, value: int, tmask: int = 0) -> None:
+        """Concretise the PC (tracker fork support; keeps supplied taint)."""
+        nets = self.circuit.output_nets("dbg_pc")
+        self.circuit.set_nets(self.state, nets, TWord(value, 0, tmask, 16))
+
+    # ------------------------------------------------------------------
+    # Reset / cycle stepping
+    # ------------------------------------------------------------------
+    def reset(self, cycles: int = 2) -> None:
+        """Propagate an untainted power-on reset (Algorithm 1 line 5)."""
+        for _ in range(cycles):
+            self.step(external_reset=(ONE, 0))
+
+    def step(
+        self, external_reset: Tuple[int, int] = (ZERO, 0)
+    ) -> CycleEvents:
+        """Advance one clock cycle; returns everything observable about it."""
+        circuit = self.circuit
+        state = self.state
+
+        por_value, por_taint = self.pending_por
+        ext_value, ext_taint = external_reset
+        if ext_value == ONE or por_value == ONE:
+            reset_value = ONE
+        elif ext_value == UNKNOWN or por_value == UNKNOWN:
+            reset_value = UNKNOWN
+        else:
+            reset_value = ZERO
+        reset = (reset_value, por_taint | ext_taint)
+        if reset[0] == ONE:
+            self.space.watchdog.power_on_reset(reset[1])
+        circuit.set_input(state, "rst", TWord(
+            1 if reset[0] == ONE else 0,
+            1 if reset[0] == UNKNOWN else 0,
+            reset[1],
+            1,
+        ))
+
+        # Pass 1: addresses and strobes become valid (register-sourced).
+        circuit.eval_plan(state, self._interface_plan)
+        pmem_addr = circuit.read_output(state, "pmem_addr")
+        instruction = self.rom.read(pmem_addr)
+        circuit.set_input(state, "pmem_rdata", instruction)
+
+        # While reset is asserted the FSM outputs are not yet meaningful
+        # (they are X out of power-on); a real POR gates the memory
+        # interface, so the SoC suppresses data-memory side effects.
+        in_reset = reset[0] == ONE
+
+        dmem_addr = circuit.read_output(state, "dmem_addr")
+        ren_word = circuit.read_output(state, "dmem_ren")
+        ren = ren_word.bit(0)
+        read_event: Optional[MemRead] = None
+        if not in_reset and ren[0] != ZERO:
+            data = self.space.read(dmem_addr, ren)
+            read_event = MemRead(dmem_addr, data, ren)
+            circuit.set_input(state, "dmem_rdata", data)
+        else:
+            circuit.set_input(state, "dmem_rdata", TWord.unknown(16))
+
+        # Pass 2: read data propagates to every register's D input.
+        circuit.eval_combinational(state)
+
+        wen_word = circuit.read_output(state, "dmem_wen")
+        wen = wen_word.bit(0)
+        write_event: Optional[MemWrite] = None
+        if not in_reset and wen[0] != ZERO:
+            wdata = circuit.read_output(state, "dmem_wdata")
+            waddr = circuit.read_output(state, "dmem_addr")
+            ram_match = self.space.write(waddr, wdata, wen)
+            write_event = MemWrite(waddr, wdata, wen, ram_match)
+
+        self.space.timer.tick()
+        self.pending_por = self.space.watchdog.tick()
+
+        events = CycleEvents(
+            cycle=self.cycle,
+            pc=pmem_addr,
+            instruction=instruction,
+            reset=reset,
+            read=read_event,
+            write=write_event,
+            port_events=self.space.drain_port_events(),
+            por_next=self.pending_por,
+        )
+
+        circuit.clock_edge(state)
+        self.cycle += 1
+        return events
+
+    # ------------------------------------------------------------------
+    # Tracker state management
+    # ------------------------------------------------------------------
+    def snapshot(self) -> SoCState:
+        return SoCState(
+            dff_codes=self.circuit.dff_state(self.state),
+            space_state=self.space.snapshot(),
+            pending_por=self.pending_por,
+            cycle=self.cycle,
+        )
+
+    def restore(self, snapshot: SoCState) -> None:
+        self.circuit.set_dff_state(self.state, snapshot.dff_codes.copy())
+        self.space.restore(snapshot.space_state)
+        self.pending_por = snapshot.pending_por
+        self.cycle = snapshot.cycle

@@ -1,0 +1,43 @@
+"""The software-repair toolflow (Figures 10 and 11).
+
+* :mod:`repro.transform.rootcause`      -- distil an analysis result into
+  the instruction/task-level root causes the repairs target.
+* :mod:`repro.transform.masking`        -- software masked addressing:
+  insert ``AND #mask`` / ``BIS #base`` before offending stores.
+* :mod:`repro.transform.slicing`        -- the overhead-minimising
+  watchdog time-slice selection of Section 7.2.
+* :mod:`repro.transform.watchdog_reset` -- the untainted-timer-reset
+  transformation: arm the watchdog in trusted code, idle-pad the task.
+* :mod:`repro.transform.pipeline`       -- the end-to-end secure-compile
+  loop: analyse, repair, re-analyse, verify.
+* :mod:`repro.transform.report`         -- compiler-style diagnostics.
+"""
+
+from repro.transform.rootcause import RootCauses, identify_root_causes
+from repro.transform.masking import MaskingError, insert_masks
+from repro.transform.slicing import SlicePlan, choose_slicing
+from repro.transform.watchdog_reset import (
+    WatchdogTransformError,
+    insert_watchdog_protection,
+)
+from repro.transform.pipeline import (
+    FundamentalViolation,
+    SecureCompileResult,
+    secure_compile,
+)
+from repro.transform.report import render_diagnostics
+
+__all__ = [
+    "RootCauses",
+    "identify_root_causes",
+    "insert_masks",
+    "MaskingError",
+    "SlicePlan",
+    "choose_slicing",
+    "insert_watchdog_protection",
+    "WatchdogTransformError",
+    "secure_compile",
+    "SecureCompileResult",
+    "FundamentalViolation",
+    "render_diagnostics",
+]

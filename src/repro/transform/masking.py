@@ -1,0 +1,167 @@
+"""Software masked addressing (Figure 9's repair).
+
+For every flagged store instruction, two instructions are inserted just
+before it::
+
+    and #<partition mask>, Rn
+    bis #<partition base>, Rn
+
+confining the store's base register to the tainted task's RAM window.  The
+mask/base derive from the policy's tainted partition, which must be a
+power-of-two-sized, aligned region (as the paper's 0x0400..0x07FF window
+is).  The rewrite happens at the *source* level, using the assembler's
+per-line debug info to locate each static store -- then the caller
+re-assembles and re-analyses, as Figure 11 prescribes.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Tuple
+
+from repro.core.labels import SecurityPolicy
+from repro.isa.assembler import assemble
+from repro.isa.encode import DecodedInstruction, decode
+from repro.isa.program import Program
+from repro.isa.spec import MODE_INDEXED, MODE_REGISTER
+
+
+class MaskingError(Exception):
+    """Raised when a flagged store cannot be masked automatically."""
+
+
+#: The toolflow-reserved scratch register used to build confined effective
+#: addresses without clobbering the task's live registers (a conventional
+#: compiler-reserved temporary, like msp430-gcc's R4 frame temp).
+SCRATCH_REG = "r14"
+
+
+def partition_mask_base(policy: SecurityPolicy) -> Tuple[int, int]:
+    """The AND-mask and BIS-base for the policy's tainted partition."""
+    if not policy.tainted_memory:
+        raise MaskingError("policy has no tainted partition to confine to")
+    region = policy.tainted_memory[0]
+    size = region.size
+    if size & (size - 1):
+        raise MaskingError(
+            f"tainted partition size {size:#x} is not a power of two"
+        )
+    if region.low % size:
+        raise MaskingError(
+            f"tainted partition base {region.low:#x} is not aligned"
+        )
+    return size - 1, region.low
+
+
+def _store_base_register(
+    instruction: DecodedInstruction, address: int
+) -> int:
+    """The register holding the store's (possibly tainted) base address."""
+    if instruction.mnemonic in ("push", "call"):
+        from repro.isa.spec import SP
+
+        return SP
+    operand = instruction.dst if instruction.kind == "two" else instruction.src
+    if operand is None or operand.mode == MODE_REGISTER:
+        raise MaskingError(
+            f"instruction at 0x{address:04x} is not a memory store"
+        )
+    if operand.is_absolute:
+        raise MaskingError(
+            f"store at 0x{address:04x} targets a fixed absolute address; "
+            "masking cannot repair it -- fix the code or the labels"
+        )
+    return operand.reg
+
+
+def insert_masks(
+    source: str,
+    program: Program,
+    store_addresses: Iterable[int],
+    policy: SecurityPolicy,
+) -> str:
+    """Return new source with mask/bis pairs inserted before each store.
+
+    The confined effective address is built in the toolflow's reserved
+    scratch register (``r14``, a compiler-reserved temporary by
+    convention), so the task's own registers keep their values: the
+    original base register (plus any index offset) is copied into r14,
+    masked, pinned to the partition base, and the store is rebased onto
+    ``0(r14)``.  Stack pushes (base register SP) are masked in place --
+    rebasing an implicit-SP store is not expressible.  Re-analysis
+    verifies the result, as Figure 11 prescribes.
+    """
+    mask, base = partition_mask_base(policy)
+    lines = source.splitlines()
+    # (line_no, register, offset)
+    jobs: List[Tuple[int, int, int]] = []
+    for address in store_addresses:
+        instruction = decode(program.slice_from(address), address)
+        register = _store_base_register(instruction, address)
+        line = program.line_at(address)
+        if line is None:
+            raise MaskingError(
+                f"no source line for store at 0x{address:04x}"
+            )
+        operand = (
+            instruction.dst
+            if instruction.kind == "two"
+            else instruction.src
+        )
+        offset = 0
+        if operand is not None and operand.mode == MODE_INDEXED:
+            offset = operand.ext or 0
+        job = (line.line_no, register, offset)
+        if job not in jobs:
+            jobs.append(job)
+
+    # Rewrite bottom-up so earlier line numbers stay valid.
+    for line_no, register, offset in sorted(jobs, reverse=True):
+        original = lines[line_no - 1]
+        indent = " " * (len(original) - len(original.lstrip()))
+        from repro.isa.spec import SP
+
+        if register == SP:
+            # push/call: mask the stack pointer in place.
+            lines[line_no - 1 : line_no - 1] = [
+                f"{indent}and #0x{mask:04X}, sp    "
+                "; inserted: memory-bounds mask (stack)",
+                f"{indent}bis #0x{base:04X}, sp    "
+                "; inserted: memory-bounds base (stack)",
+            ]
+            continue
+        # Rebase the memory operand onto the masked scratch register.
+        operand_pattern = re.compile(
+            r"([^,\s(]+)?\(\s*r%d\s*\)|@r%d\+?" % (register, register),
+            re.IGNORECASE,
+        )
+        rewritten, count = operand_pattern.subn(
+            f"0({SCRATCH_REG})", original
+        )
+        if count != 1:
+            raise MaskingError(
+                f"line {line_no}: cannot rebase the memory operand of "
+                f"{original.strip()!r}"
+            )
+        lines[line_no - 1] = (
+            rewritten + "    ; rewritten: rebased onto the masked scratch"
+        )
+        inserted = [
+            f"{indent}mov r{register}, {SCRATCH_REG}    "
+            "; inserted: copy store base to the reserved scratch",
+        ]
+        if offset:
+            inserted.append(
+                f"{indent}add #0x{offset:04X}, {SCRATCH_REG}    "
+                "; inserted: fold index offset"
+            )
+        inserted.extend(
+            [
+                f"{indent}and #0x{mask:04X}, {SCRATCH_REG}    "
+                "; inserted: memory-bounds mask",
+                f"{indent}bis #0x{base:04X}, {SCRATCH_REG}    "
+                "; inserted: memory-bounds base",
+            ]
+        )
+        lines[line_no - 1 : line_no - 1] = inserted
+    return "\n".join(lines) + "\n"

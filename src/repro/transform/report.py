@@ -1,0 +1,34 @@
+"""Compiler-style diagnostics for the secure-compile flow (Section 6).
+
+"For each instance where the compiler applies a modification ... it also
+reports a compile error or warning to the developer, indicating the line
+of code that caused the violation and the change that was made to fix the
+violation."
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.violations import Violation
+from repro.transform.rootcause import RootCauses
+
+
+def render_diagnostics(
+    program_name: str,
+    causes: RootCauses,
+    fixes: List[str],
+) -> str:
+    lines: List[str] = []
+    for violation in causes.fundamental + causes.port_errors:
+        location = f"line {violation.source_line}" if violation.source_line else f"0x{violation.address:04x}"
+        lines.append(
+            f"{program_name}:{location}: error: {violation.kind}: "
+            f"{violation.detail or 'illegal access'} -- change the "
+            "software or redefine the information-flow labels"
+        )
+    for fix in fixes:
+        lines.append(f"{program_name}: warning: {fix}")
+    if not lines:
+        lines.append(f"{program_name}: no modifications required")
+    return "\n".join(lines)

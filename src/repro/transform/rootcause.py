@@ -1,0 +1,66 @@
+"""Root-cause identification (Figure 10's middle stage).
+
+Turns the checker's violation list into the two actionable sets the
+repairs consume -- store instructions that need masking, and code tasks
+whose control flow needs watchdog bounding -- plus the *fundamental*
+violations that require programmer attention instead of automatic repair
+(footnote 6: illegal direct port/memory accesses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.tracker import AnalysisResult
+from repro.core.violations import Violation, ViolationKind
+
+#: Violations automatic repair cannot fix: the software (or the labels)
+#: is fundamentally at odds with the policy.
+FUNDAMENTAL_KINDS = frozenset(
+    {
+        ViolationKind.TRUSTED_READ_TAINTED_PORT,
+        ViolationKind.TRUSTED_READ_TAINTED_MEMORY,
+    }
+)
+
+
+@dataclass
+class RootCauses:
+    """Actionable repair targets distilled from one analysis."""
+
+    #: addresses of store instructions needing memory-bounds masks
+    stores_to_mask: List[int] = field(default_factory=list)
+    #: untrusted tasks needing the untainted watchdog reset
+    tasks_to_bound: List[str] = field(default_factory=list)
+    #: violations requiring programmer attention (reported as errors)
+    fundamental: List[Violation] = field(default_factory=list)
+    #: direct tainted writes to untainted ports (fundamental unless the
+    #: store is reparable by masking -- those appear in stores_to_mask)
+    port_errors: List[Violation] = field(default_factory=list)
+
+    @property
+    def needs_masking(self) -> bool:
+        return bool(self.stores_to_mask)
+
+    @property
+    def needs_watchdog(self) -> bool:
+        return bool(self.tasks_to_bound)
+
+    @property
+    def automatic_repair_possible(self) -> bool:
+        return not self.fundamental and not self.port_errors
+
+
+def identify_root_causes(result: AnalysisResult) -> RootCauses:
+    causes = RootCauses()
+    causes.stores_to_mask = result.violating_stores()
+    causes.tasks_to_bound = result.tasks_needing_watchdog()
+    for violation in result.violations:
+        if violation.kind in FUNDAMENTAL_KINDS:
+            causes.fundamental.append(violation)
+        elif violation.kind == ViolationKind.TAINTED_WRITE_UNTAINTED_PORT:
+            if violation.address in causes.stores_to_mask:
+                continue  # masking already repairs this store
+            causes.port_errors.append(violation)
+    return causes

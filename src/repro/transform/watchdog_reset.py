@@ -1,0 +1,109 @@
+"""The untainted-timer-reset transformation (Figure 8's repair).
+
+Convention: trusted system code invokes an untrusted task with
+``call #<task>`` and the task returns with ``ret``.  The transformation
+rewrites both ends:
+
+* the ``call #<task>`` becomes an arming write
+  (``mov #0x5A0x, &WDTCTL``) followed by ``br #<task>`` -- control is
+  *given away*, not lent, because a tainted task cannot be trusted to
+  return;
+* every ``ret`` in the task becomes an idle self-loop (``jmp $``) that
+  pads the final time slice until the watchdog's untainted power-on reset
+  recovers the PC to the reset vector (address 0), where trusted system
+  code resumes.
+
+The interval is chosen by :func:`repro.transform.slicing.choose_slicing`
+from the task's maximum duration.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List
+
+from repro.isa.program import Program
+from repro.transform.slicing import SlicePlan
+
+
+class WatchdogTransformError(Exception):
+    """Raised when the call/ret convention is not found in the source."""
+
+
+_CALL = re.compile(r"^(\s*)call\s+#(\w+)\s*(;.*)?$")
+_RET = re.compile(r"^(\s*)ret\s*(;.*)?$")
+_TASK = re.compile(r"^\s*\.task\s+(\w+)\s+(\w+)\s*(;.*)?$")
+
+
+def insert_watchdog_protection(
+    source: str,
+    program: Program,
+    plans: Dict[str, SlicePlan],
+) -> str:
+    """Rewrite *source* so each task in *plans* is watchdog-bounded."""
+    lines = source.splitlines()
+
+    # Map each source line to its owning task via the .task directives.
+    task_of_line: List[str] = []
+    current = ""
+    for line in lines:
+        match = _TASK.match(line)
+        if match:
+            current = match.group(1)
+        task_of_line.append(current)
+
+    calls_rewritten = {name: 0 for name in plans}
+    rets_rewritten = {name: 0 for name in plans}
+    output: List[str] = []
+    for index, line in enumerate(lines):
+        owner = task_of_line[index]
+        call_match = _CALL.match(line)
+        if call_match and call_match.group(2) in plans:
+            target = call_match.group(2)
+            plan = plans[target]
+            indent = call_match.group(1)
+            output.append(
+                f"{indent}mov #0x{plan.wdtctl_value:04X}, &WDTCTL"
+                "    ; inserted: arm watchdog "
+                f"({plan.interval}-cycle interval, {plan.slices} slice(s))"
+            )
+            output.append(
+                f"{indent}br #{target}"
+                "    ; inserted: enter bounded task (was: call)"
+            )
+            calls_rewritten[target] += 1
+            continue
+        ret_match = _RET.match(line)
+        if ret_match and owner in plans:
+            indent = ret_match.group(1)
+            output.append(
+                f"{indent}jmp $    ; inserted: idle-pad until the "
+                "untainted watchdog reset (was: ret)"
+            )
+            rets_rewritten[owner] += 1
+            continue
+        output.append(line)
+
+    for name in plans:
+        if calls_rewritten[name] == 0:
+            raise WatchdogTransformError(
+                f"no `call #{name}` found in trusted code; the watchdog "
+                "transformation needs the call/ret task convention"
+            )
+        if rets_rewritten[name] == 0:
+            raise WatchdogTransformError(
+                f"task {name!r} has no `ret` to replace with idle padding"
+            )
+    return "\n".join(output) + "\n"
+
+
+def estimate_task_cycles(program: Program, task_name: str) -> int:
+    """Crude static bound used when no measured duration is supplied.
+
+    Counts the task's static instructions times a worst-case CPI and a
+    small loop allowance; callers with measured durations (the evaluation
+    harness) pass those instead.
+    """
+    task = program.task_named(task_name)
+    static_words = task.end - task.start
+    return max(32, static_words * 6 * 4)

@@ -1,0 +1,37 @@
+"""The benchmark suite (Table 1) and the paper's example programs.
+
+Thirteen kernels -- nine embedded sensor benchmarks after [34] and four
+EEMBC-style kernels -- hand-written in LP430 assembly with the same
+algorithmic skeletons and, crucially, the same *information-flow shapes*
+as the paper's: six have input-dependent control flow or input-derived
+store addressing (the Table 2 violators), seven keep control flow and
+addressing independent of the tainted input.
+
+Each benchmark is an untrusted computational task served by trusted
+restart code, reading its tainted input from ``P1IN`` and writing its
+result to the tainted output ``P2OUT``, with data and stack in the tainted
+RAM partition -- the system shape of Section 7's evaluation.
+"""
+
+from repro.workloads.harness import (
+    measurement_harness,
+    service_harness,
+)
+from repro.workloads.registry import (
+    BENCHMARKS,
+    BenchmarkInfo,
+    benchmark,
+    benchmark_names,
+)
+from repro.workloads import micro, motivating
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchmarkInfo",
+    "benchmark",
+    "benchmark_names",
+    "service_harness",
+    "measurement_harness",
+    "micro",
+    "motivating",
+]

@@ -1,0 +1,76 @@
+"""``autocorr`` -- fixed-lag autocorrelation (EEMBC-style, clean).
+
+Computes autocorrelation at lags 0..2 over six tainted samples.  The
+inner product uses the branchless shift-add multiplier (6-bit), nested in
+fixed-bound loops with untainted indices throughout -- heavy tainted
+*dataflow*, zero tainted *control or addressing*.
+"""
+
+NAME = "autocorr"
+SUITE = "eembc"
+REPS = 2  # activation batch size: sizes the task for realistic
+# slice amortisation (Section 7.2 time-slicing)
+EXPECTED_VIOLATOR = False
+DESCRIPTION = "lags 0..2 autocorrelation of six samples (branchless MAC)"
+
+KERNEL = r"""
+    push r10
+    push r11
+    mov #ac_x, r11
+    mov #6, r10
+ac_read:
+    mov &P1IN, r4
+    and #0x003F, r4        ; 6-bit samples keep products in range
+    mov r4, 0(r11)
+    inc r11
+    dec r10
+    jnz ac_read
+    clr r13                ; lag = 0
+ac_lag:
+    clr r6                 ; accumulator
+    clr r12                ; i = 0
+ac_mac:
+    mov #ac_x, r11
+    add r12, r11
+    mov @r11, r4           ; x[i]
+    add r13, r11
+    mov @r11, r5           ; x[i+lag]
+    ; branchless 6-step multiply r4 * r5 -> r9
+    clr r9
+    mov #6, r10
+ac_mstep:
+    mov r5, r7
+    and #1, r7
+    clr r8
+    sub r7, r8
+    and r4, r8
+    add r8, r9
+    rla r4
+    rra r5
+    dec r10
+    jnz ac_mstep
+    add r9, r6             ; acc += product
+    inc r12
+    mov #6, r4
+    sub r13, r4            ; count = 6 - lag
+    cmp r4, r12
+    jnz ac_mac             ; untainted bound
+    mov #ac_r, r11
+    add r13, r11
+    mov r6, 0(r11)         ; r[lag] (untainted index)
+    inc r13
+    cmp #3, r13
+    jnz ac_lag
+    mov &ac_r, r4
+    mov r4, &P2OUT
+    pop r11
+    pop r10
+"""
+
+DATA = r"""
+.data 0x0400
+ac_x:
+    .space 6
+ac_r:
+    .space 3
+"""

@@ -1,0 +1,63 @@
+"""``binSearch`` -- binary search over a sorted table (embedded, violator).
+
+Searches a 16-entry sorted table for a tainted key.  Every probe compares
+against the key, so the halving branches are input-dependent (condition 1
+violation: the PC becomes tainted); the per-probe access-frequency update
+``add #1, bs_hits(mid)`` indexes memory through the tainted ``mid``, whose
+unknown bits spread wide through the ``hi = mid - 1`` borrow chain
+(condition 2 violation -- Figure 4's pattern, repaired by masking).
+"""
+
+NAME = "binSearch"
+SUITE = "embedded"
+REPS = 24  # activation batch size: sizes the task for realistic
+# slice amortisation (Section 7.2 time-slicing)
+EXPECTED_VIOLATOR = True
+DESCRIPTION = "binary search of a tainted key with probe-frequency counters"
+
+KERNEL = r"""
+    push r10
+    push r11
+    mov &P1IN, r12         ; key (tainted)
+    clr r4                 ; lo
+    mov #15, r5            ; hi
+    mov #0xFFFF, r6        ; found index (none)
+    mov #4, r10            ; fixed log2(16) probes
+bs_loop:
+    mov r4, r7
+    add r5, r7
+    rra r7                 ; mid = (lo + hi) / 2
+    mov r7, r8
+    add #bs_table, r8
+    mov @r8, r9            ; probe = table[mid]
+    add #1, bs_hits(r7)    ; probe-frequency counter (tainted index!)
+    cmp r12, r9            ; probe - key: tainted flags
+    jz bs_found
+    jl bs_right            ; probe < key: search upper half
+    mov r7, r5
+    dec r5                 ; hi = mid - 1 (borrow widens the unknowns)
+    jmp bs_next
+bs_right:
+    mov r7, r4
+    inc r4                 ; lo = mid + 1
+    jmp bs_next
+bs_found:
+    mov r7, r6
+bs_next:
+    dec r10
+    jnz bs_loop
+    mov r6, &bs_result
+    mov r6, &P2OUT
+    pop r11
+    pop r10
+"""
+
+DATA = r"""
+.data 0x0400
+bs_table:
+    .word 2, 5, 7, 11, 19, 23, 31, 40, 51, 64, 79, 96, 115, 136, 159, 184
+bs_hits:
+    .space 16
+bs_result:
+    .word 0
+"""

@@ -1,0 +1,66 @@
+"""``ConvEn`` -- rate-1/2 convolutional encoder (EEMBC-style, clean).
+
+Encodes eight bits of a tainted input word through a constraint-length-3
+shift register, producing two parity streams (generators 7 and 5).  Bit
+extraction and parity are branchless (shifts, ANDs, XOR folds); the loop
+runs a fixed eight iterations with untainted store indices.
+"""
+
+NAME = "ConvEn"
+SUITE = "eembc"
+REPS = 9  # activation batch size: sizes the task for realistic
+# slice amortisation (Section 7.2 time-slicing)
+EXPECTED_VIOLATOR = False
+DESCRIPTION = "K=3 rate-1/2 convolutional encoder over eight bits"
+
+KERNEL = r"""
+    push r10
+    push r11
+    mov &P1IN, r4          ; input bits (tainted)
+    clr r5                 ; shift register
+    clr r6                 ; packed g0 stream
+    clr r7                 ; packed g1 stream
+    mov #8, r10
+ce_loop:
+    mov r4, r8
+    and #1, r8             ; next input bit
+    rra r4
+    and #0x7FFF, r4        ; logical shift of the input word
+    rla r5
+    bis r8, r5             ; shift register <- bit
+    and #7, r5             ; keep K=3 window
+    ; g0 = parity(sr & 0b111): fold taps 2,1,0
+    mov r5, r8
+    mov r5, r9
+    rra r9
+    xor r9, r8
+    rra r9
+    xor r9, r8
+    and #1, r8             ; parity of all three taps
+    rla r6
+    bis r8, r6
+    ; g1 = parity(sr & 0b101): taps 2 and 0
+    mov r5, r8
+    mov r5, r9
+    rra r9
+    rra r9
+    xor r9, r8
+    and #1, r8
+    rla r7
+    bis r8, r7
+    dec r10
+    jnz ce_loop            ; fixed bit count
+    mov r6, &ce_g0
+    mov r7, &ce_g1
+    mov r6, &P2OUT
+    pop r11
+    pop r10
+"""
+
+DATA = r"""
+.data 0x0400
+ce_g0:
+    .word 0
+ce_g1:
+    .word 0
+"""

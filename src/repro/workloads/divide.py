@@ -1,0 +1,49 @@
+"""``div`` -- restoring division (embedded suite, violator).
+
+Divides a tainted dividend by a tainted divisor with the classic 16-step
+restoring loop: each step's "does the divisor fit" comparison branches on
+tainted data (condition 1).  The quotient is then filed into a small
+residue-indexed table -- ``div_hash[remainder]`` -- a modulo-bucketing
+idiom whose store address derives from the tainted remainder
+(condition 2, the Figure 4 pattern).
+"""
+
+NAME = "div"
+SUITE = "embedded"
+REPS = 14  # activation batch size: sizes the task for realistic
+# slice amortisation (Section 7.2 time-slicing)
+EXPECTED_VIOLATOR = True
+DESCRIPTION = "16-step restoring division with remainder-indexed filing"
+
+KERNEL = r"""
+    push r10
+    push r11
+    mov &P1IN, r4          ; dividend (tainted)
+    mov &P1IN, r5          ; divisor (tainted)
+    bis #1, r5             ; keep the divisor non-zero
+    clr r6                 ; quotient
+    clr r7                 ; remainder
+    mov #16, r10
+div_loop:
+    rla r6                 ; quotient <<= 1
+    rla r7                 ; remainder <<= 1
+    rla r4                 ; carry = dividend msb
+    adc r7                 ; remainder |= carry
+    cmp r5, r7             ; remainder - divisor: tainted flags
+    jnc div_skip           ; borrow: divisor does not fit
+    sub r5, r7
+    bis #1, r6
+div_skip:
+    dec r10
+    jnz div_loop
+    mov r6, div_hash(r7)   ; file quotient by residue (tainted index!)
+    mov r6, &P2OUT
+    pop r11
+    pop r10
+"""
+
+DATA = r"""
+.data 0x0400
+div_hash:
+    .space 32
+"""

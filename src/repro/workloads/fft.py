@@ -1,0 +1,65 @@
+"""``FFT`` -- eight-point butterfly transform (EEMBC-style, clean).
+
+Three fixed stages of add/subtract butterflies over eight tainted samples
+(a Walsh-Hadamard-structured decimation network: the real FFT's data flow
+with unit twiddles, keeping the arithmetic integer-exact).  All butterfly
+indices are compile-time constants, so taint flows only through values --
+the archetypal clean streaming kernel.
+"""
+
+NAME = "FFT"
+SUITE = "eembc"
+REPS = 12  # activation batch size: sizes the task for realistic
+# slice amortisation (Section 7.2 time-slicing)
+EXPECTED_VIOLATOR = False
+DESCRIPTION = "8-point fixed-index butterfly transform"
+
+_BUTTERFLY = """
+    mov &fft_buf+{a}, r4
+    mov &fft_buf+{b}, r5
+    mov r4, r6
+    add r5, r6             ; a + b
+    sub r5, r4             ; a - b
+    mov r6, &fft_buf+{a}
+    mov r4, &fft_buf+{b}
+"""
+
+
+def _stage(pairs):
+    return "".join(
+        _BUTTERFLY.format(a=a, b=b) for a, b in pairs
+    )
+
+
+KERNEL = (
+    r"""
+    push r10
+    push r11
+    mov #fft_buf, r11
+    mov #8, r10
+fft_read:
+    mov &P1IN, r4
+    mov r4, 0(r11)
+    inc r11
+    dec r10
+    jnz fft_read
+"""
+    + "    ; stage 1 (stride 4)"
+    + _stage([(0, 4), (1, 5), (2, 6), (3, 7)])
+    + "    ; stage 2 (stride 2)"
+    + _stage([(0, 2), (1, 3), (4, 6), (5, 7)])
+    + "    ; stage 3 (stride 1)"
+    + _stage([(0, 1), (2, 3), (4, 5), (6, 7)])
+    + r"""
+    mov &fft_buf, r4       ; DC bin
+    mov r4, &P2OUT
+    pop r11
+    pop r10
+"""
+)
+
+DATA = r"""
+.data 0x0400
+fft_buf:
+    .space 8
+"""

@@ -1,0 +1,64 @@
+"""System harnesses wrapping a kernel into a full LP430 system binary.
+
+Two shapes:
+
+* :func:`service_harness` -- the evaluation shape: trusted system code
+  that (re)starts the untrusted benchmark forever ("system code is an
+  untainted task consisting of the instructions needed to restart the
+  benchmark after each execution").  This is what the analysis runs on.
+* :func:`measurement_harness` -- a single-shot variant ending in ``halt``,
+  used by the cycle-accurate overhead measurements.
+
+Convention: the benchmark's stack lives at the top of the tainted RAM
+partition (``0x07FE``) so the untrusted task's spills stay inside its own
+partition; the kernel body is entered by ``call #bench`` and returns with
+``ret`` (the watchdog transformation rewrites exactly this pattern).
+"""
+
+from __future__ import annotations
+
+from repro import memmap
+
+_SERVICE = """\
+.task sys trusted
+start:
+    mov #0x{stack:04X}, sp
+    call #bench
+    jmp start
+
+.task bench untrusted
+bench:
+{body}
+    ret
+{data}
+"""
+
+_MEASURE = """\
+.task sys trusted
+start:
+    mov #0x{stack:04X}, sp
+    call #bench
+    halt
+
+.task bench untrusted
+bench:
+{body}
+    ret
+{data}
+"""
+
+STACK_TOP_IN_PARTITION = memmap.TAINTED_RAM_END - 2  # 0x07FE
+
+
+def service_harness(body: str, data: str = "") -> str:
+    """The restart-forever system binary used for analysis."""
+    return _SERVICE.format(
+        stack=STACK_TOP_IN_PARTITION, body=body.rstrip(), data=data
+    )
+
+
+def measurement_harness(body: str, data: str = "") -> str:
+    """The run-once system binary used for cycle measurements."""
+    return _MEASURE.format(
+        stack=STACK_TOP_IN_PARTITION, body=body.rstrip(), data=data
+    )

@@ -1,0 +1,62 @@
+"""``inSort`` -- insertion sort (embedded suite, violator).
+
+Reads eight tainted samples and insertion-sorts them in place.  The inner
+shift loop compares buffered elements against the tainted key (condition
+1), and its index ``j`` -- merged across input-dependent iteration counts
+and decremented through zero -- addresses the shift stores with wide
+unknown bits that escape the partition base (condition 2).
+"""
+
+NAME = "inSort"
+SUITE = "embedded"
+REPS = 6  # activation batch size: sizes the task for realistic
+# slice amortisation (Section 7.2 time-slicing)
+EXPECTED_VIOLATOR = True
+DESCRIPTION = "in-place insertion sort of eight tainted samples"
+
+KERNEL = r"""
+    push r10
+    push r11
+    mov #is_buf, r11       ; sample gather (untainted index)
+    mov #8, r10
+is_read:
+    mov &P1IN, r4
+    mov r4, 0(r11)
+    inc r11
+    dec r10
+    jnz is_read
+    mov #1, r12            ; i
+is_outer:
+    mov #is_buf, r11
+    add r12, r11
+    mov @r11, r4           ; key = a[i]
+    mov r12, r5            ; j = i
+is_inner:
+    tst r5
+    jz is_place
+    mov #is_buf, r11
+    add r5, r11
+    mov -1(r11), r6        ; a[j-1]
+    cmp r4, r6             ; a[j-1] - key: tainted flags
+    jl is_place            ; already in order
+    mov r6, 0(r11)         ; shift a[j-1] up (tainted index j)
+    dec r5
+    jmp is_inner
+is_place:
+    mov #is_buf, r11
+    add r5, r11
+    mov r4, 0(r11)         ; place key at a[j] (tainted index)
+    inc r12
+    cmp #8, r12
+    jnz is_outer           ; untainted outer counter
+    mov &is_buf, r4        ; smallest element
+    mov r4, &P2OUT
+    pop r11
+    pop r10
+"""
+
+DATA = r"""
+.data 0x0400
+is_buf:
+    .space 8
+"""

@@ -1,0 +1,51 @@
+"""``intAVG`` -- integer averaging with binning (embedded suite, violator).
+
+Averages eight tainted samples with outlier rejection: samples above a
+limit are discarded, which branches on tainted data (condition 1).  The
+average then bumps a histogram bin -- ``avg_hist[avg >> 4]`` -- indexed by
+the tainted average (condition 2).
+"""
+
+NAME = "intAVG"
+SUITE = "embedded"
+REPS = 30  # activation batch size: sizes the task for realistic
+# slice amortisation (Section 7.2 time-slicing)
+EXPECTED_VIOLATOR = True
+DESCRIPTION = "outlier-rejecting average of eight samples with histogram"
+
+KERNEL = r"""
+    push r10
+    push r11
+    clr r6                 ; sum of accepted samples
+    mov #8, r10
+avg_loop:
+    mov &P1IN, r4          ; sample (tainted)
+    cmp #0x4000, r4        ; sample - limit: tainted flags
+    jc avg_reject          ; no borrow: sample >= limit, reject
+    add r4, r6
+avg_reject:
+    dec r10
+    jnz avg_loop
+    mov r6, r7             ; avg = sum >> 3 (arithmetic: the sum may have
+    rra r7                 ; wrapped, so the "average" can look negative --
+    rra r7                 ; faithful to what the C kernel's >> does)
+    rra r7
+    mov r7, &avg_value
+    mov r7, r8             ; bin = avg >> 4
+    rra r8
+    rra r8
+    rra r8
+    rra r8
+    add #1, avg_hist(r8)   ; histogram bump (tainted, unbounded index!)
+    mov r7, &P2OUT
+    pop r11
+    pop r10
+"""
+
+DATA = r"""
+.data 0x0400
+avg_hist:
+    .space 32
+avg_value:
+    .word 0
+"""

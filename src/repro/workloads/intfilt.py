@@ -1,0 +1,56 @@
+"""``intFilt`` -- integer FIR filter (embedded suite, clean).
+
+A 3-tap smoothing filter ``y[i] = x[i] + 2*x[i-1] + x[i-2]`` over eight
+tainted samples.  Coefficients are powers of two (shift-add), loop bounds
+are constants, and every buffer index is an untainted counter: no
+information-flow violation is possible, so the analysis certifies the
+unmodified binary.
+"""
+
+NAME = "intFilt"
+SUITE = "embedded"
+REPS = 10  # activation batch size: sizes the task for realistic
+# slice amortisation (Section 7.2 time-slicing)
+EXPECTED_VIOLATOR = False
+DESCRIPTION = "3-tap power-of-two FIR over eight samples"
+
+KERNEL = r"""
+    push r10
+    push r11
+    mov #if_x, r11
+    mov #8, r10
+if_read:
+    mov &P1IN, r4
+    mov r4, 0(r11)
+    inc r11
+    dec r10
+    jnz if_read
+    mov #2, r12            ; i = 2
+if_loop:
+    mov #if_x, r11
+    add r12, r11
+    mov @r11, r4           ; x[i]
+    mov -1(r11), r5        ; x[i-1]
+    rla r5                 ; 2*x[i-1]
+    add r5, r4
+    mov -2(r11), r5        ; x[i-2]
+    add r5, r4
+    mov #if_y, r11
+    add r12, r11
+    mov r4, 0(r11)         ; y[i] (untainted index)
+    inc r12
+    cmp #8, r12
+    jnz if_loop
+    mov &if_y+7, r4
+    mov r4, &P2OUT
+    pop r11
+    pop r10
+"""
+
+DATA = r"""
+.data 0x0400
+if_x:
+    .space 8
+if_y:
+    .space 8
+"""

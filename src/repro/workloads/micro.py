@@ -1,0 +1,85 @@
+"""The Figure 8 and Figure 9 micro-benchmarks (Section 5.3's verification).
+
+These are near-verbatim translations of the paper's two code listings:
+the unprotected/protected tainted-control loop (Figure 8) and the
+unmasked/masked tainted-address store (Figure 9).
+"""
+
+# ---------------------------------------------------------------------------
+# Figure 8: tainted control flow, without and with the watchdog reset.
+# The left-hand listing marks everything after address 0 as tainted code;
+# we realise that as an untrusted task entered from trusted code.
+# ---------------------------------------------------------------------------
+FIG8_UNPROTECTED = """\
+.task sys trusted
+    mov #0x07FE, sp
+    br #tainted_code            ; address 0's jump into tainted code
+
+.task tainted_code untrusted
+tainted_code:
+    mov &P1IN, r4               ; control will depend on this
+    mov #100, r10
+fig8_loop:
+    tst r4
+    jz fig8_skip                ; tainted branch: PC becomes tainted
+    nop
+fig8_skip:
+    dec r10
+    jnz fig8_loop
+    br #0                       ; jump back -- but the PC stays tainted
+"""
+
+FIG8_PROTECTED = """\
+.task sys trusted
+    mov #0x07FE, sp
+    mov #0x5a0b, &WDTCTL        ; enable watchdog (paper's listing value)
+    br #tainted_code
+
+.task tainted_code untrusted
+tainted_code:
+    mov &P1IN, r4
+    mov #4, r10
+fig8p_loop:
+    tst r4
+    jz fig8p_skip
+    nop
+fig8p_skip:
+    dec r10
+    jnz fig8p_loop
+fig8p_pad:
+    jmp fig8p_pad               ; nop padding until the watchdog reset
+"""
+
+# ---------------------------------------------------------------------------
+# Figure 9: the tainted-address store, without and with masking.
+# A close transliteration of the paper's two listings (word-addressed).
+# ---------------------------------------------------------------------------
+FIG9_UNMASKED = """\
+.task handler untrusted
+    mov #4096, &0x0250          ; mov #4096, &DMEM_250
+    mov #0x0449, r15
+    mov #1, 0(r15)              ; mov.b #1, 0(r15)
+    mov #P1IN, r15
+    mov @r15, r15               ; read untrusted input
+    mov #0x0200, r14
+    add r15, r14                ; tainted address computation
+    mov #500, 0(r14)            ; store taints the whole data memory
+    mov r15, &0x0200            ; mov r15, &DMEM_200
+    halt
+"""
+
+FIG9_MASKED = """\
+.task handler untrusted
+    mov #4096, &0x0250
+    mov #0x0449, r15
+    mov #1, 0(r15)
+    mov #P1IN, r15
+    mov @r15, r15               ; read untrusted input
+    mov #0x0200, r14
+    add r15, r14
+    and #0x03FF, r14            ; the paper's inserted mask
+    bis #0x0400, r14            ; pin the partition base
+    mov #500, 0(r14)            ; store confined to 0x0400..0x07FF
+    mov r15, &0x0500            ; result stays in the tainted partition
+    halt
+"""

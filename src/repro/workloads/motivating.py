@@ -1,0 +1,126 @@
+"""The Section 3 motivating examples (Figures 2-5) as runnable programs.
+
+Figure 2 has no concrete program (it depicts the *unknown* application);
+its point -- "we must assume an unknown application causes all possible
+violations" -- is made by the *-logic baseline and the strict-conditions
+policy mode instead.  Figures 3-5 are the offset-loop application in its
+three variants, transliterated from the paper's C sketches.
+
+The paper's loops copy 25 items between port-fed arrays; the tainted pair
+uses ``P1`` (in) and ``P2`` (out), the untainted pair ``P3``/``P4``.
+"""
+
+from repro.workloads.harness import service_harness
+
+_TAINTED_LOOP_CLEAN = r"""
+    ; for (i = 0; i < 25; i++) { a = <P1>; c[i+off] = a + c[i]; <P2> = c[i+off]; }
+    mov #3, r13            ; offset = 3 (constant -- Figure 3)
+    clr r12                ; i
+f3_loop1:
+    mov &P1IN, r4          ; a = <P1>
+    mov #c_array, r11
+    add r12, r11
+    add @r11, r4           ; a + c[i]
+    mov r13, r10
+    add r12, r10
+    mov #c_array, r11
+    add r10, r11
+    mov r4, 0(r11)         ; c[i + offset] = ...
+    mov r4, &P2OUT         ; <P2> = c[i + offset]
+    inc r12
+    cmp #25, r12
+    jnz f3_loop1
+"""
+
+_UNTAINTED_LOOP = r"""
+    ; for (i = 0; i < 25; i++) { b = <P3>; d[i] = b + d[i]; <P4> = d[i]; }
+    clr r12
+f3_loop2:
+    mov &P3IN, r5          ; b = <P3>
+    mov #d_array, r11
+    add r12, r11
+    add @r11, r5
+    mov r5, 0(r11)         ; d[i] = b + d[i]
+    mov r5, &P4OUT         ; <P4> = d[i]
+    inc r12
+    cmp #25, r12
+    jnz f3_loop2
+"""
+
+_DATA = r"""
+.data 0x0400
+c_array:
+    .space 64
+.data 0x0200
+d_array:
+    .space 32
+"""
+
+
+def figure3_source() -> str:
+    """Figure 3: constant offset; tainted/untainted halves never mix."""
+    return (
+        ".task sys trusted\n"
+        "start:\n"
+        "    mov #0x07FE, sp\n"
+        "    call #tainted_code\n"
+        "    br #untainted_half\n"
+        ".task tainted_code untrusted\n"
+        "tainted_code:\n"
+        + _TAINTED_LOOP_CLEAN
+        + "    ret\n"
+        ".task untainted_half trusted\n"
+        "untainted_half:\n"
+        + _UNTAINTED_LOOP
+        + "    halt\n"
+        + _DATA
+    )
+
+
+def figure4_source() -> str:
+    """Figure 4: ``offset = <P1>`` -- the tainted-offset violator."""
+    tainted_loop = _TAINTED_LOOP_CLEAN.replace(
+        "    mov #3, r13            ; offset = 3 (constant -- Figure 3)",
+        "    mov &P1IN, r13         ; offset = <P1> (tainted -- Figure 4)",
+    )
+    return (
+        ".task sys trusted\n"
+        "start:\n"
+        "    mov #0x07FE, sp\n"
+        "    call #tainted_code\n"
+        "    br #untainted_half\n"
+        ".task tainted_code untrusted\n"
+        "tainted_code:\n"
+        + tainted_loop
+        + "    ret\n"
+        ".task untainted_half trusted\n"
+        "untainted_half:\n"
+        + _UNTAINTED_LOOP
+        + "    halt\n"
+        + _DATA
+    )
+
+
+def figure5_source() -> str:
+    """Figure 5: the masked offset -- ``Offset = mask(offset)``."""
+    tainted_loop = _TAINTED_LOOP_CLEAN.replace(
+        "    mov #3, r13            ; offset = 3 (constant -- Figure 3)",
+        "    mov &P1IN, r13         ; offset = <P1>\n"
+        "    and #0x001F, r13       ; Offset = mask(offset): stay in c[]",
+    )
+    return (
+        ".task sys trusted\n"
+        "start:\n"
+        "    mov #0x07FE, sp\n"
+        "    call #tainted_code\n"
+        "    br #untainted_half\n"
+        ".task tainted_code untrusted\n"
+        "tainted_code:\n"
+        + tainted_loop
+        + "    ret\n"
+        ".task untainted_half trusted\n"
+        "untainted_half:\n"
+        + _UNTAINTED_LOOP
+        + "    halt\n"
+        + _DATA
+    )

@@ -1,0 +1,53 @@
+"""``mult`` -- branchless shift-add multiplication (embedded suite, clean).
+
+Multiplies two tainted 8-bit inputs with a fixed eight-iteration
+shift-add loop.  The conditional "add multiplicand if this multiplier bit
+is set" is computed *branchlessly* (a 0/0xFFFF mask built with ``sub``),
+so control flow never depends on the tainted input and every store uses an
+untainted pointer: the benchmark verifies secure unmodified -- but an
+"always-on" scheme still pays to mask its per-iteration trace stores and
+to bound it with the watchdog, which is where Table 3's largest
+no-analysis overhead comes from.
+"""
+
+NAME = "mult"
+SUITE = "embedded"
+REPS = 12  # activation batch size: sizes the task for realistic
+# slice amortisation (Section 7.2 time-slicing)
+EXPECTED_VIOLATOR = False
+DESCRIPTION = "branchless 8x8 shift-add multiply with partial-product trace"
+
+KERNEL = r"""
+    push r10
+    push r11
+    mov &P1IN, r4          ; multiplicand (tainted)
+    mov &P1IN, r5          ; multiplier (tainted)
+    and #0x00FF, r4
+    and #0x00FF, r5
+    clr r6                 ; product
+    mov #mult_trace, r11   ; trace pointer (untainted)
+    mov #8, r10
+mult_loop:
+    mov r5, r7
+    and #1, r7             ; current multiplier bit
+    clr r8
+    sub r7, r8             ; r8 = bit ? 0xFFFF : 0x0000 (branchless mask)
+    mov r4, r9
+    and r8, r9             ; r9 = bit ? multiplicand : 0
+    add r9, r6
+    mov r6, 0(r11)         ; trace partial product (untainted address)
+    inc r11
+    rla r4                 ; multiplicand <<= 1
+    rra r5                 ; multiplier >>= 1 (msb clear: acts logical)
+    dec r10
+    jnz mult_loop          ; untainted loop counter
+    mov r6, &P2OUT
+    pop r11
+    pop r10
+"""
+
+DATA = r"""
+.data 0x0500
+mult_trace:
+    .space 8
+"""

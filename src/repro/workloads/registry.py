@@ -1,0 +1,119 @@
+"""The benchmark registry (Table 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.workloads import (
+    autocorr,
+    binsearch,
+    conven,
+    divide,
+    fft,
+    insort,
+    intavg,
+    intfilt,
+    mult,
+    rle,
+    tea8,
+    thold,
+    viterbi,
+)
+from repro.workloads.harness import measurement_harness, service_harness
+
+_MODULES = [
+    mult,
+    binsearch,
+    tea8,
+    intfilt,
+    thold,
+    divide,
+    insort,
+    rle,
+    intavg,
+    autocorr,
+    fft,
+    conven,
+    viterbi,
+]
+
+
+@dataclass(frozen=True)
+class BenchmarkInfo:
+    """One Table 1 benchmark."""
+
+    name: str
+    suite: str  # "embedded" ([34]) or "eembc" ([35])
+    description: str
+    expected_violator: bool
+    kernel: str
+    data: str
+    #: activation batch size: the kernel body repeats this many times per
+    #: task activation, sizing the task realistically for the Section 7.2
+    #: time-slicing trade-offs (r15 is the batch counter; kernels use
+    #: r4..r13, and r14 is the toolflow's reserved scratch).
+    reps: int = 1
+
+    @property
+    def batched_kernel(self) -> str:
+        if self.reps <= 1:
+            return self.kernel
+        return (
+            f"    mov #{self.reps}, r15   ; activation batch\n"
+            "bench_rep:\n"
+            + self.kernel.rstrip()
+            + "\n    dec r15\n"
+            "    jnz bench_rep\n"
+        )
+
+    @property
+    def service_source(self) -> str:
+        """Restart-forever system binary (the analysis target)."""
+        return service_harness(self.batched_kernel, self.data)
+
+    @property
+    def measurement_source(self) -> str:
+        """Single-shot system binary (the cycle-measurement target)."""
+        return measurement_harness(self.batched_kernel, self.data)
+
+    def service_program(self) -> Program:
+        return assemble(self.service_source, name=self.name)
+
+    def measurement_program(self) -> Program:
+        return assemble(self.measurement_source, name=self.name)
+
+
+BENCHMARKS: Dict[str, BenchmarkInfo] = {
+    module.NAME: BenchmarkInfo(
+        name=module.NAME,
+        suite=module.SUITE,
+        description=module.DESCRIPTION,
+        expected_violator=module.EXPECTED_VIOLATOR,
+        kernel=module.KERNEL,
+        data=module.DATA,
+        reps=getattr(module, "REPS", 1),
+    )
+    for module in _MODULES
+}
+
+
+def benchmark(name: str) -> BenchmarkInfo:
+    return BENCHMARKS[name]
+
+
+def benchmark_names() -> List[str]:
+    return list(BENCHMARKS)
+
+
+#: The six benchmarks Table 2 reports as violating conditions 1 and 2.
+TABLE2_VIOLATORS = (
+    "binSearch",
+    "div",
+    "inSort",
+    "intAVG",
+    "tHold",
+    "Viterbi",
+)

@@ -1,0 +1,64 @@
+"""``rle`` -- branchless run-length flagging (embedded suite, clean).
+
+Scans eight tainted samples and marks run boundaries.  The "differs from
+the previous sample" test is computed *branchlessly* (XOR, then an OR-fold
+any-bit-set reduction), so the tainted data steers no branch and no
+address: the kernel stays certifiably clean while still doing real
+run-length work (boundary flags plus a run count).
+"""
+
+NAME = "rle"
+SUITE = "embedded"
+REPS = 8  # activation batch size: sizes the task for realistic
+# slice amortisation (Section 7.2 time-slicing)
+EXPECTED_VIOLATOR = False
+DESCRIPTION = "branchless run-boundary detection over eight samples"
+
+KERNEL = r"""
+    push r10
+    push r11
+    clr r5                 ; previous sample
+    clr r6                 ; run count
+    mov #rle_flags, r11
+    mov #8, r10
+rle_loop:
+    mov &P1IN, r4          ; sample (tainted)
+    mov r4, r7
+    xor r5, r7             ; diff = sample ^ previous
+    ; branchless any-bit-set: fold diff down to bit 0
+    mov r7, r8
+    swpb r8
+    bis r8, r7             ; diff |= diff >> 8
+    mov r7, r8
+    rra r8
+    rra r8
+    rra r8
+    rra r8
+    bis r8, r7             ; diff |= diff >> 4
+    mov r7, r8
+    rra r8
+    rra r8
+    bis r8, r7             ; diff |= diff >> 2
+    mov r7, r8
+    rra r8
+    bis r8, r7             ; diff |= diff >> 1
+    and #1, r7             ; boundary flag
+    mov r7, 0(r11)         ; store flag (untainted index)
+    inc r11
+    add r7, r6             ; run count += flag
+    mov r4, r5
+    dec r10
+    jnz rle_loop
+    mov r6, &rle_runs
+    mov r6, &P2OUT
+    pop r11
+    pop r10
+"""
+
+DATA = r"""
+.data 0x0400
+rle_flags:
+    .space 8
+rle_runs:
+    .word 0
+"""

@@ -1,0 +1,80 @@
+"""``tea8`` -- eight-round TEA-style block cipher (embedded suite, clean).
+
+Encrypts a two-word tainted block with a fixed eight-round Feistel ladder
+(16-bit TEA variant: shifts, adds and XORs with compiled-in key words).
+Round count and store addresses are constants, making this the classic
+"crypto kernels are constant-time" clean benchmark.
+"""
+
+NAME = "tea8"
+SUITE = "embedded"
+REPS = 6  # activation batch size: sizes the task for realistic
+# slice amortisation (Section 7.2 time-slicing)
+EXPECTED_VIOLATOR = False
+DESCRIPTION = "8-round 16-bit TEA-style Feistel encryption"
+
+KERNEL = r"""
+    push r10
+    push r11
+    mov &P1IN, r4          ; v0 (tainted)
+    mov &P1IN, r5          ; v1 (tainted)
+    clr r6                 ; sum
+    mov #8, r10
+tea_round:
+    add #0x79B9, r6        ; sum += delta
+    ; v0 += ((v1 << 4) + K0) ^ (v1 + sum) ^ ((v1 >> 5) + K1)
+    mov r5, r7
+    rla r7
+    rla r7
+    rla r7
+    rla r7                 ; v1 << 4
+    add #0x3412, r7        ; + K0
+    mov r5, r8
+    add r6, r8             ; v1 + sum
+    xor r8, r7
+    mov r5, r9
+    rra r9
+    rra r9
+    rra r9
+    rra r9
+    rra r9
+    and #0x07FF, r9        ; v1 >> 5 (logical)
+    add #0x6B2C, r9        ; + K1
+    xor r9, r7
+    add r7, r4
+    ; v1 += ((v0 << 4) + K2) ^ (v0 + sum) ^ ((v0 >> 5) + K3)
+    mov r4, r7
+    rla r7
+    rla r7
+    rla r7
+    rla r7
+    add #0x1CE5, r7        ; + K2
+    mov r4, r8
+    add r6, r8
+    xor r8, r7
+    mov r4, r9
+    rra r9
+    rra r9
+    rra r9
+    rra r9
+    rra r9
+    and #0x07FF, r9
+    add #0x5F0D, r9        ; + K3
+    xor r9, r7
+    add r7, r5
+    dec r10
+    jnz tea_round          ; fixed round count
+    mov r4, &tea_ct0
+    mov r5, &tea_ct1
+    mov r4, &P2OUT
+    pop r11
+    pop r10
+"""
+
+DATA = r"""
+.data 0x0400
+tea_ct0:
+    .word 0
+tea_ct1:
+    .word 0
+"""

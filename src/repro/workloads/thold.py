@@ -1,0 +1,48 @@
+"""``tHold`` -- threshold event detector (embedded suite, violator).
+
+Scans eight tainted samples for threshold crossings.  The crossing test
+branches on tainted data (condition 1); detected events log the
+inter-arrival gap, and the gap arithmetic (``i - last_i`` on tainted
+positions) produces a wide-unknown index into the gap log (condition 2).
+"""
+
+NAME = "tHold"
+SUITE = "embedded"
+REPS = 8  # activation batch size: sizes the task for realistic
+# slice amortisation (Section 7.2 time-slicing)
+EXPECTED_VIOLATOR = True
+DESCRIPTION = "threshold detector logging inter-arrival gaps"
+
+KERNEL = r"""
+    push r10
+    push r11
+    clr r6                 ; event count
+    clr r7                 ; index of previous event (tainted once set)
+    clr r12                ; loop index i
+th_loop:
+    mov &P1IN, r4          ; sample (tainted)
+    cmp #0x2000, r4        ; sample - threshold: tainted flags
+    jnc th_quiet           ; borrow: below threshold
+    ; event: log the gap since the previous event
+    mov r12, r5
+    sub r7, r5             ; gap = i - last_i (borrow widens unknowns)
+    mov r12, th_gaps(r5)   ; log position by gap (tainted index!)
+    mov r12, r7            ; last_i = i
+    inc r6
+th_quiet:
+    inc r12
+    cmp #8, r12
+    jnz th_loop            ; untainted loop bound
+    mov r6, &th_count
+    mov r6, &P2OUT
+    pop r11
+    pop r10
+"""
+
+DATA = r"""
+.data 0x0400
+th_gaps:
+    .space 16
+th_count:
+    .word 0
+"""

@@ -1,0 +1,60 @@
+"""``Viterbi`` -- two-state Viterbi decoder (EEMBC-style, violator).
+
+Decodes six tainted soft symbols over a two-state trellis: each step picks
+the surviving predecessor by comparing tainted path metrics (condition 1),
+and the final confidence filing ``vit_conf[metric]`` indexes memory by the
+accumulated tainted metric (condition 2).
+"""
+
+NAME = "Viterbi"
+SUITE = "eembc"
+REPS = 18  # activation batch size: sizes the task for realistic
+# slice amortisation (Section 7.2 time-slicing)
+EXPECTED_VIOLATOR = True
+DESCRIPTION = "2-state Viterbi decode of six symbols with confidence filing"
+
+KERNEL = r"""
+    push r10
+    push r11
+    clr r6                 ; metric(state 0)
+    mov #4, r7             ; metric(state 1): biased start
+    clr r8                 ; decoded bits
+    mov #6, r10
+vit_loop:
+    mov &P1IN, r4          ; soft symbol (tainted)
+    and #0x000F, r4        ; bounded branch cost
+    ; candidate metrics: stay in 0 costs symbol, hop to 0 costs 1
+    mov r6, r5
+    add r4, r5             ; m0 + cost(sym)
+    mov r7, r9
+    inc r9                 ; m1 + 1
+    cmp r9, r5             ; (m0+cost) - (m1+1): tainted flags
+    jl vit_keep0           ; staying is cheaper
+    mov r9, r6             ; survivor: hop from state 1
+    rla r8
+    bis #1, r8             ; decoded bit 1
+    jmp vit_next
+vit_keep0:
+    mov r5, r6             ; survivor: stay in state 0
+    rla r8                 ; decoded bit 0
+vit_next:
+    ; state-1 metric drifts by the complementary cost
+    mov #0x000F, r5
+    sub r4, r5
+    add r5, r7
+    dec r10
+    jnz vit_loop
+    mov r8, &vit_out
+    mov r8, vit_conf(r6)   ; file decode by final metric (tainted index!)
+    mov r8, &P2OUT
+    pop r11
+    pop r10
+"""
+
+DATA = r"""
+.data 0x0400
+vit_conf:
+    .space 32
+vit_out:
+    .word 0
+"""

@@ -1,0 +1,98 @@
+"""Tests for security policies and violation records."""
+
+import pytest
+
+from repro import memmap
+from repro.core.labels import SecurityPolicy, default_policy, secret_policy
+from repro.core.violations import (
+    CONDITION_OF_KIND,
+    Violation,
+    ViolationKind,
+)
+
+
+class TestPolicy:
+    def test_default_labels(self):
+        policy = default_policy()
+        assert policy.is_tainted_input("P1IN")
+        assert not policy.is_tainted_input("P3IN")
+        assert policy.is_untainted_output("P4OUT")
+        assert policy.is_untainted_output("P6OUT")
+        assert not policy.is_untainted_output("P2OUT")
+        assert not policy.is_untainted_output("P1IN")
+
+    def test_memory_partitioning(self):
+        policy = default_policy()
+        assert policy.in_tainted_memory(0x0400)
+        assert policy.in_tainted_memory(0x07FF)
+        assert not policy.in_tainted_memory(0x0800)
+        regions = policy.untainted_ram_regions()
+        assert [(r.low, r.high) for r in regions] == [
+            (memmap.RAM_BASE, 0x0400),
+            (0x0800, memmap.RAM_END),
+        ]
+
+    def test_untainted_regions_with_edge_partition(self):
+        policy = SecurityPolicy(
+            tainted_memory=(
+                memmap.MemoryRegion("t", memmap.RAM_BASE, 0x0200),
+            )
+        )
+        regions = policy.untainted_ram_regions()
+        assert [(r.low, r.high) for r in regions] == [
+            (0x0200, memmap.RAM_END)
+        ]
+
+    def test_secret_policy_is_separate_kind(self):
+        policy = secret_policy()
+        assert policy.kind == "secret"
+        assert policy.is_tainted_input("P5IN")
+        assert not policy.is_tainted_input("P1IN")
+        assert policy.is_untainted_output("P2OUT")
+        assert not policy.is_untainted_output("P6OUT")
+
+
+class TestViolationRecords:
+    def test_condition_mapping_total(self):
+        for kind in ViolationKind.ALL:
+            assert CONDITION_OF_KIND[kind] in (1, 2, 3, 4, 5)
+
+    def test_condition_values(self):
+        assert (
+            CONDITION_OF_KIND[ViolationKind.TAINTED_WRITE_UNTAINTED_MEMORY]
+            == 2
+        )
+        assert (
+            CONDITION_OF_KIND[ViolationKind.TAINTED_WRITE_UNTAINTED_PORT]
+            == 5
+        )
+        assert CONDITION_OF_KIND[ViolationKind.TAINTED_CONTROL_FLOW] == 1
+
+    def test_severity(self):
+        direct = Violation(
+            ViolationKind.TAINTED_WRITE_UNTAINTED_PORT, 0, 0, "t"
+        )
+        indirect = Violation(
+            ViolationKind.TAINTED_WRITE_UNTAINTED_MEMORY, 0, 0, "t"
+        )
+        hint = Violation(
+            ViolationKind.TAINTED_CONTROL_FLOW, 0, 0, "t", advisory=True
+        )
+        assert direct.severity == "error"
+        assert indirect.severity == "warning"
+        assert hint.severity == "advisory"
+
+    def test_render_contains_location(self):
+        violation = Violation(
+            ViolationKind.TRUSTED_READ_TAINTED_PORT,
+            cycle=12,
+            address=0x42,
+            task="app",
+            port="P1IN",
+            source_line=7,
+        )
+        text = violation.render()
+        assert "0x0042" in text
+        assert "line 7" in text
+        assert "P1IN" in text
+        assert "app" in text

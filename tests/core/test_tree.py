@@ -1,0 +1,38 @@
+"""Tests for the execution-tree container."""
+
+from repro.core.tree import ExecutionTree
+
+
+class TestExecutionTree:
+    def test_root_and_children(self):
+        tree = ExecutionTree()
+        root = tree.new_node(None, 0x10, 0)
+        left = tree.new_node(root.node_id, 0x20, 5, pc_taint=0xFFFF)
+        right = tree.new_node(root.node_id, 0x21, 5)
+        assert tree.root is root
+        assert root.children == [left.node_id, right.node_id]
+        assert len(tree) == 3
+
+    def test_leaves(self):
+        tree = ExecutionTree()
+        root = tree.new_node(None, 0, 0)
+        child = tree.new_node(root.node_id, 1, 1)
+        leaves = tree.leaves()
+        assert leaves == [child]
+
+    def test_render(self):
+        tree = ExecutionTree()
+        root = tree.new_node(None, 0x0, 0)
+        root.end_reason = "fork"
+        root.end_cycle = 9
+        root.fork_address = 0x5
+        child = tree.new_node(root.node_id, 0x8, 9, pc_taint=1)
+        child.end_reason = "merged"
+        child.end_cycle = 20
+        text = tree.render()
+        assert "node 0: pc=0x0000 cycles 0..9 -> fork" in text
+        assert "[tainted PC]" in text
+        assert "merged" in text
+
+    def test_empty_render(self):
+        assert ExecutionTree().render() == ""

@@ -1,0 +1,391 @@
+"""Gate-level CPU tests: structure, smoke runs, and golden-model lockstep."""
+
+import pytest
+
+from repro.cpu import build_cpu, compiled_cpu, cpu_stats
+from repro.isa.assembler import assemble
+from repro.isasim.executor import Executor
+from repro.logic.ternary import ONE
+from repro.logic.words import TWord
+from repro.sim.runner import GateRunner
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return compiled_cpu()
+
+
+def gate_run(circuit, source, max_cycles=5000, inputs=None):
+    runner = GateRunner(circuit, assemble(source), inputs=inputs)
+    runner.run(max_cycles=max_cycles)
+    return runner
+
+
+def isa_run(source, max_steps=5000):
+    executor = Executor(assemble(source))
+    for _ in range(max_steps):
+        if executor.halted:
+            break
+        executor.step()
+    return executor
+
+
+def cross_check(circuit, source, registers=range(4, 16), inputs=None):
+    """Run on gates and on the golden model; compare final state."""
+    gate = gate_run(circuit, source, inputs=inputs)
+    isa = isa_run(source)
+    assert gate.at_halt(), "gate-level run never reached the idle loop"
+    assert isa.halted, "golden run never halted"
+    for index in registers:
+        gate_word = gate.register(index)
+        isa_word = isa.state.read(index)
+        if isa_word.is_concrete:
+            assert gate_word.is_concrete, (
+                f"r{index}: gate {gate_word!r} vs isa {isa_word!r}"
+            )
+            assert gate_word.value == isa_word.value, (
+                f"r{index}: gate {gate_word.value:#x} "
+                f"vs isa {isa_word.value:#x}"
+            )
+    # memory must agree wherever the golden model is concrete
+    isa_ram = isa.space.ram
+    gate_ram = gate.soc.space.ram
+    import numpy as np
+
+    concrete = isa_ram.xmask == 0
+    assert (gate_ram.xmask[concrete] == 0).all()
+    assert (gate_ram.bits[concrete] == isa_ram.bits[concrete]).all()
+    return gate, isa
+
+
+class TestStructure:
+    def test_netlist_validates(self):
+        netlist = build_cpu()
+        netlist.validate()
+
+    def test_stats_in_microcontroller_range(self):
+        stats = cpu_stats()
+        assert 1500 < stats.num_gates < 10000
+        assert 250 < stats.num_dffs < 600
+        assert stats.logic_depth < 120
+
+    def test_verilog_roundtrip(self):
+        """The CPU netlist survives a write/parse round trip."""
+        import io
+
+        from repro.netlist.verilog import parse_verilog, write_verilog
+
+        netlist = build_cpu()
+        text = io.StringIO()
+        write_verilog(netlist, text)
+        parsed = parse_verilog(text.getvalue())
+        # aliased debug ports come back as explicit BUFs
+        assert len(parsed.gates) >= len(netlist.gates)
+        assert len(parsed.dffs) == len(netlist.dffs)
+        parsed.validate()
+
+
+class TestSmoke:
+    def test_reset_reaches_fetch(self, circuit):
+        runner = GateRunner(circuit, assemble("halt"))
+        assert runner.soc.pc() == TWord.const(0)
+
+    def test_trivial_program(self, circuit):
+        runner = gate_run(circuit, "mov #42, r4\nhalt")
+        assert runner.at_halt()
+        assert runner.register(4).value == 42
+
+    def test_cycle_counts_match_golden(self, circuit):
+        source = """
+            mov #3, r4
+        loop:
+            dec r4
+            jnz loop
+            halt
+        """
+        gate = gate_run(circuit, source)
+        isa = isa_run(source)
+        # gate halts at the J phase of `jmp $`; the golden model counts the
+        # full 2-cycle halt instruction, and GateRunner.reset burns 2.
+        gate_cycles = gate.soc.cycle - 2
+        assert abs(gate_cycles - isa.cycle) <= 2
+
+
+class TestLockstep:
+    def test_arithmetic_and_flags(self, circuit):
+        cross_check(
+            circuit,
+            """
+                mov #0x7FFF, r4
+                add #1, r4          ; signed overflow
+                mov #0, r5
+                sub #1, r5          ; borrow
+                mov #0xFFFF, r6
+                add #1, r6          ; carry + zero
+                addc #0, r7         ; pick up carry
+                mov #5, r8
+                cmp #5, r8
+                jz taken
+                mov #0xBAD, r9
+            taken:
+                mov #0xD00D, r10
+                halt
+            """,
+        )
+
+    def test_subtraction_conditions(self, circuit):
+        cross_check(
+            circuit,
+            """
+                mov #10, r4
+                cmp #20, r4        ; 10 - 20: borrow, negative
+                jnc borrow
+                mov #1, r5
+            borrow:
+                mov #2, r6
+                cmp #5, r4         ; 10 - 5: no borrow
+                jc nob
+                mov #3, r7
+            nob:
+                mov #4, r8
+                cmp #10, r4
+                jge geq
+                mov #5, r9
+            geq:
+                halt
+            """,
+        )
+
+    def test_logic_ops(self, circuit):
+        cross_check(
+            circuit,
+            """
+                mov #0xF0F0, r4
+                and #0x0FF0, r4
+                mov #0x00FF, r5
+                bis #0x0F00, r5
+                mov #0xFFFF, r6
+                bic #0x00FF, r6
+                mov #0x1234, r7
+                xor #0xFFFF, r7
+                bit #0x0F00, r5
+                jnz bitset
+                mov #9, r8
+            bitset:
+                halt
+            """,
+        )
+
+    def test_shifts_and_swpb(self, circuit):
+        cross_check(
+            circuit,
+            """
+                mov #0x8003, r4
+                rra r4
+                mov #0x8003, r5
+                rrc r5
+                mov #0x1234, r6
+                swpb r6
+                halt
+            """,
+        )
+
+    def test_memory_modes(self, circuit):
+        cross_check(
+            circuit,
+            """
+                mov #0x200, r4
+                mov #77, 0(r4)
+                mov #88, 1(r4)
+                mov @r4, r5
+                mov @r4+, r6
+                mov @r4+, r7
+                mov 0x200(r3), r8   ; absolute via CG base
+                add #1, 0(r4)       ; rmw on memory
+                mov @r4, r9
+                halt
+            """,
+        )
+
+    def test_stack_and_calls(self, circuit):
+        cross_check(
+            circuit,
+            """
+                mov #0x0FFE, sp
+                mov #7, r4
+                push r4
+                push #3
+                pop r5
+                pop r6
+                call #leaf
+                mov #0xAA, r7
+                halt
+            leaf:
+                mov #0xBB, r8
+                ret
+            """,
+        )
+
+    def test_loop_with_data_table(self, circuit):
+        cross_check(
+            circuit,
+            """
+                mov #table, r4
+                mov #4, r10
+                clr r5
+            loop:
+                add @r4+, r5
+                dec r10
+                jnz loop
+                halt
+            .data 0x400
+            table:
+                .word 10, 20, 30, 40
+            """,
+        )
+
+    def test_signed_branches(self, circuit):
+        cross_check(
+            circuit,
+            """
+                mov #0xFFF6, r4     ; -10
+                tst r4
+                jn isneg
+                mov #1, r5
+            isneg:
+                cmp #1, r4          ; -10 - 1 < 0 signed
+                jl lower
+                mov #2, r6
+            lower:
+                mov #3, r7
+                halt
+            """,
+        )
+
+    def test_pc_relative_branch_via_mov(self, circuit):
+        cross_check(
+            circuit,
+            """
+                br #over
+                mov #0xBAD, r4
+            over:
+                mov #0x600D, r5
+                halt
+            """,
+        )
+
+    def test_port_io(self, circuit):
+        inputs = {"P3IN": iter([21, 21])}
+
+        def provide(name):
+            return next(inputs[name])
+
+        gate = gate_run(
+            circuit,
+            """
+                mov &P3IN, r4
+                add r4, r4
+                mov r4, &P4OUT
+                halt
+            """,
+            inputs=provide,
+        )
+        p4 = next(
+            p for p in gate.soc.space.output_ports if p.name == "P4OUT"
+        )
+        assert p4.value.value == 42
+
+    def test_sr_explicit_write(self, circuit):
+        cross_check(
+            circuit,
+            """
+                mov #0x0008, r2    ; write SR directly
+                mov r2, r4
+                halt
+            """,
+        )
+
+
+class TestTaintGateLevel:
+    def test_untrusted_port_taints_register(self, circuit):
+        runner = GateRunner(
+            circuit,
+            assemble("mov &P1IN, r4\nhalt"),
+        )
+        runner.run()
+        assert runner.register(4).tmask == 0xFFFF
+
+    def test_mask_strips_taint_on_gates(self, circuit):
+        runner = GateRunner(
+            circuit,
+            assemble(
+                """
+                    mov &P1IN, r4
+                    and #0x03FF, r4
+                    bis #0x0400, r4
+                    halt
+                """
+            ),
+        )
+        runner.run()
+        word = runner.register(4)
+        assert word.tmask == 0x03FF
+        assert word.bit(10) == (ONE, 0)
+
+    def test_unmasked_store_smears_taint(self, circuit):
+        runner = GateRunner(
+            circuit,
+            assemble(
+                """
+                    mov &P1IN, r4
+                    mov #500, 0(r4)
+                    halt
+                """
+            ),
+        )
+        runner.run()
+        assert runner.soc.space.ram.region_tainted(0x100, 0x1000)
+        assert runner.soc.space.watchdog.corrupted
+
+    def test_tainted_branch_taints_pc(self, circuit):
+        runner = GateRunner(
+            circuit,
+            assemble(
+                """
+                    mov &P1IN, r4
+                    tst r4
+                    jz away
+                    halt
+                away:
+                    halt
+                """
+            ),
+        )
+        # run until the PC itself becomes unknown (the split point)
+        for _ in range(40):
+            runner.step()
+            if runner.soc.pc().xmask:
+                break
+        pc = runner.soc.pc()
+        assert pc.xmask, "PC never became unknown at the tainted branch"
+        assert pc.tmask
+
+    def test_branch_invariant_jump_keeps_pc_clean(self, circuit):
+        """A tainted condition whose targets coincide leaks nothing --
+        value-aware GLIFT at the PC mux (both mux legs agree)."""
+        runner = GateRunner(
+            circuit,
+            assemble(
+                """
+                    mov &P1IN, r4
+                    tst r4
+                    jz same
+                same:
+                    halt
+                """
+            ),
+        )
+        runner.run(max_cycles=60)
+        pc = runner.soc.pc()
+        assert pc.is_concrete
+        assert pc.tmask == 0

@@ -1,0 +1,119 @@
+"""Unit tests for the evaluation harness modules (fast paths only --
+full regenerations live in benchmarks/)."""
+
+import pytest
+
+from repro.eval.energy import (
+    ENERGY_ACTIVE,
+    ENERGY_IDLE,
+    EnergyRow,
+    cycles_energy,
+    energy_rows,
+    summarize_energy,
+)
+from repro.eval.figure1 import boolean_rows, render_figure1, ternary_rows
+from repro.eval.figure7 import build_figure7, render_figure7
+from repro.eval.formatting import format_table
+from repro.eval.table3 import Table3Row, summarize
+from repro.eval.table4 import TABLE4, render_table4
+from repro.logic.ternary import ONE, ZERO
+
+
+class TestFormatting:
+    def test_alignment(self):
+        text = format_table(
+            ["name", "value"], [("a", 1), ("longer", 22)], title="t"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert lines[1].startswith("name")
+        assert "longer" in lines[-1]
+        # columns align
+        assert lines[2].count("-") >= 9
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestFigure1:
+    def test_sixteen_boolean_rows(self):
+        assert len(boolean_rows()) == 16
+
+    def test_thirty_six_ternary_rows(self):
+        assert len(ternary_rows()) == 36
+
+    def test_render_contains_masking_row(self):
+        text = render_figure1()
+        assert "1  1   0  0   1  0" in text  # A=1 tainted, B=0: no taint
+
+    def test_ternary_render(self):
+        text = render_figure1(include_ternary=True)
+        assert "ternary extension" in text
+
+
+class TestFigure7:
+    def test_punchline_states(self):
+        _, _, _, left_final, right_final = build_figure7()
+        assert left_final == (ZERO, 1)
+        assert right_final == (ZERO, 0)
+
+    def test_render_mentions_both_paths(self):
+        text = render_figure7()
+        assert "tainted" in text
+        assert "untainted reset" in text
+
+
+class TestTable3Summary:
+    def rows(self):
+        return [
+            Table3Row("clean", 100, 100, 150, False, 0, 2),
+            Table3Row("dirty", 100, 120, 160, True, 1, 2),
+        ]
+
+    def test_overheads(self):
+        clean, dirty = self.rows()
+        assert clean.with_overhead == 0.0
+        assert clean.without_overhead == 50.0
+        assert dirty.with_overhead == pytest.approx(20.0)
+
+    def test_summary_math(self):
+        summary = summarize(self.rows())
+        assert summary["with_avg"] == pytest.approx(10.0)
+        assert summary["without_avg"] == pytest.approx(55.0)
+        assert summary["reduction_factor"] == pytest.approx(5.5)
+
+
+class TestEnergyModel:
+    def test_idle_cheaper_than_active(self):
+        active = cycles_energy(100, 0)
+        idle = cycles_energy(0, 100)
+        assert idle < active
+
+    def test_zero(self):
+        assert cycles_energy(0, 0) == 0.0
+
+    def test_energy_overhead_below_cycle_overhead_when_idle(self):
+        row = Table3Row("x", 1000, 2000, 2000, True, 0, 0)
+        energy = energy_rows([row])[0]
+        # the extra 1000 cycles are mostly idle fill
+        assert energy.with_overhead < 100.0
+
+    def test_summary(self):
+        rows = [
+            EnergyRow("a", 100.0, 110.0, 150.0),
+            EnergyRow("b", 100.0, 100.0, 120.0),
+        ]
+        summary = summarize_energy(rows)
+        assert summary["with_avg"] == pytest.approx(5.0)
+        assert summary["without_avg"] == pytest.approx(35.0)
+
+
+class TestTable4:
+    def test_survey_size(self):
+        assert len(TABLE4) == 9
+
+    def test_render(self):
+        text = render_table4()
+        assert "TI MSP430" in text
+        assert "LP430" in text

@@ -1,0 +1,231 @@
+"""Encoder/decoder tests, including an exhaustive round-trip property."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import spec
+from repro.isa.encode import (
+    DecodedInstruction,
+    EncodeError,
+    Operand,
+    decode,
+    encode,
+)
+from repro.isa.spec import (
+    FORMAT_I_OPCODES,
+    FORMAT_II_OPCODES,
+    JUMP_MNEMONICS,
+    MODE_INDEXED,
+    MODE_INDIRECT,
+    MODE_INDIRECT_INC,
+    MODE_REGISTER,
+    PC,
+)
+
+
+def roundtrip(instruction):
+    words = encode(instruction)
+    decoded = decode(words + [0, 0], instruction.address)
+    assert decoded.length == len(words)
+    return decoded
+
+
+class TestFormatI:
+    def test_mov_reg_reg(self):
+        instruction = DecodedInstruction(
+            "mov", "two", Operand.register(4), Operand.register(5)
+        )
+        words = encode(instruction)
+        assert words == [0x4405]
+        decoded = roundtrip(instruction)
+        assert decoded.mnemonic == "mov"
+        assert decoded.src == Operand.register(4)
+        assert decoded.dst == Operand.register(5)
+
+    def test_immediate_encoding(self):
+        instruction = DecodedInstruction(
+            "add", "two", Operand.immediate(100), Operand.register(10)
+        )
+        words = encode(instruction)
+        assert len(words) == 2
+        assert words[1] == 100
+        decoded = roundtrip(instruction)
+        assert decoded.src.is_immediate
+        assert decoded.src.ext == 100
+
+    def test_absolute_destination(self):
+        instruction = DecodedInstruction(
+            "mov",
+            "two",
+            Operand.immediate(0x5A03),
+            Operand.absolute(0x0080),
+        )
+        words = encode(instruction)
+        assert len(words) == 3
+        decoded = roundtrip(instruction)
+        assert decoded.dst.is_absolute
+        assert decoded.dst.ext == 0x0080
+
+    def test_indexed_both_sides(self):
+        instruction = DecodedInstruction(
+            "mov",
+            "two",
+            Operand.indexed(2, 15),
+            Operand.indexed(4, 14),
+        )
+        decoded = roundtrip(instruction)
+        assert decoded.src.ext == 2
+        assert decoded.dst.ext == 4
+        assert decoded.length == 3
+
+    def test_bad_destination_mode(self):
+        instruction = DecodedInstruction(
+            "mov", "two", Operand.register(4), Operand.indirect(5)
+        )
+        with pytest.raises(EncodeError):
+            encode(instruction)
+
+    def test_store_detection(self):
+        store = DecodedInstruction(
+            "mov", "two", Operand.register(4), Operand.indexed(0, 14)
+        )
+        assert store.is_store
+        nostore = DecodedInstruction(
+            "cmp", "two", Operand.register(4), Operand.indexed(0, 14)
+        )
+        assert not nostore.is_store
+
+    def test_writes_pc(self):
+        branch = DecodedInstruction(
+            "mov", "two", Operand.immediate(0x10), Operand.register(PC)
+        )
+        assert branch.writes_pc
+        plain = DecodedInstruction(
+            "mov", "two", Operand.immediate(0x10), Operand.register(5)
+        )
+        assert not plain.writes_pc
+
+
+class TestFormatII:
+    def test_push(self):
+        instruction = DecodedInstruction("push", "one", Operand.register(10))
+        decoded = roundtrip(instruction)
+        assert decoded.mnemonic == "push"
+        assert decoded.src == Operand.register(10)
+        assert decoded.is_store
+
+    def test_call_immediate(self):
+        instruction = DecodedInstruction(
+            "call", "one", Operand.immediate(0x123)
+        )
+        decoded = roundtrip(instruction)
+        assert decoded.src.ext == 0x123
+        assert decoded.writes_pc
+        assert decoded.is_store
+
+    def test_reserved_opcode_rejected(self):
+        # format-II opcode 3 (SXT) is reserved in LP430
+        word = (0b000100 << 10) | (3 << 7)
+        with pytest.raises(EncodeError, match="reserved"):
+            decode([word, 0, 0])
+
+
+class TestJumps:
+    def test_jmp_encoding(self):
+        instruction = DecodedInstruction(
+            "jmp", "jump", offset=-1, address=0x10
+        )
+        words = encode(instruction)
+        decoded = decode(words + [0], 0x10)
+        assert decoded.offset == -1
+        assert decoded.is_self_loop
+        assert decoded.jump_target == 0x10
+
+    def test_conditional_targets(self):
+        instruction = DecodedInstruction(
+            "jnz", "jump", offset=5, address=0x100
+        )
+        decoded = roundtrip(instruction)
+        assert decoded.jump_target == 0x106
+        assert decoded.fallthrough == 0x101
+        assert decoded.is_conditional_jump
+
+    def test_offset_range_checked(self):
+        with pytest.raises(EncodeError):
+            encode(DecodedInstruction("jmp", "jump", offset=512))
+        with pytest.raises(EncodeError):
+            encode(DecodedInstruction("jmp", "jump", offset=-513))
+
+    def test_all_conditions_roundtrip(self):
+        for mnemonic in JUMP_MNEMONICS:
+            decoded = roundtrip(
+                DecodedInstruction(mnemonic, "jump", offset=3)
+            )
+            assert decoded.mnemonic == mnemonic
+
+
+class TestDecodeErrors:
+    def test_illegal_opcode(self):
+        with pytest.raises(EncodeError, match="illegal opcode"):
+            decode([0x0000, 0, 0])
+
+
+def operand_strategy(dst=False):
+    modes = [MODE_REGISTER, MODE_INDEXED] if dst else [
+        MODE_REGISTER,
+        MODE_INDEXED,
+        MODE_INDIRECT,
+        MODE_INDIRECT_INC,
+    ]
+    return st.builds(
+        lambda mode, reg, ext: Operand(
+            mode,
+            reg,
+            ext if (mode == MODE_INDEXED or (mode == MODE_INDIRECT_INC and reg == PC)) else None,
+        ),
+        st.sampled_from(modes),
+        st.integers(0, 15),
+        st.integers(0, 0xFFFF),
+    )
+
+
+class TestRoundTripProperties:
+    @given(
+        st.sampled_from(sorted(FORMAT_I_OPCODES)),
+        operand_strategy(),
+        operand_strategy(dst=True),
+    )
+    @settings(max_examples=300)
+    def test_format_i_roundtrip(self, mnemonic, src, dst):
+        instruction = DecodedInstruction(mnemonic, "two", src, dst)
+        decoded = roundtrip(instruction)
+        assert decoded.mnemonic == mnemonic
+        assert decoded.src == src
+        assert decoded.dst == dst
+
+    @given(st.sampled_from(sorted(FORMAT_II_OPCODES)), operand_strategy())
+    @settings(max_examples=200)
+    def test_format_ii_roundtrip(self, mnemonic, operand):
+        instruction = DecodedInstruction(mnemonic, "one", operand)
+        decoded = roundtrip(instruction)
+        assert decoded.mnemonic == mnemonic
+        assert decoded.src == operand
+
+    @given(
+        st.sampled_from(JUMP_MNEMONICS),
+        st.integers(spec.JUMP_OFFSET_MIN, spec.JUMP_OFFSET_MAX),
+    )
+    @settings(max_examples=200)
+    def test_jump_roundtrip(self, mnemonic, offset):
+        decoded = roundtrip(
+            DecodedInstruction(mnemonic, "jump", offset=offset)
+        )
+        assert decoded.mnemonic == mnemonic
+        assert decoded.offset == offset
+
+    def test_render_smoke(self):
+        instruction = DecodedInstruction(
+            "mov", "two", Operand.immediate(5), Operand.indexed(-2, 4)
+        )
+        assert instruction.render() == "mov #5, -2(r4)"

@@ -1,0 +1,98 @@
+"""Intel HEX round-trip and error tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.assembler import assemble
+from repro.isa.ihex import IhexError, load_ihex_into_rom, read_ihex, write_ihex
+from repro.isa.program import Program
+from repro.sim.soc import Rom
+from repro.logic.words import TWord
+
+
+def sample_program():
+    return assemble(
+        """
+        .org 0x10
+            mov #0xBEEF, r4
+            mov #100, r10
+        loop:
+            dec r10
+            jnz loop
+            halt
+        """,
+        name="sample",
+    )
+
+
+class TestRoundTrip:
+    def test_sample_roundtrip(self):
+        program = sample_program()
+        text = write_ihex(program)
+        words = read_ihex(text)
+        assert words == program.code
+
+    def test_rom_loading(self):
+        program = sample_program()
+        rom = Rom()
+        load_ihex_into_rom(write_ihex(program), rom)
+        for address, word in program.code.items():
+            assert rom.read(TWord.const(address)).value == word
+
+    def test_format_shape(self):
+        text = write_ihex(sample_program())
+        lines = text.strip().splitlines()
+        assert all(line.startswith(":") for line in lines)
+        assert lines[-1] == ":00000001FF"  # standard EOF record
+
+    def test_sparse_images_split_rows(self):
+        program = Program(name="sparse", code={0: 0x1111, 0x100: 0x2222})
+        words = read_ihex(write_ihex(program))
+        assert words == {0: 0x1111, 0x100: 0x2222}
+
+    @given(
+        st.dictionaries(
+            st.integers(0, 2000), st.integers(0, 0xFFFF), max_size=64
+        )
+    )
+    @settings(max_examples=60)
+    def test_roundtrip_property(self, code):
+        program = Program(name="fuzz", code=code)
+        assert read_ihex(write_ihex(program)) == code
+
+
+class TestErrors:
+    def test_missing_start_code(self):
+        with pytest.raises(IhexError, match="start code"):
+            read_ihex("00000001FF\n")
+
+    def test_bad_checksum(self):
+        with pytest.raises(IhexError, match="checksum"):
+            read_ihex(":020000000000FF\n:00000001FF\n")
+
+    def test_missing_eof(self):
+        payload = bytes([2, 0, 0, 0, 0x34, 0x12])
+        checksum = (-sum(payload)) & 0xFF
+        line = ":" + (payload + bytes([checksum])).hex().upper()
+        with pytest.raises(IhexError, match="EOF"):
+            read_ihex(line + "\n")
+
+    def test_bad_hex(self):
+        with pytest.raises(IhexError, match="hex"):
+            read_ihex(":zz000001FF\n")
+
+    def test_unsupported_record_type(self):
+        # record type 4 (extended linear address) is out of subset
+        payload = bytes([2, 0, 0, 4, 0, 0])
+        checksum = (-sum(payload)) & 0xFF
+        line = ":" + (payload + bytes([checksum])).hex().upper()
+        with pytest.raises(IhexError, match="unsupported"):
+            read_ihex(line + "\n:00000001FF\n")
+
+    def test_length_mismatch(self):
+        payload = bytes([3, 0, 0, 0, 0xAB])  # claims 3 bytes, has 1
+        checksum = (-sum(payload)) & 0xFF
+        line = ":" + (payload + bytes([checksum])).hex().upper()
+        with pytest.raises(IhexError, match="length"):
+            read_ihex(line + "\n:00000001FF\n")

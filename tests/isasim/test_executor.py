@@ -1,0 +1,541 @@
+"""Architectural simulator tests: semantics, cycles, taint behaviour."""
+
+import pytest
+
+from repro import memmap
+from repro.isa.assembler import assemble
+from repro.isa.spec import FLAG_C, FLAG_N, FLAG_V, FLAG_Z, PC, SP, SR
+from repro.isasim.executor import (
+    Executor,
+    ExecutorError,
+    UnknownPCError,
+    run_concrete,
+)
+from repro.logic.ternary import ONE, UNKNOWN, ZERO
+from repro.logic.words import TWord
+
+
+def make_executor(source, **kwargs):
+    return Executor(assemble(source), **kwargs)
+
+
+def run_steps(executor, count):
+    results = []
+    for _ in range(count):
+        results.append(executor.step())
+    return results
+
+
+def reg(executor, index):
+    return executor.state.read(index)
+
+
+class TestBasicSemantics:
+    def test_mov_immediate(self):
+        executor = make_executor("mov #42, r4\nhalt")
+        executor.step()
+        assert reg(executor, 4).value == 42
+        assert reg(executor, PC).value == 2
+
+    def test_arithmetic_chain(self):
+        executor = make_executor(
+            """
+                mov #10, r4
+                mov #3, r5
+                add r4, r5
+                sub #1, r5
+                halt
+            """
+        )
+        run_steps(executor, 4)
+        assert reg(executor, 5).value == 12
+
+    def test_flags_zero_carry(self):
+        executor = make_executor(
+            """
+                mov #0xFFFF, r4
+                add #1, r4
+                halt
+            """
+        )
+        run_steps(executor, 2)
+        assert reg(executor, 4).value == 0
+        assert executor.state.flag(FLAG_Z) == (ONE, 0)
+        assert executor.state.flag(FLAG_C) == (ONE, 0)
+
+    def test_cmp_does_not_write(self):
+        executor = make_executor(
+            """
+                mov #5, r4
+                cmp #5, r4
+                halt
+            """
+        )
+        run_steps(executor, 2)
+        assert reg(executor, 4).value == 5
+        assert executor.state.flag(FLAG_Z) == (ONE, 0)
+        assert executor.state.flag(FLAG_C) == (ONE, 0)  # no borrow
+
+    def test_logic_ops(self):
+        executor = make_executor(
+            """
+                mov #0x0F0F, r4
+                mov #0x00FF, r5
+                and r4, r5
+                mov #0x0F0F, r6
+                bis #0x1000, r6
+                bic #0x000F, r6
+                xor #0xFFFF, r6
+                halt
+            """
+        )
+        run_steps(executor, 7)
+        assert reg(executor, 5).value == 0x000F
+        assert reg(executor, 6).value == (0x1F00 ^ 0xFFFF)
+
+    def test_memory_roundtrip(self):
+        executor = make_executor(
+            """
+                mov #0x200, r4
+                mov #77, 0(r4)
+                mov @r4, r5
+                halt
+            """
+        )
+        run_steps(executor, 3)
+        assert reg(executor, 5).value == 77
+
+    def test_autoincrement_walks_table(self):
+        executor = make_executor(
+            """
+                mov #0x400, r4
+                mov @r4+, r5
+                mov @r4+, r6
+                halt
+            .data 0x400
+                .word 11, 22
+            """
+        )
+        run_steps(executor, 3)
+        assert reg(executor, 5).value == 11
+        assert reg(executor, 6).value == 22
+        assert reg(executor, 4).value == 0x402
+
+    def test_push_pop(self):
+        executor = make_executor(
+            """
+                mov #0x0FFE, sp
+                mov #99, r4
+                push r4
+                clr r4
+                pop r4
+                halt
+            """
+        )
+        run_steps(executor, 5)
+        assert reg(executor, 4).value == 99
+        assert reg(executor, SP).value == 0x0FFE
+
+    def test_call_ret(self):
+        executor = make_executor(
+            """
+                mov #0x0FFE, sp
+                call #func
+                mov #1, r5
+                halt
+            func:
+                mov #7, r4
+                ret
+            """
+        )
+        results = run_steps(executor, 5)
+        assert reg(executor, 4).value == 7
+        assert reg(executor, 5).value == 1
+        assert results[-1].kind == "ok"
+
+    def test_shifts(self):
+        executor = make_executor(
+            """
+                mov #0x8003, r4
+                rra r4
+                mov #0x8003, r5
+                rrc r5
+                mov #0x1234, r6
+                swpb r6
+                halt
+            """
+        )
+        run_steps(executor, 6)
+        assert reg(executor, 4).value == 0xC001
+        # rrc: carry was set by rra (bit0 of 0x8003 == 1)
+        assert reg(executor, 5).value == 0xC001
+        assert reg(executor, 6).value == 0x3412
+
+    def test_rla_pseudo_doubles(self):
+        executor = make_executor(
+            """
+                mov #3, r4
+                rla r4
+                halt
+            """
+        )
+        run_steps(executor, 2)
+        assert reg(executor, 4).value == 6
+
+
+class TestControlFlow:
+    def test_loop_counts(self):
+        executor = make_executor(
+            """
+                mov #5, r10
+                clr r4
+            loop:
+                inc r4
+                dec r10
+                jnz loop
+                halt
+            """
+        )
+        while not executor.halted:
+            executor.step()
+        assert reg(executor, 4).value == 5
+
+    def test_conditional_signed(self):
+        executor = make_executor(
+            """
+                mov #5, r4
+                cmp #10, r4       ; r4 - 10 < 0
+                jge over
+                mov #1, r5
+            over:
+                halt
+            """
+        )
+        while not executor.halted:
+            executor.step()
+        assert reg(executor, 5).value == 1
+
+    def test_br_pseudo(self):
+        executor = make_executor(
+            """
+                br #target
+                mov #1, r5
+            target:
+                halt
+            """
+        )
+        while not executor.halted:
+            executor.step()
+        assert reg(executor, 5).tmask == 0  # never executed; still X?
+        assert reg(executor, PC).value == executor.program.labels["target"]
+
+    def test_halt_reports(self):
+        executor = make_executor("halt")
+        result = executor.step()
+        assert result.kind == "halt"
+        assert executor.halted
+
+    def test_unknown_branch_splits(self):
+        executor = make_executor(
+            """
+                mov &P3IN, r4     ; unknown but untainted input
+                tst r4
+                jz somewhere
+                halt
+            somewhere:
+                halt
+            """
+        )
+        run_steps(executor, 2)
+        result = executor.step()
+        assert result.kind == "split"
+        assert set(result.targets) == {
+            executor.program.labels["somewhere"],
+            executor.program.labels["somewhere"] - 1,
+        }
+        assert result.branch_taint == 0  # P3IN is untainted
+
+    def test_tainted_branch_split_taints_pc(self):
+        executor = make_executor(
+            """
+                mov &P1IN, r4     ; tainted input
+                tst r4
+                jz somewhere
+                halt
+            somewhere:
+                halt
+            """
+        )
+        run_steps(executor, 2)
+        result = executor.step()
+        assert result.kind == "split"
+        assert result.branch_taint == 0xFFFF
+
+    def test_unknown_pc_raises(self):
+        executor = make_executor("halt")
+        executor.state.write(PC, TWord.unknown(16))
+        with pytest.raises(UnknownPCError):
+            executor.step()
+
+    def test_computed_jump_enumerates(self):
+        executor = make_executor(
+            """
+                mov &P3IN, r4
+                and #0x0001, r4
+                add #target, r4
+                mov r4, pc
+                nop               ; aligns `target` to an even address so
+            target:               ; base+X stays a 2-value known-bits set
+                halt
+                halt
+            """
+        )
+        run_steps(executor, 3)
+        result = executor.step()
+        assert result.kind == "split"
+        base = executor.program.labels["target"]
+        assert base % 2 == 0
+        assert set(result.targets) == {base, base + 1}
+
+    def test_wildly_unknown_computed_jump_rejected(self):
+        executor = make_executor(
+            """
+                mov &P3IN, r4
+                mov r4, pc
+            """
+        )
+        executor.step()
+        with pytest.raises(ExecutorError, match="computed jump"):
+            executor.step()
+
+
+class TestCycleCounts:
+    def test_reg_reg_is_two_cycles(self):
+        executor = make_executor("mov r4, r5\nhalt")
+        result = executor.step()
+        assert result.cycles == 2
+
+    def test_immediate_is_three_cycles(self):
+        executor = make_executor("mov #1, r5\nhalt")
+        assert executor.step().cycles == 3
+
+    def test_jump_is_two_cycles(self):
+        executor = make_executor("jmp next\nnext: halt")
+        assert executor.step().cycles == 2
+
+    def test_indexed_store_immediate(self):
+        # mov #x, 2(r4): F + SE + DE + E = 4 (no DL for mov)
+        executor = make_executor("mov #9, 2(r4)\nhalt")
+        assert executor.step().cycles == 4
+
+    def test_rmw_indexed(self):
+        # add #x, 2(r4): F + SE + DE + DL + E = 5
+        executor = make_executor("add #9, 2(r4)\nhalt")
+        assert executor.step().cycles == 5
+
+    def test_cpi_band(self):
+        """Overall CPI sits in the multi-cycle MSP430-like band (2-6)."""
+        executor = make_executor(
+            """
+                mov #0x0FFE, sp
+                mov #10, r10
+            loop:
+                push r10
+                pop r11
+                dec r10
+                jnz loop
+                halt
+            """
+        )
+        steps = 0
+        while not executor.halted:
+            executor.step()
+            steps += 1
+        cpi = executor.cycle / steps
+        assert 2.0 <= cpi <= 6.0
+
+
+class TestTaintFlow:
+    def test_untrusted_input_taints_register(self):
+        executor = make_executor("mov &P1IN, r4\nhalt")
+        executor.step()
+        assert reg(executor, 4).tmask == 0xFFFF
+        assert reg(executor, 4).xmask == 0xFFFF
+
+    def test_trusted_input_unknown_untainted(self):
+        executor = make_executor("mov &P3IN, r4\nhalt")
+        executor.step()
+        assert reg(executor, 4).tmask == 0
+        assert reg(executor, 4).xmask == 0xFFFF
+
+    def test_masking_clears_taint(self):
+        """Figure 9's repair at the ISA level."""
+        executor = make_executor(
+            """
+                mov &P1IN, r4
+                and #0x03FF, r4
+                bis #0x0400, r4
+                halt
+            """
+        )
+        run_steps(executor, 3)
+        word = reg(executor, 4)
+        assert word.tmask == 0x03FF
+        assert word.bit(10) == (ONE, 0)
+
+    def test_unmasked_store_taints_whole_memory(self):
+        """Figure 9 left-hand listing."""
+        executor = make_executor(
+            """
+                mov &P1IN, r4
+                mov #500, 0(r4)
+                halt
+            """
+        )
+        run_steps(executor, 2)
+        assert executor.space.ram.region_tainted(0x100, 0x1000)
+        assert executor.space.watchdog.corrupted
+
+    def test_masked_store_confined(self):
+        """Figure 9 right-hand listing."""
+        executor = make_executor(
+            """
+                mov &P1IN, r4
+                and #0x03FF, r4
+                bis #0x0400, r4
+                mov #500, 0(r4)
+                halt
+            """
+        )
+        run_steps(executor, 4)
+        ram = executor.space.ram
+        assert ram.region_tainted(0x400, 0x800)
+        assert not ram.region_tainted(0x100, 0x400)
+        assert not ram.region_tainted(0x800, 0x1000)
+        assert not executor.space.watchdog.corrupted
+
+    def test_tainted_pc_taints_everything_it_writes(self):
+        executor = make_executor(
+            """
+                mov &P1IN, r4
+                tst r4
+                jz skip
+            skip:
+                mov #1, r5
+                halt
+            """
+        )
+        run_steps(executor, 2)
+        split = executor.step()
+        assert split.kind == "split"
+        executor.force_pc(split.targets[0], split.branch_taint)
+        executor.step()  # mov #1, r5 under tainted control flow
+        word = reg(executor, 5)
+        assert word.value == 1
+        assert word.tmask == 0xFFFF
+
+    def test_pc_taint_is_sticky(self):
+        executor = make_executor(
+            """
+            start:
+                mov #1, r5
+                jmp start
+            """
+        )
+        executor.force_pc(0, 0xFFFF)
+        run_steps(executor, 3)
+        assert reg(executor, PC).tmask == 0xFFFF
+
+
+class TestWatchdogIntegration:
+    def test_watchdog_reset_restores_untainted_control(self):
+        """Figure 8's repair: the untainted watchdog reset de-taints the PC."""
+        executor = make_executor(
+            """
+                mov #0x5a03, &WDTCTL   ; arm watchdog, 64-cycle interval
+            spin:
+                jmp spin
+            """
+        )
+        executor.force_pc(0, 0)
+        executor.step()  # arm
+        # taint the PC as if tainted code had been scheduled
+        executor.state.write(PC, reg(executor, PC).taint_all())
+        for _ in range(40):
+            result = executor.step()
+            if result.kind == "reset":
+                break
+        else:
+            pytest.fail("watchdog never fired")
+        assert reg(executor, PC) == TWord.const(0)
+        assert reg(executor, PC).tmask == 0
+
+    def test_corrupted_watchdog_reset_keeps_taint(self):
+        executor = make_executor(
+            """
+                mov &P1IN, r4
+                mov r4, &WDTCTL        ; tainted write: watchdog corrupted
+            spin:
+                jmp spin
+            """
+        )
+        run_steps(executor, 2)
+        assert executor.space.watchdog.corrupted
+        executor.pending_por = (ONE, 1)  # a tainted reset
+        executor.step()
+        assert reg(executor, PC).value == 0
+        assert reg(executor, PC).tmask == 0xFFFF
+
+
+class TestConcreteRuns:
+    def test_run_concrete_counts_cycles(self):
+        run = run_concrete(
+            assemble(
+                """
+                    mov #10, r10
+                loop:
+                    dec r10
+                    jnz loop
+                    halt
+                """
+            )
+        )
+        assert run.halted
+        # mov(3) + 10 * (dec(3) + jnz(2)) = 53 + final halt(2)
+        assert run.cycles == 3 + 10 * 5 + 2
+
+    def test_run_concrete_reads_ports(self):
+        values = iter([7, 9])
+
+        def inputs(port):
+            return next(values)
+
+        run = run_concrete(
+            assemble(
+                """
+                    mov &P3IN, r4
+                    mov &P3IN, r5
+                    add r4, r5
+                    mov r5, &P4OUT
+                    halt
+                """
+            ),
+            inputs=inputs,
+        )
+        assert run.halted
+        port, data = run.port_writes[-1]
+        assert port == "P4OUT"
+        assert data.value == 16
+
+    def test_run_concrete_follows_watchdog(self):
+        run = run_concrete(
+            assemble(
+                """
+                    mov #0x5a03, &WDTCTL
+                spin:
+                    jmp spin
+                """
+            ),
+            max_cycles=200,
+        )
+        assert run.resets >= 1

@@ -1,0 +1,140 @@
+"""Tests for GLIFT taint semantics, including the paper's Figure 1 table."""
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.logic import glift
+from repro.logic.ternary import ONE, UNKNOWN, ZERO, concretizations
+
+#: Figure 1 of the paper: (A, AT, B, BT, O, OT) for a NAND gate.
+FIGURE1_NAND_ROWS = [
+    (0, 0, 0, 0, 1, 0),
+    (0, 0, 0, 1, 1, 0),
+    (0, 0, 1, 0, 1, 0),
+    (0, 0, 1, 1, 1, 0),
+    (0, 1, 0, 0, 1, 0),
+    (0, 1, 0, 1, 1, 1),
+    (0, 1, 1, 0, 1, 1),
+    (0, 1, 1, 1, 1, 1),
+    (1, 0, 0, 0, 1, 0),
+    (1, 0, 0, 1, 1, 1),
+    (1, 0, 1, 0, 0, 0),
+    (1, 0, 1, 1, 0, 1),
+    (1, 1, 0, 0, 1, 0),
+    (1, 1, 0, 1, 1, 1),
+    (1, 1, 1, 0, 0, 1),
+    (1, 1, 1, 1, 0, 1),
+]
+
+
+class TestFigure1:
+    def test_nand_truth_table_matches_paper(self):
+        assert glift.glift_nand_truth_table() == FIGURE1_NAND_ROWS
+
+    def test_masking_kills_taint(self):
+        # A = 1 tainted, B = 0 untainted: B controls the NAND, no taint out.
+        value, taint = glift.glift_eval(
+            glift.GATE_FUNCTIONS["NAND2"], (ONE, ZERO), (1, 0)
+        )
+        assert (value, taint) == (ONE, 0)
+
+    def test_tainted_input_that_can_affect_output(self):
+        value, taint = glift.glift_eval(
+            glift.GATE_FUNCTIONS["NAND2"], (ZERO, ONE), (1, 0)
+        )
+        assert (value, taint) == (ONE, 1)
+
+
+class TestTernaryEval:
+    def test_known_dominates(self):
+        assert glift.ternary_eval(glift.GATE_FUNCTIONS["AND2"], (ZERO, UNKNOWN)) == ZERO
+        assert glift.ternary_eval(glift.GATE_FUNCTIONS["OR2"], (ONE, UNKNOWN)) == ONE
+
+    def test_unknown_result(self):
+        assert (
+            glift.ternary_eval(glift.GATE_FUNCTIONS["AND2"], (ONE, UNKNOWN))
+            == UNKNOWN
+        )
+
+    def test_mux_argument_order(self):
+        # MUX2 is (sel, a, b): a when sel == 0.
+        assert glift.GATE_FUNCTIONS["MUX2"](0, 1, 0) == 1
+        assert glift.GATE_FUNCTIONS["MUX2"](1, 1, 0) == 0
+
+
+class TestGliftEvalSemantics:
+    """glift_eval against a brute-force influence oracle (hypothesis)."""
+
+    @given(
+        st.sampled_from(sorted(glift.GATE_FUNCTIONS)),
+        st.data(),
+    )
+    def test_taint_equals_influence(self, cell_type, data):
+        func = glift.GATE_FUNCTIONS[cell_type]
+        arity = glift._cell_arity(cell_type)
+        values = tuple(
+            data.draw(st.sampled_from((ZERO, ONE, UNKNOWN)), label=f"v{i}")
+            for i in range(arity)
+        )
+        taints = tuple(
+            data.draw(st.sampled_from((0, 1)), label=f"t{i}") for i in range(arity)
+        )
+        value, taint = glift.glift_eval(func, values, taints)
+
+        # Oracle: taint iff some concretization of unknown untainted inputs
+        # lets the tainted inputs change the output.
+        tainted = [i for i in range(arity) if taints[i]]
+        untainted = [i for i in range(arity) if not taints[i]]
+        expect_taint = 0
+        for u_combo in itertools.product(
+            *(concretizations(values[i]) for i in untainted)
+        ):
+            outs = set()
+            for t_combo in itertools.product((0, 1), repeat=len(tainted)):
+                assignment = [0] * arity
+                for pos, bit in zip(untainted, u_combo):
+                    assignment[pos] = bit
+                for pos, bit in zip(tainted, t_combo):
+                    assignment[pos] = bit
+                outs.add(func(*assignment))
+            if len(outs) == 2:
+                expect_taint = 1
+                break
+        if not tainted:
+            expect_taint = 0
+        assert taint == expect_taint
+
+        # Value must cover every concretization of *all* inputs.
+        results = {
+            func(*combo)
+            for combo in itertools.product(
+                *(concretizations(v) for v in values)
+            )
+        }
+        if value != UNKNOWN:
+            assert results == {value}
+
+    def test_untainted_inputs_never_taint(self):
+        for cell_type, func in glift.GATE_FUNCTIONS.items():
+            arity = glift._cell_arity(cell_type)
+            for values in itertools.product(
+                (ZERO, ONE, UNKNOWN), repeat=arity
+            ):
+                _, taint = glift.glift_eval(func, values, (0,) * arity)
+                assert taint == 0
+
+
+class TestGliftTable:
+    @pytest.mark.parametrize("cell_type", sorted(glift.GATE_FUNCTIONS))
+    def test_table_complete_and_consistent(self, cell_type):
+        table = glift.glift_table(cell_type)
+        arity = glift._cell_arity(cell_type)
+        assert len(table) == (3 * 2) ** arity
+        func = glift.GATE_FUNCTIONS[cell_type]
+        for key, (value, taint) in table.items():
+            values = key[0::2]
+            taints = key[1::2]
+            assert (value, taint) == glift.glift_eval(func, values, taints)

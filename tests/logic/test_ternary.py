@@ -1,0 +1,138 @@
+"""Unit and property tests for three-valued logic primitives."""
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.logic import ternary
+from repro.logic.ternary import ONE, UNKNOWN, ZERO
+
+TERNARY = st.sampled_from((ZERO, ONE, UNKNOWN))
+CONCRETE = st.sampled_from((ZERO, ONE))
+
+
+class TestConcreteAgreement:
+    """On concrete inputs, ternary gates are plain boolean gates."""
+
+    @pytest.mark.parametrize("a,b", list(itertools.product((0, 1), repeat=2)))
+    def test_two_input_gates(self, a, b):
+        assert ternary.t_and(a, b) == (a & b)
+        assert ternary.t_or(a, b) == (a | b)
+        assert ternary.t_xor(a, b) == (a ^ b)
+        assert ternary.t_nand(a, b) == 1 - (a & b)
+        assert ternary.t_nor(a, b) == 1 - (a | b)
+        assert ternary.t_xnor(a, b) == 1 - (a ^ b)
+
+    @pytest.mark.parametrize("a", [0, 1])
+    def test_not_buf(self, a):
+        assert ternary.t_not(a) == 1 - a
+        assert ternary.t_buf(a) == a
+
+    @pytest.mark.parametrize(
+        "sel,a,b", list(itertools.product((0, 1), repeat=3))
+    )
+    def test_mux(self, sel, a, b):
+        assert ternary.t_mux(sel, a, b) == (b if sel else a)
+
+
+class TestUnknownPropagation:
+    def test_controlling_values_dominate_x(self):
+        assert ternary.t_and(ZERO, UNKNOWN) == ZERO
+        assert ternary.t_and(UNKNOWN, ZERO) == ZERO
+        assert ternary.t_or(ONE, UNKNOWN) == ONE
+        assert ternary.t_or(UNKNOWN, ONE) == ONE
+        assert ternary.t_nand(ZERO, UNKNOWN) == ONE
+        assert ternary.t_nor(ONE, UNKNOWN) == ZERO
+
+    def test_non_controlling_values_yield_x(self):
+        assert ternary.t_and(ONE, UNKNOWN) == UNKNOWN
+        assert ternary.t_or(ZERO, UNKNOWN) == UNKNOWN
+        assert ternary.t_xor(ZERO, UNKNOWN) == UNKNOWN
+        assert ternary.t_xor(UNKNOWN, UNKNOWN) == UNKNOWN
+        assert ternary.t_not(UNKNOWN) == UNKNOWN
+
+    def test_mux_unknown_select(self):
+        assert ternary.t_mux(UNKNOWN, ONE, ONE) == ONE
+        assert ternary.t_mux(UNKNOWN, ZERO, ZERO) == ZERO
+        assert ternary.t_mux(UNKNOWN, ZERO, ONE) == UNKNOWN
+        assert ternary.t_mux(UNKNOWN, UNKNOWN, UNKNOWN) == UNKNOWN
+
+
+class TestSoundness:
+    """Ternary outputs must cover every concretization (hypothesis)."""
+
+    @given(TERNARY, TERNARY)
+    def test_and_or_xor_sound(self, a, b):
+        for op, ref in (
+            (ternary.t_and, lambda x, y: x & y),
+            (ternary.t_or, lambda x, y: x | y),
+            (ternary.t_xor, lambda x, y: x ^ y),
+        ):
+            symbolic = op(a, b)
+            results = {
+                ref(ca, cb)
+                for ca in ternary.concretizations(a)
+                for cb in ternary.concretizations(b)
+            }
+            if symbolic == UNKNOWN:
+                continue  # X covers anything
+            assert results == {symbolic}
+
+    @given(TERNARY, TERNARY, TERNARY)
+    def test_mux_sound(self, sel, a, b):
+        symbolic = ternary.t_mux(sel, a, b)
+        results = {
+            (cb if csel else ca)
+            for csel in ternary.concretizations(sel)
+            for ca in ternary.concretizations(a)
+            for cb in ternary.concretizations(b)
+        }
+        if symbolic != UNKNOWN:
+            assert results == {symbolic}
+
+
+class TestReductionsAndLattice:
+    def test_t_all(self):
+        assert ternary.t_all([ONE, ONE, ONE]) == ONE
+        assert ternary.t_all([ONE, ZERO, UNKNOWN]) == ZERO
+        assert ternary.t_all([ONE, UNKNOWN]) == UNKNOWN
+        assert ternary.t_all([]) == ONE
+
+    def test_t_any(self):
+        assert ternary.t_any([ZERO, ZERO]) == ZERO
+        assert ternary.t_any([ZERO, ONE, UNKNOWN]) == ONE
+        assert ternary.t_any([ZERO, UNKNOWN]) == UNKNOWN
+        assert ternary.t_any([]) == ZERO
+
+    @given(TERNARY, TERNARY)
+    def test_merge_covers_both(self, a, b):
+        merged = ternary.merge(a, b)
+        assert ternary.covers(merged, a)
+        assert ternary.covers(merged, b)
+
+    @given(TERNARY)
+    def test_covers_reflexive(self, a):
+        assert ternary.covers(a, a)
+
+    def test_covers_x_dominates(self):
+        assert ternary.covers(UNKNOWN, ZERO)
+        assert ternary.covers(UNKNOWN, ONE)
+        assert not ternary.covers(ZERO, UNKNOWN)
+        assert not ternary.covers(ZERO, ONE)
+
+    def test_repr(self):
+        assert ternary.ternary_repr(ZERO) == "0"
+        assert ternary.ternary_repr(ONE) == "1"
+        assert ternary.ternary_repr(UNKNOWN) == "X"
+
+    def test_is_known(self):
+        assert ternary.is_known(ZERO)
+        assert ternary.is_known(ONE)
+        assert not ternary.is_known(UNKNOWN)
+
+    def test_concretizations(self):
+        assert ternary.concretizations(ZERO) == (ZERO,)
+        assert ternary.concretizations(ONE) == (ONE,)
+        assert set(ternary.concretizations(UNKNOWN)) == {ZERO, ONE}

@@ -1,0 +1,237 @@
+"""Tests for the circuit-builder DSL, checked against a reference evaluator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.glift import GATE_FUNCTIONS
+from repro.netlist.builder import CircuitBuilder, Sig
+from repro.netlist.netlist import NetlistError
+
+
+def evaluate(netlist, input_values):
+    """Reference boolean evaluation (combinational only)."""
+    from repro.netlist.levelize import levelize
+
+    values = {}
+    for port in netlist.inputs:
+        word = input_values[port.name]
+        for index, net in enumerate(port.nets):
+            values[net] = word >> index & 1
+    for level in levelize(netlist):
+        for gate in level:
+            if gate.cell_type == "TIE0":
+                values[gate.output] = 0
+            elif gate.cell_type == "TIE1":
+                values[gate.output] = 1
+            else:
+                func = GATE_FUNCTIONS[gate.cell_type]
+                values[gate.output] = func(
+                    *(values[n] for n in gate.inputs)
+                )
+    outputs = {}
+    for port in netlist.outputs:
+        word = 0
+        for index, net in enumerate(port.nets):
+            word |= values[net] << index
+        outputs[port.name] = word
+    return outputs
+
+
+def build_and_eval(build, inputs):
+    builder = CircuitBuilder("t")
+    build(builder)
+    netlist = builder.build()
+    return evaluate(netlist, inputs)
+
+
+WORD4 = st.integers(0, 15)
+
+
+class TestWordOps:
+    @given(WORD4, WORD4)
+    @settings(max_examples=60)
+    def test_bitwise(self, a, b):
+        def build(builder):
+            sig_a = builder.input("a", 4)
+            sig_b = builder.input("b", 4)
+            builder.output("and", builder.and_(sig_a, sig_b))
+            builder.output("or", builder.or_(sig_a, sig_b))
+            builder.output("xor", builder.xor_(sig_a, sig_b))
+            builder.output("not", builder.not_(sig_a))
+
+        out = build_and_eval(build, {"a": a, "b": b})
+        assert out["and"] == a & b
+        assert out["or"] == a | b
+        assert out["xor"] == a ^ b
+        assert out["not"] == ~a & 0xF
+
+    @given(WORD4, WORD4, st.integers(0, 1))
+    @settings(max_examples=60)
+    def test_add_and_addsub(self, a, b, cin):
+        def build(builder):
+            sig_a = builder.input("a", 4)
+            sig_b = builder.input("b", 4)
+            carry_in = builder.input("cin", 1)
+            total, cout = builder.add(sig_a, sig_b, cin=carry_in[0])
+            builder.output("sum", total)
+            builder.output("cout", Sig([cout]))
+
+        out = build_and_eval(build, {"a": a, "b": b, "cin": cin})
+        assert out["sum"] == (a + b + cin) & 0xF
+        assert out["cout"] == (a + b + cin) >> 4
+
+    @given(WORD4, WORD4, st.integers(0, 1))
+    @settings(max_examples=60)
+    def test_addsub(self, a, b, subtract):
+        def build(builder):
+            sig_a = builder.input("a", 4)
+            sig_b = builder.input("b", 4)
+            sub = builder.input("sub", 1)
+            total, cout, _ = builder.addsub(sig_a, sig_b, sub[0])
+            builder.output("sum", total)
+            builder.output("cout", Sig([cout]))
+
+        out = build_and_eval(build, {"a": a, "b": b, "sub": subtract})
+        if subtract:
+            assert out["sum"] == (a - b) & 0xF
+            assert out["cout"] == (1 if a >= b else 0)
+        else:
+            assert out["sum"] == (a + b) & 0xF
+
+    def test_addsub_overflow(self):
+        def build(builder):
+            sig_a = builder.input("a", 4)
+            sig_b = builder.input("b", 4)
+            sub = builder.input("sub", 1)
+            _, _, ovf = builder.addsub(sig_a, sig_b, sub[0])
+            builder.output("ovf", Sig([ovf]))
+
+        # 7 + 1 overflows signed 4-bit
+        out = build_and_eval(build, {"a": 7, "b": 1, "sub": 0})
+        assert out["ovf"] == 1
+        out = build_and_eval(build, {"a": 3, "b": 1, "sub": 0})
+        assert out["ovf"] == 0
+
+    @given(WORD4)
+    @settings(max_examples=30)
+    def test_inc(self, a):
+        def build(builder):
+            sig = builder.input("a", 4)
+            builder.output("out", builder.inc(sig))
+
+        out = build_and_eval(build, {"a": a})
+        assert out["out"] == (a + 1) & 0xF
+
+    @given(WORD4, WORD4, st.integers(0, 1))
+    @settings(max_examples=40)
+    def test_mux(self, a, b, sel):
+        def build(builder):
+            sig_a = builder.input("a", 4)
+            sig_b = builder.input("b", 4)
+            select = builder.input("sel", 1)
+            builder.output("out", builder.mux(select[0], sig_a, sig_b))
+
+        out = build_and_eval(build, {"a": a, "b": b, "sel": sel})
+        assert out["out"] == (b if sel else a)
+
+    @given(st.integers(0, 3), st.lists(WORD4, min_size=4, max_size=4))
+    @settings(max_examples=40)
+    def test_muxn(self, sel, options):
+        def build(builder):
+            sigs = [builder.const(v, 4) for v in options]
+            select = builder.input("sel", 2)
+            builder.output("out", builder.muxn(select, sigs))
+
+        out = build_and_eval(build, {"sel": sel})
+        assert out["out"] == options[sel]
+
+    def test_muxn_width_check(self):
+        builder = CircuitBuilder()
+        select = builder.input("sel", 2)
+        with pytest.raises(NetlistError):
+            builder.muxn(select, [builder.const(0, 4)] * 3)
+
+    @given(st.integers(0, 3), st.lists(WORD4, min_size=4, max_size=4))
+    @settings(max_examples=40)
+    def test_onehot_mux(self, sel, options):
+        def build(builder):
+            select = builder.input("sel", 2)
+            hot = builder.decode(select)
+            sigs = [builder.const(v, 4) for v in options]
+            builder.output("out", builder.onehot_mux(hot, sigs))
+
+        out = build_and_eval(build, {"sel": sel})
+        assert out["out"] == options[sel]
+
+    @given(WORD4, WORD4)
+    @settings(max_examples=40)
+    def test_comparisons(self, a, b):
+        def build(builder):
+            sig_a = builder.input("a", 4)
+            sig_b = builder.input("b", 4)
+            builder.output("eq", Sig([builder.eq(sig_a, sig_b)]))
+            builder.output("zero", Sig([builder.is_zero(sig_a)]))
+            builder.output("eq7", Sig([builder.eq_const(sig_a, 7)]))
+
+        out = build_and_eval(build, {"a": a, "b": b})
+        assert out["eq"] == int(a == b)
+        assert out["zero"] == int(a == 0)
+        assert out["eq7"] == int(a == 7)
+
+    @given(st.integers(0, 15))
+    @settings(max_examples=20)
+    def test_const(self, value):
+        def build(builder):
+            builder.output("k", builder.const(value, 4))
+            builder.input("dummy", 1)
+
+        out = build_and_eval(build, {"dummy": 0})
+        assert out["k"] == value
+
+    def test_wiring_helpers(self):
+        def build(builder):
+            sig = builder.input("a", 4)
+            builder.output("lo", builder.slice_(sig, 0, 2))
+            builder.output("cat", builder.cat(sig, sig))
+            builder.output("zext", builder.zext(sig, 6))
+            builder.output("sext", builder.sext(sig, 6))
+
+        out = build_and_eval(build, {"a": 0b1010})
+        assert out["lo"] == 0b10
+        assert out["cat"] == 0b10101010
+        assert out["zext"] == 0b001010
+        assert out["sext"] == 0b111010
+
+
+class TestRegisters:
+    def test_register_requires_drive(self):
+        builder = CircuitBuilder()
+        builder.reg("r", 4)
+        with pytest.raises(NetlistError, match="never driven"):
+            builder.build()
+
+    def test_register_double_drive_rejected(self):
+        builder = CircuitBuilder()
+        register = builder.reg("r", 2)
+        data = builder.input("d", 2)
+        builder.drive(register, data)
+        with pytest.raises(NetlistError, match="driven twice"):
+            builder.drive(register, data)
+
+    def test_register_creates_dffs(self):
+        builder = CircuitBuilder()
+        register = builder.reg("r", 4)
+        data = builder.input("d", 4)
+        enable = builder.input("en", 1)
+        reset = builder.input("rst", 1)
+        builder.drive(register, data, en=enable[0], rst=reset[0])
+        builder.output("q", register.q)
+        netlist = builder.build()
+        assert len(netlist.dffs) == 4
+
+    def test_scope_prefixes_names(self):
+        builder = CircuitBuilder()
+        with builder.scope("alu"):
+            register = builder.reg("acc", 1)
+        assert register.name == "alu/acc"

@@ -1,0 +1,172 @@
+"""Unit tests for the netlist IR and levelisation."""
+
+import pytest
+
+from repro.netlist.cells import CELL_LIBRARY
+from repro.netlist.levelize import CombinationalCycleError, levelize
+from repro.netlist.netlist import Netlist, NetlistError
+
+
+def build_half_adder():
+    netlist = Netlist(name="halfadd")
+    a = netlist.add_net("a")
+    b = netlist.add_net("b")
+    s = netlist.add_net("s")
+    c = netlist.add_net("c")
+    netlist.add_input("a", [a])
+    netlist.add_input("b", [b])
+    netlist.add_gate("XOR2", (a, b), s, "sum")
+    netlist.add_gate("AND2", (a, b), c, "carry")
+    netlist.add_output("s", [s])
+    netlist.add_output("c", [c])
+    return netlist
+
+
+class TestCellLibrary:
+    def test_all_cells_present(self):
+        for name in ("NAND2", "XOR2", "MUX2", "DFF", "TIE0", "TIE1"):
+            assert name in CELL_LIBRARY
+
+    def test_arities(self):
+        assert CELL_LIBRARY["NOT"].arity == 1
+        assert CELL_LIBRARY["MUX2"].arity == 3
+        assert CELL_LIBRARY["AND4"].arity == 4
+        assert CELL_LIBRARY["TIE0"].arity == 0
+
+    def test_only_dff_sequential(self):
+        sequential = [c for c in CELL_LIBRARY.values() if c.sequential]
+        assert [c.name for c in sequential] == ["DFF"]
+
+
+class TestNetlistConstruction:
+    def test_half_adder_validates(self):
+        netlist = build_half_adder()
+        netlist.validate()
+        assert netlist.num_nets == 4
+        assert len(netlist.gates) == 2
+
+    def test_unknown_cell_rejected(self):
+        netlist = Netlist()
+        net = netlist.add_net()
+        with pytest.raises(NetlistError):
+            netlist.add_gate("FOO2", (net,), net)
+
+    def test_arity_enforced(self):
+        netlist = Netlist()
+        a = netlist.add_net()
+        out = netlist.add_net()
+        with pytest.raises(NetlistError):
+            netlist.add_gate("AND2", (a,), out)
+
+    def test_sequential_via_add_gate_rejected(self):
+        netlist = Netlist()
+        a = netlist.add_net()
+        out = netlist.add_net()
+        with pytest.raises(NetlistError):
+            netlist.add_gate("DFF", (a,), out)
+
+    def test_double_driver_detected(self):
+        netlist = Netlist()
+        a = netlist.add_net("a")
+        out = netlist.add_net("out")
+        netlist.add_input("a", [a])
+        netlist.add_gate("NOT", (a,), out)
+        netlist.add_gate("BUF", (a,), out)
+        with pytest.raises(NetlistError, match="driven by both"):
+            netlist.validate()
+
+    def test_undriven_input_detected(self):
+        netlist = Netlist()
+        floating = netlist.add_net("floating")
+        out = netlist.add_net("out")
+        netlist.add_gate("NOT", (floating,), out)
+        netlist.add_output("out", [out])
+        with pytest.raises(NetlistError, match="undriven"):
+            netlist.validate()
+
+    def test_port_lookup(self):
+        netlist = build_half_adder()
+        assert netlist.input_port("a").width == 1
+        assert netlist.output_port("s").nets == (2,)
+        with pytest.raises(KeyError):
+            netlist.input_port("nope")
+
+    def test_constant_nets(self):
+        netlist = Netlist()
+        zero = netlist.add_net("zero")
+        one = netlist.add_net("one")
+        netlist.add_gate("TIE0", (), zero)
+        netlist.add_gate("TIE1", (), one)
+        assert netlist.constant_nets() == {zero: 0, one: 1}
+
+    def test_state_nets(self):
+        netlist = Netlist()
+        q = netlist.add_net("q")
+        d = netlist.add_net("d")
+        netlist.add_input("d", [d])
+        netlist.add_dff(q, d)
+        assert netlist.state_nets() == [q]
+
+
+class TestLevelize:
+    def test_half_adder_single_level(self):
+        levels = levelize(build_half_adder())
+        assert len(levels) == 2  # constants level + level 1
+        assert levels[0] == []
+        assert {g.name for g in levels[1]} == {"sum", "carry"}
+
+    def test_chain_depth(self):
+        netlist = Netlist()
+        net = netlist.add_net("in")
+        netlist.add_input("in", [net])
+        for index in range(5):
+            out = netlist.add_net(f"s{index}")
+            netlist.add_gate("NOT", (net,), out, f"inv{index}")
+            net = out
+        netlist.add_output("out", [net])
+        levels = levelize(netlist)
+        assert len(levels) == 6
+        for level in levels[1:]:
+            assert len(level) == 1
+
+    def test_dff_breaks_cycle(self):
+        netlist = Netlist()
+        q = netlist.add_net("q")
+        d = netlist.add_net("d")
+        netlist.add_gate("NOT", (q,), d, "inv")
+        netlist.add_dff(q, d, "toggler")
+        levels = levelize(netlist)
+        assert len(levels) == 2
+
+    def test_combinational_cycle_detected(self):
+        netlist = Netlist()
+        a = netlist.add_net("a")
+        b = netlist.add_net("b")
+        netlist.add_gate("NOT", (a,), b, "i0")
+        netlist.add_gate("NOT", (b,), a, "i1")
+        with pytest.raises(CombinationalCycleError) as info:
+            levelize(netlist)
+        assert len(info.value.gates) == 2
+
+    def test_constants_in_level_zero(self):
+        netlist = Netlist()
+        one = netlist.add_net("one")
+        out = netlist.add_net("out")
+        netlist.add_gate("TIE1", (), one, "t1")
+        netlist.add_gate("NOT", (one,), out, "inv")
+        levels = levelize(netlist)
+        assert [g.name for g in levels[0]] == ["t1"]
+        assert [g.name for g in levels[1]] == ["inv"]
+
+
+class TestStats:
+    def test_half_adder_stats(self):
+        from repro.netlist.stats import netlist_stats
+
+        stats = netlist_stats(build_half_adder())
+        assert stats.num_gates == 2
+        assert stats.num_dffs == 0
+        assert stats.logic_depth == 1
+        assert stats.cells == {"XOR2": 1, "AND2": 1}
+        assert stats.area == pytest.approx(2.25 + 1.25)
+        assert "halfadd" in stats.format()

@@ -1,0 +1,217 @@
+"""Tests for the compiled gate-level GLIFT simulator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.ternary import ONE, UNKNOWN, ZERO
+from repro.logic.words import TWord
+from repro.netlist.builder import CircuitBuilder, Sig
+from repro.sim.compiled import (
+    CODE_0,
+    CODE_1,
+    CODE_X,
+    CompiledCircuit,
+    code_of,
+    decode_code,
+)
+
+
+def adder_circuit(width=4):
+    builder = CircuitBuilder("adder")
+    a = builder.input("a", width)
+    b = builder.input("b", width)
+    total, cout = builder.add(a, b)
+    builder.output("sum", total)
+    builder.output("cout", Sig([cout]))
+    return CompiledCircuit(builder.build())
+
+
+def figure7_circuit():
+    """The paper's Figure 7 FSM: S' = S xor In, DFF with reset."""
+    builder = CircuitBuilder("fig7")
+    in_sig = builder.input("in", 1)
+    rst = builder.input("rst", 1)
+    state = builder.reg("S", 1)
+    next_state = builder.xor_(state.q, in_sig)
+    builder.drive(state, next_state, rst=rst[0])
+    builder.output("S", state.q)
+    builder.output("S_next", Sig([builder.netlist.dffs[0].d]))
+    return CompiledCircuit(builder.build())
+
+
+class TestCodes:
+    def test_roundtrip(self):
+        for value in (ZERO, ONE, UNKNOWN):
+            for taint in (0, 1):
+                assert decode_code(code_of(value, taint)) == (value, taint)
+
+    def test_constants(self):
+        assert CODE_0 == code_of(ZERO, 0)
+        assert CODE_1 == code_of(ONE, 0)
+        assert CODE_X == code_of(UNKNOWN, 0)
+
+
+class TestCombinational:
+    @given(st.integers(0, 15), st.integers(0, 15))
+    @settings(max_examples=50, deadline=None)
+    def test_adder_concrete(self, a, b):
+        circuit = adder_circuit()
+        state = circuit.new_state()
+        circuit.set_input(state, "a", TWord.const(a, 4))
+        circuit.set_input(state, "b", TWord.const(b, 4))
+        circuit.eval_combinational(state)
+        assert circuit.read_output(state, "sum").value == (a + b) & 0xF
+        assert circuit.read_output(state, "cout").value == (a + b) >> 4
+
+    @given(
+        st.integers(0, 15),
+        st.integers(0, 15),
+        st.integers(0, 15),
+        st.integers(0, 15),
+        st.integers(0, 15),
+        st.integers(0, 15),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_adder_covers_tword(self, abits, ax, at, bbits, bx, bt):
+        """Gate-level GLIFT must *cover* TWord's word-level GLIFT.
+
+        The ripple adder built from discrete gates loses some reconvergent
+        precision that the word-level monolithic full-adder tables keep
+        (e.g. ``maj(X, 1, 1)`` is 1 monolithically but X when composed from
+        AND/OR of correlated X terms), so gate-level results are allowed to
+        be strictly more conservative -- never less.
+        """
+        circuit = adder_circuit()
+        word_a = TWord(abits, ax, at, 4)
+        word_b = TWord(bbits, bx, bt, 4)
+        state = circuit.new_state()
+        circuit.set_input(state, "a", word_a)
+        circuit.set_input(state, "b", word_b)
+        circuit.eval_combinational(state)
+        gate_sum = circuit.read_output(state, "sum")
+        ref_sum, ref_cout, _ = word_a.add(word_b)
+        assert gate_sum.covers(ref_sum)
+        gate_cout = circuit.read_output(state, "cout")
+        assert gate_cout.covers(TWord(ref_cout[0] & 1,
+                                      1 if ref_cout[0] == 2 else 0,
+                                      ref_cout[1], 1))
+        # On fully concrete inputs the two agree exactly.
+        if word_a.is_concrete and word_b.is_concrete:
+            assert gate_sum == ref_sum
+
+    def test_taint_masking_through_gates(self):
+        """An untainted AND-mask strips taint at gate level (Figure 9 core)."""
+        builder = CircuitBuilder("m")
+        a = builder.input("a", 4)
+        masked = builder.and_(a, builder.const(0b0011, 4))
+        builder.output("out", masked)
+        circuit = CompiledCircuit(builder.build())
+        state = circuit.new_state()
+        circuit.set_input(state, "a", TWord.unknown(4, tmask=0xF))
+        circuit.eval_combinational(state)
+        out = circuit.read_output(state, "out")
+        assert out.tmask == 0b0011
+        assert out.xmask == 0b0011
+        assert out.bits == 0
+
+    def test_taint_fractions(self):
+        circuit = adder_circuit()
+        state = circuit.new_state()
+        circuit.set_input(state, "a", TWord.const(0, 4, tmask=0xF))
+        circuit.set_input(state, "b", TWord.const(0, 4))
+        circuit.eval_combinational(state)
+        assert 0.0 < circuit.taint_fraction(state) < 1.0
+        assert circuit.unknown_fraction(state) == 0.0
+
+
+class TestSequential:
+    def test_counter_counts(self):
+        builder = CircuitBuilder("counter")
+        rst = builder.input("rst", 1)
+        count = builder.reg("count", 4)
+        builder.drive(count, builder.inc(count.q), rst=rst[0])
+        builder.output("count", count.q)
+        circuit = CompiledCircuit(builder.build())
+        state = circuit.new_state()
+
+        def cycle(reset):
+            circuit.set_input(state, "rst", TWord.const(reset, 1))
+            circuit.eval_combinational(state)
+            circuit.clock_edge(state)
+
+        cycle(1)
+        for expected in (0, 1, 2, 3, 4):
+            assert circuit.read_output(state, "count").value == expected
+            cycle(0)
+
+    def test_initial_state_is_untainted_x(self):
+        circuit = figure7_circuit()
+        state = circuit.new_state()
+        assert circuit.read_output(state, "S").bit(0) == (UNKNOWN, 0)
+
+    def test_dff_state_roundtrip(self):
+        circuit = figure7_circuit()
+        state = circuit.new_state()
+        snapshot = circuit.dff_state(state)
+        circuit.set_input(state, "in", TWord.const(1, 1))
+        circuit.set_input(state, "rst", TWord.const(1, 1))
+        circuit.eval_combinational(state)
+        circuit.clock_edge(state)
+        assert circuit.read_output(state, "S").bit(0) == (ZERO, 0)
+        circuit.set_dff_state(state, snapshot)
+        assert circuit.read_output(state, "S").bit(0) == (UNKNOWN, 0)
+
+
+class TestFigure7:
+    """Replays the paper's Figure 7 execution tree on real gates."""
+
+    def run_cycle(self, circuit, state, in_word, rst_word):
+        circuit.set_input(state, "in", in_word)
+        circuit.set_input(state, "rst", rst_word)
+        circuit.eval_combinational(state)
+        next_s = circuit.read_output(state, "S_next").bit(0)
+        circuit.clock_edge(state)
+        return next_s
+
+    def common_prefix(self):
+        circuit = figure7_circuit()
+        state = circuit.new_state()
+        # Cycle 0: unknown untainted state, untainted reset.
+        assert circuit.read_output(state, "S").bit(0) == (UNKNOWN, 0)
+        self.run_cycle(state=state, circuit=circuit,
+                       in_word=TWord.unknown(1), rst_word=TWord.const(1, 1))
+        # Cycle 1: S = 0 untainted; In = untainted 1.
+        assert circuit.read_output(state, "S").bit(0) == (ZERO, 0)
+        self.run_cycle(state=state, circuit=circuit,
+                       in_word=TWord.const(1, 1), rst_word=TWord.const(0, 1))
+        # Cycle 2: S = 1 untainted; In = tainted 0.
+        assert circuit.read_output(state, "S").bit(0) == (ONE, 0)
+        self.run_cycle(state=state, circuit=circuit,
+                       in_word=TWord.const(0, 1, tmask=1),
+                       rst_word=TWord.const(0, 1))
+        # Cycle 3 starts with S = 1 *tainted* on both branches.
+        assert circuit.read_output(state, "S").bit(0) == (ONE, 1)
+        return circuit, state
+
+    def test_left_path_tainted_reset_keeps_taint(self):
+        circuit, state = self.common_prefix()
+        # Cycle 3: In unknown untainted -> S becomes X tainted.
+        self.run_cycle(circuit, state, TWord.unknown(1), TWord.const(0, 1))
+        assert circuit.read_output(state, "S").bit(0) == (UNKNOWN, 1)
+        # Cycle 4: *tainted* reset: value clears, taint stays.
+        self.run_cycle(
+            circuit, state, TWord.unknown(1), TWord.const(1, 1, tmask=1)
+        )
+        assert circuit.read_output(state, "S").bit(0) == (ZERO, 1)
+
+    def test_right_path_untainted_reset_clears_taint(self):
+        circuit, state = self.common_prefix()
+        # Cycle 3: In tainted 1 -> S = 0 tainted.
+        self.run_cycle(
+            circuit, state, TWord.const(1, 1, tmask=1), TWord.const(0, 1)
+        )
+        assert circuit.read_output(state, "S").bit(0) == (ZERO, 1)
+        # Cycle 4: untainted reset fully de-taints.
+        self.run_cycle(circuit, state, TWord.unknown(1), TWord.const(1, 1))
+        assert circuit.read_output(state, "S").bit(0) == (ZERO, 0)

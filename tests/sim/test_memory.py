@@ -1,0 +1,208 @@
+"""Tests for the tainted memory model, especially address smearing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.ternary import ONE, UNKNOWN, ZERO
+from repro.logic.words import TWord
+from repro.sim.memory import TaintedMemory
+
+
+def small_memory(size=64):
+    memory = TaintedMemory(size)
+    memory.load(0, range(size))  # word i holds value i, untainted
+    return memory
+
+
+class TestConcreteAccess:
+    def test_initially_unknown_untainted(self):
+        memory = TaintedMemory(8)
+        word = memory.get(3)
+        assert word.xmask == 0xFFFF
+        assert word.tmask == 0
+
+    def test_load_and_read(self):
+        memory = small_memory()
+        assert memory.read(TWord.const(5)).value == 5
+
+    def test_exact_write(self):
+        memory = small_memory()
+        memory.write(TWord.const(7), TWord.const(0xAB, tmask=0x3))
+        word = memory.get(7)
+        assert word.value == 0xAB
+        assert word.tmask == 0x3
+
+    def test_write_strobe_zero_untainted_is_noop(self):
+        memory = small_memory()
+        memory.write(TWord.const(7), TWord.const(0xAB), wen=(ZERO, 0))
+        assert memory.get(7).value == 7
+
+
+class TestSmearing:
+    def test_fully_unknown_address_taints_everything(self):
+        """Figure 9 left-hand listing: unmasked tainted store address."""
+        memory = small_memory()
+        address = TWord.unknown(16, tmask=0xFFFF)
+        data = TWord.const(500, tmask=0xFFFF)
+        memory.write(address, data)
+        assert bool(memory.tainted_words().all())
+
+    def test_masked_address_confines_taint(self):
+        """Figure 9 right-hand listing: AND #mask / BIS #base before store."""
+        memory = TaintedMemory(2048)
+        memory.load(0, [0] * 2048)
+        raw = TWord.unknown(16, tmask=0xFFFF)
+        masked = (raw & TWord.const(0x03FF)) | TWord.const(0x0400)
+        masked = TWord(masked.bits, masked.xmask & 0x7FF, masked.tmask, 16)
+        memory.write(masked, TWord.const(500, tmask=0xFFFF))
+        tainted = memory.tainted_words()
+        assert bool(tainted[0x400:0x800].all())
+        assert not tainted[:0x400].any()
+        assert not tainted[0x800:].any()
+
+    def test_partial_unknown_address_merges_values(self):
+        memory = small_memory()
+        # Address 0b0000_01X0: may be 4 or 6.
+        address = TWord(0b100, 0b010, 0, 16)
+        memory.write(address, TWord.const(0xFF))
+        word4 = memory.get(4)
+        word6 = memory.get(6)
+        # Both may-or-may-not hold 0xFF now: merged with old contents.
+        assert word4.xmask == (4 ^ 0xFF)
+        assert word6.xmask == (6 ^ 0xFF)
+        assert memory.get(5).value == 5  # untouched
+
+    def test_tainted_concrete_address_writes_one_word_tainted(self):
+        """Tainted-but-concrete addresses are definite on this path (the
+        attacker's other choices live on other explored paths); the written
+        word is fully tainted because *whether it holds this data* is
+        attacker-influenced."""
+        memory = small_memory()
+        address = TWord.const(4, tmask=0x1)
+        memory.write(address, TWord.const(0))
+        assert memory.get(4).value == 0
+        assert memory.get(4).tmask == 0xFFFF
+        assert memory.get(5).value == 5
+        assert memory.get(5).tmask == 0
+        assert memory.get(6).tmask == 0
+
+    def test_unknown_strobe_merges(self):
+        memory = small_memory()
+        memory.write(TWord.const(3), TWord.const(0xF0), wen=(UNKNOWN, 0))
+        word = memory.get(3)
+        assert word.xmask == (3 ^ 0xF0)
+
+    def test_tainted_zero_strobe_is_noop_on_this_path(self):
+        """A tainted strobe that is 0 here means "the store happens on a
+        different attacker-chosen path" -- which the tracker explores
+        separately, so nothing happens on this one."""
+        memory = small_memory()
+        memory.write(TWord.const(3), TWord.const(0xF0), wen=(ZERO, 1))
+        word = memory.get(3)
+        assert word.bits == 3 and word.xmask == 0
+        assert word.tmask == 0
+
+    def test_smeared_read_merges_and_taints(self):
+        memory = small_memory()
+        memory.set(2, TWord.const(0xAA, tmask=0x1))
+        address = TWord(0b10, 0b01, 0, 16)  # 2 or 3
+        word = memory.read(address)
+        assert word.tmask & 0x1
+        # 0xAA vs 3: every differing bit is X.
+        assert word.xmask == (0xAA ^ 0x3)
+
+    def test_read_tainted_address_taints_result(self):
+        memory = small_memory()
+        word = memory.read(TWord.const(5, tmask=0x1))
+        assert word.tmask == 0xFFFF
+
+    def test_out_of_bank_address_reads_unknown(self):
+        memory = small_memory(64)
+        word = memory.read(TWord.const(0x1000))
+        # 0x1000 is representable but beyond the 64-word bank: exact path
+        # wraps modulo the bank (matching a decoded address bus).
+        assert word.value == 0
+
+    def test_provably_outside_pattern_reads_unknown(self):
+        memory = small_memory(64)
+        address = TWord(0x8000, 0x00FF, 0, 16)  # high bit known set
+        word = memory.read(address)
+        assert word.xmask == 0xFFFF
+        assert word.tmask == 0
+
+
+class TestRegions:
+    def test_region_taint_count(self):
+        memory = small_memory()
+        memory.set(10, TWord.const(0, tmask=1))
+        memory.set(11, TWord.const(0, tmask=1))
+        assert memory.region_taint_count(0, 64) == 2
+        assert memory.region_tainted(10, 12)
+        assert not memory.region_tainted(0, 10)
+
+    def test_taint_untaint_region(self):
+        memory = small_memory()
+        memory.taint_region(4, 8)
+        assert memory.region_taint_count(0, 64) == 4
+        memory.untaint_region(4, 8)
+        assert memory.region_taint_count(0, 64) == 0
+
+
+words16 = st.builds(
+    TWord,
+    st.integers(0, 0xFFFF),
+    st.integers(0, 0xFFFF),
+    st.integers(0, 0xFFFF),
+)
+
+
+class TestLattice:
+    def test_copy_is_independent(self):
+        memory = small_memory()
+        clone = memory.copy()
+        clone.set(0, TWord.const(99))
+        assert memory.get(0).value == 0
+
+    @given(st.integers(0, 63), words16)
+    @settings(max_examples=50, deadline=None)
+    def test_merge_covers_both(self, index, word):
+        left = small_memory()
+        right = small_memory()
+        right.set(index, word)
+        merged = left.copy()
+        merged.merge_from(right)
+        assert merged.covers(left)
+        assert merged.covers(right)
+
+    def test_covers_requires_taint_superset(self):
+        plain = small_memory()
+        tainted = small_memory()
+        tainted.set(0, TWord.const(0, tmask=1))
+        assert tainted.covers(plain)
+        assert not plain.covers(tainted)
+
+    def test_covers_reflexive(self):
+        memory = small_memory()
+        assert memory.covers(memory)
+
+    def test_equality(self):
+        assert small_memory() == small_memory()
+        other = small_memory()
+        other.set(1, TWord.const(0))
+        assert small_memory() != other
+
+    def test_write_soundness_oracle(self):
+        """Merged writes must cover both written and unwritten outcomes."""
+        base = small_memory(16)
+        smeared = base.copy()
+        address = TWord(0b0100, 0b0011, 0, 16)  # 4..7
+        data = TWord.const(0xCC)
+        smeared.write(address, data)
+        for concrete in (4, 5, 6, 7):
+            oracle = base.copy()
+            oracle.write(TWord.const(concrete), data)
+            assert smeared.covers(oracle)
+        assert smeared.covers(base)  # "no write" need not be covered for
+        # definite strobes, but merged writes do cover it by construction

@@ -1,0 +1,160 @@
+"""Tests for GPIO ports, the aux timer and the address-space router."""
+
+import pytest
+
+from repro import memmap
+from repro.logic.ternary import ONE, UNKNOWN, ZERO
+from repro.logic.words import TWord
+from repro.sim.peripherals import AuxTimer, InputPort, OutputPort
+from repro.sim.soc import AddressSpace
+
+
+class TestInputPort:
+    def test_tainted_port_reads_tainted_unknown(self):
+        port = InputPort("P1IN", memmap.P1IN, tainted=True)
+        word = port.read_reg(memmap.P1IN)
+        assert word.xmask == 0xFFFF
+        assert word.tmask == 0xFFFF
+
+    def test_untainted_port_reads_untainted_unknown(self):
+        port = InputPort("P3IN", memmap.P3IN, tainted=False)
+        word = port.read_reg(memmap.P3IN)
+        assert word.xmask == 0xFFFF
+        assert word.tmask == 0
+
+    def test_reads_are_recorded(self):
+        port = InputPort("P1IN", memmap.P1IN, tainted=True)
+        port.read_reg(memmap.P1IN)
+        port.read_reg(memmap.P1IN, address_taint=0xFFFF, definite=False)
+        assert len(port.events) == 2
+        assert port.events[0].definite
+        assert not port.events[1].definite
+
+
+class TestOutputPort:
+    def test_definite_write_stores_value(self):
+        port = OutputPort("P4OUT", memmap.P4OUT)
+        port.write_reg(memmap.P4OUT, TWord.const(42), (ONE, 0))
+        assert port.value.value == 42
+        assert port.events[-1].definite
+
+    def test_maybe_write_merges(self):
+        port = OutputPort("P4OUT", memmap.P4OUT)
+        port.write_reg(memmap.P4OUT, TWord.const(42), (ONE, 0))
+        port.write_reg(memmap.P4OUT, TWord.const(43), (UNKNOWN, 1))
+        assert port.value.xmask  # merged: 42-or-43
+        assert port.value.tmask == 0xFFFF
+        assert not port.events[-1].definite
+
+    def test_zero_untainted_strobe_ignored(self):
+        port = OutputPort("P4OUT", memmap.P4OUT)
+        port.write_reg(memmap.P4OUT, TWord.const(42), (ZERO, 0))
+        assert port.value.value == 0
+        assert not port.events
+
+
+class TestAuxTimer:
+    def test_counts_when_enabled(self):
+        timer = AuxTimer(memmap.TACTL, memmap.TAR)
+        timer.write_reg(memmap.TACTL, TWord.const(1), (ONE, 0))
+        for _ in range(5):
+            timer.tick()
+        assert timer.read_reg(memmap.TAR).value == 5
+
+    def test_holds_when_disabled(self):
+        timer = AuxTimer(memmap.TACTL, memmap.TAR)
+        for _ in range(5):
+            timer.tick()
+        assert timer.read_reg(memmap.TAR).value == 0
+
+    def test_snapshot_roundtrip(self):
+        timer = AuxTimer(memmap.TACTL, memmap.TAR)
+        timer.write_reg(memmap.TACTL, TWord.const(1), (ONE, 0))
+        snap = timer.snapshot()
+        timer.tick()
+        assert not timer.covers(snap)
+        timer.restore(snap)
+        assert timer.covers(snap)
+
+
+class TestAddressSpace:
+    def test_ram_roundtrip(self):
+        space = AddressSpace()
+        space.write(TWord.const(0x200), TWord.const(1234))
+        assert space.read(TWord.const(0x200)).value == 1234
+
+    def test_port_read_routes(self):
+        space = AddressSpace()
+        word = space.read(TWord.const(memmap.P1IN))
+        assert word.tmask == 0xFFFF  # P1 is the tainted input by default
+
+        word = space.read(TWord.const(memmap.P3IN))
+        assert word.tmask == 0
+
+    def test_port_write_routes(self):
+        space = AddressSpace()
+        space.write(TWord.const(memmap.P4OUT), TWord.const(7))
+        p4 = next(p for p in space.output_ports if p.name == "P4OUT")
+        assert p4.value.value == 7
+
+    def test_wdt_write_routes(self):
+        space = AddressSpace()
+        space.write(TWord.const(memmap.WDTCTL), TWord.const(0x5A03))
+        assert space.watchdog.running
+
+    def test_smeared_write_reaches_watchdog(self):
+        """The fully unknown store of Figure 9 could clobber WDTCTL."""
+        space = AddressSpace()
+        space.write(
+            TWord.unknown(16, tmask=0xFFFF), TWord.const(0, tmask=0xFFFF)
+        )
+        assert space.watchdog.corrupted
+
+    def test_masked_write_cannot_reach_watchdog(self):
+        space = AddressSpace()
+        raw = TWord.unknown(16, tmask=0xFFFF)
+        masked = (raw & TWord.const(memmap.TAINTED_RAM_MASK)) | TWord.const(
+            memmap.TAINTED_RAM_BASE
+        )
+        space.write(masked, TWord.const(0, tmask=0xFFFF))
+        assert not space.watchdog.corrupted
+        assert space.ram.region_tainted(
+            memmap.TAINTED_RAM_BASE, memmap.TAINTED_RAM_END
+        )
+        assert not space.ram.region_tainted(0, memmap.TAINTED_RAM_BASE)
+
+    def test_smeared_read_merges_ports(self):
+        space = AddressSpace()
+        word = space.read(TWord.unknown(16))
+        # The merge covers the tainted P1IN, so the result is tainted.
+        assert word.tmask == 0xFFFF
+        events = space.drain_port_events()
+        assert any(e.port == "P1IN" and not e.definite for e in events)
+
+    def test_drain_clears_events(self):
+        space = AddressSpace()
+        space.read(TWord.const(memmap.P1IN))
+        assert space.drain_port_events()
+        assert not space.drain_port_events()
+
+    def test_snapshot_restore_roundtrip(self):
+        space = AddressSpace()
+        space.write(TWord.const(0x300), TWord.const(77))
+        snap = space.snapshot()
+        space.write(TWord.const(0x300), TWord.const(88))
+        space.write(TWord.const(memmap.WDTCTL), TWord.const(0x5A03))
+        space.restore(snap)
+        assert space.read(TWord.const(0x300)).value == 77
+        assert not space.watchdog.running
+
+    def test_covers_and_merge(self):
+        space = AddressSpace()
+        space.write(TWord.const(0x300), TWord.const(1))
+        snap = space.snapshot()
+        assert space.covers(snap)
+        space.write(TWord.const(0x300), TWord.const(2))
+        assert not space.covers(snap)
+        space.merge(snap)
+        assert space.covers(snap)
+        merged = space.read(TWord.const(0x300))
+        assert merged.xmask == 3  # 1-or-2

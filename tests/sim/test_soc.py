@@ -1,0 +1,127 @@
+"""SoC-level integration tests: reset, ROM, events, snapshots."""
+
+import pytest
+
+from repro.cpu import compiled_cpu
+from repro.isa.assembler import assemble
+from repro.logic.ternary import ONE, ZERO
+from repro.logic.words import TWord
+from repro.sim.runner import GateRunner
+from repro.sim.soc import Rom, SoC
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return compiled_cpu()
+
+
+class TestRom:
+    def test_concrete_read(self):
+        rom = Rom()
+        rom.load(0x10, [0xDEAD, 0xBEEF])
+        assert rom.read(TWord.const(0x10)).value == 0xDEAD
+        assert rom.read(TWord.const(0x11)).value == 0xBEEF
+
+    def test_tainted_code_words(self):
+        rom = Rom()
+        rom.load(0, [0x1234], tmask=0xFFFF)
+        word = rom.read(TWord.const(0))
+        assert word.value == 0x1234
+        assert word.tmask == 0xFFFF
+
+    def test_tainted_address_taints_fetch(self):
+        rom = Rom()
+        rom.load(0, [0x1234])
+        word = rom.read(TWord.const(0, tmask=1))
+        assert word.bits == 0x1234
+        assert word.tmask == 0xFFFF
+
+    def test_unknown_address_merges(self):
+        rom = Rom()
+        rom.load(0, [0xFF00, 0x00FF])
+        word = rom.read(TWord(0, 1, 0, 16))  # address 0 or 1
+        assert word.xmask == 0xFFFF  # the two words share no bits
+
+    def test_unmatchable_pattern(self):
+        rom = Rom(size=16)
+        word = rom.read(TWord(0x8000, 0x00FF, 0, 16))
+        assert word.xmask == 0xFFFF
+
+
+class TestSoCBasics:
+    def test_reset_lands_at_vector_zero(self, circuit):
+        soc = SoC(circuit)
+        soc.reset()
+        assert soc.pc() == TWord.const(0)
+
+    def test_reset_disarms_watchdog(self, circuit):
+        soc = SoC(circuit)
+        soc.space.watchdog.write_reg(
+            soc.space.watchdog.address, TWord.const(0x5A03), (ONE, 0)
+        )
+        assert soc.space.watchdog.running
+        soc.reset()
+        assert not soc.space.watchdog.running
+
+    def test_events_report_instruction_stream(self, circuit):
+        program = assemble("mov #7, r4\nhalt")
+        runner = GateRunner(circuit, program)
+        events = runner.step()
+        assert events.pc.value == 0
+        assert events.instruction.value == program.word_at(0)
+
+    def test_write_event_contains_footprint(self, circuit):
+        program = assemble(
+            "mov #0x200, r4\nmov #9, 0(r4)\nhalt"
+        )
+        runner = GateRunner(circuit, program)
+        write = None
+        for _ in range(20):
+            events = runner.step()
+            if events.write is not None:
+                write = events.write
+                break
+        assert write is not None
+        assert write.address.value == 0x200
+        assert write.data.value == 9
+        assert write.ram_match[0x200]
+        assert write.ram_match.sum() == 1
+
+    def test_snapshot_restore_roundtrip(self, circuit):
+        program = assemble("mov #1, r4\nmov #2, r5\nhalt")
+        runner = GateRunner(circuit, program)
+        snapshot = runner.soc.snapshot()
+        runner.run(max_cycles=30)
+        assert runner.register(4).value == 1
+        runner.soc.restore(snapshot)
+        assert runner.soc.pc() == TWord.const(0)
+        # replay reaches the same state
+        runner.run(max_cycles=30)
+        assert runner.register(4).value == 1
+        assert runner.register(5).value == 2
+
+    def test_force_pc(self, circuit):
+        program = assemble("nop\nnop\ntarget:\nmov #9, r4\nhalt")
+        runner = GateRunner(circuit, program)
+        runner.soc.force_pc(program.labels["target"])
+        runner.run(max_cycles=20)
+        assert runner.register(4).value == 9
+
+    def test_watchdog_por_resets_cpu(self, circuit):
+        program = assemble(
+            """
+                mov #0x5a03, &WDTCTL
+                mov #1, r4
+            spin:
+                jmp spin
+            """
+        )
+        runner = GateRunner(circuit, program)
+        for _ in range(80):
+            events = runner.step()
+            if events.reset[0] == ONE:
+                break
+        else:
+            pytest.fail("watchdog POR never arrived")
+        runner.step()
+        assert runner.soc.pc().value in (0, 1)  # back at the vector

@@ -1,0 +1,116 @@
+"""CLI front-end tests."""
+
+import pytest
+
+from repro.cli import main
+
+CLEAN = """
+.task sys trusted
+start:
+    mov #0x0FFE, sp        ; stack outside the maskable window: a masked
+    call #app              ; store can reach anywhere in the partition,
+    jmp start              ; including an in-partition stack
+.task app untrusted
+app:
+    mov &P1IN, r4
+    and #0x03FF, r4
+    bis #0x0400, r4
+    mov &P1IN, r5
+    mov r5, 0(r4)
+    ret
+"""
+
+VULNERABLE = """
+.task sys trusted
+start:
+    mov #0x07FE, sp
+    call #app
+    jmp start
+.task app untrusted
+app:
+    mov &P1IN, r4
+    mov &P1IN, r5
+    mov r5, 0(r4)
+    ret
+"""
+
+RUNNABLE = """
+.task sys trusted
+    mov #21, r4
+    add r4, r4
+    mov r4, &P2OUT
+    halt
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    def write(text, name="app.s43"):
+        path = tmp_path / name
+        path.write_text(text)
+        return str(path)
+
+    return write
+
+
+class TestAnalyze:
+    def test_secure_exit_zero(self, source_file, capsys):
+        code = main(["analyze", source_file(CLEAN)])
+        assert code == 0
+        assert "SECURE" in capsys.readouterr().out
+
+    def test_insecure_exit_one(self, source_file, capsys):
+        code = main(["analyze", source_file(VULNERABLE)])
+        assert code == 1
+        assert "INSECURE" in capsys.readouterr().out
+
+    def test_tree_flag(self, source_file, capsys):
+        main(["analyze", source_file(CLEAN), "--tree"])
+        assert "node 0" in capsys.readouterr().out
+
+    def test_secret_policy(self, source_file, capsys):
+        code = main(
+            ["analyze", source_file(CLEAN), "--policy", "secret"]
+        )
+        assert code == 0
+
+    def test_unknown_policy(self, source_file):
+        with pytest.raises(SystemExit):
+            main(["analyze", source_file(CLEAN), "--policy", "bogus"])
+
+
+class TestRepair:
+    def test_repairs_and_writes_output(self, source_file, tmp_path, capsys):
+        out = tmp_path / "fixed.s43"
+        code = main(
+            ["repair", source_file(VULNERABLE), "-o", str(out)]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "SECURE" in text
+        assert "&WDTCTL" in out.read_text()
+
+    def test_fundamental_violation_exit_two(self, source_file, capsys):
+        bad = ".task sys trusted\n    mov &P1IN, r4\n    halt\n"
+        code = main(["repair", source_file(bad)])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestRunDisasmStats:
+    def test_run(self, source_file, capsys):
+        code = main(["run", source_file(RUNNABLE)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "halted=True" in out
+        assert "P2OUT <- 0x002a" in out
+
+    def test_disasm(self, source_file, capsys):
+        code = main(["disasm", source_file(RUNNABLE)])
+        assert code == 0
+        assert "mov" in capsys.readouterr().out
+
+    def test_stats(self, capsys):
+        code = main(["stats"])
+        assert code == 0
+        assert "flip-flops" in capsys.readouterr().out

@@ -1,0 +1,40 @@
+"""Tests for the system memory map."""
+
+from repro import memmap
+
+
+class TestRegions:
+    def test_layout_is_consistent(self):
+        assert memmap.PERIPH_END <= memmap.RAM_BASE
+        assert memmap.RAM_END == memmap.DMEM_SIZE
+        assert (
+            memmap.RAM_BASE
+            <= memmap.TAINTED_RAM_BASE
+            < memmap.TAINTED_RAM_END
+            <= memmap.RAM_END
+        )
+
+    def test_tainted_window_is_power_of_two_aligned(self):
+        size = memmap.TAINTED_RAM_END - memmap.TAINTED_RAM_BASE
+        assert size & (size - 1) == 0
+        assert memmap.TAINTED_RAM_BASE % size == 0
+        assert memmap.TAINTED_RAM_MASK == size - 1
+
+    def test_peripheral_addresses_in_page(self):
+        for name, address in memmap.PERIPHERAL_SYMBOLS.items():
+            assert memmap.PERIPHERAL_REGION.contains(address), name
+
+    def test_stack_top_in_ram(self):
+        assert memmap.RAM_REGION.contains(memmap.STACK_TOP)
+
+    def test_region_helpers(self):
+        region = memmap.MemoryRegion("r", 4, 8)
+        assert region.contains(4)
+        assert region.contains(7)
+        assert not region.contains(8)
+        assert region.size == 4
+
+    def test_figure9_constants(self):
+        # the paper's mask/base pair
+        assert memmap.TAINTED_RAM_MASK == 0x03FF
+        assert memmap.TAINTED_RAM_BASE == 0x0400

@@ -1,0 +1,241 @@
+"""Tests for root-cause identification, the rewrites, and secure_compile."""
+
+import pytest
+
+from repro.core import TaintTracker, default_policy
+from repro.core.labels import SecurityPolicy
+from repro.isa.assembler import assemble
+from repro.transform import (
+    FundamentalViolation,
+    MaskingError,
+    WatchdogTransformError,
+    choose_slicing,
+    identify_root_causes,
+    insert_masks,
+    insert_watchdog_protection,
+    secure_compile,
+)
+
+FIG4 = """
+.task sys trusted
+start:
+    mov #0x0FFE, sp
+    call #app
+    jmp start
+.task app untrusted
+app:
+    mov &P1IN, r4
+    mov &P1IN, r5
+    mov r5, 0(r4)
+    ret
+"""
+
+CONTROL_ONLY = """
+.task sys trusted
+start:
+    mov #0x0FFE, sp
+    call #app
+    jmp start
+.task app untrusted
+app:
+    mov &P1IN, r4
+    tst r4
+    jz app_skip
+    nop
+app_skip:
+    ret
+"""
+
+
+class TestRootCauses:
+    def test_fig4_causes(self):
+        result = TaintTracker(assemble(FIG4, name="fig4")).run()
+        causes = identify_root_causes(result)
+        assert causes.needs_masking
+        assert causes.needs_watchdog
+        assert causes.automatic_repair_possible
+        assert len(causes.stores_to_mask) == 1
+
+    def test_fundamental_violation_detected(self):
+        program = assemble(
+            ".task sys trusted\n    mov &P1IN, r4\n    halt\n", name="bad"
+        )
+        result = TaintTracker(program).run()
+        causes = identify_root_causes(result)
+        assert causes.fundamental
+        assert not causes.automatic_repair_possible
+
+    def test_direct_port_write_is_port_error(self):
+        program = assemble(
+            FIG4.replace("mov r5, 0(r4)", "mov r5, &P4OUT"), name="direct"
+        )
+        result = TaintTracker(program).run()
+        causes = identify_root_causes(result)
+        assert causes.port_errors
+        assert not causes.automatic_repair_possible
+
+
+class TestMasking:
+    def test_insert_masks_rewrites_source(self):
+        program = assemble(FIG4, name="fig4")
+        result = TaintTracker(program).run()
+        stores = result.violating_stores()
+        new_source = insert_masks(FIG4, program, stores, default_policy())
+        # The confined address is built in the reserved scratch register
+        # so the task's own registers keep their values.
+        assert "mov r4, r14" in new_source
+        assert "and #0x03FF, r14" in new_source
+        assert "bis #0x0400, r14" in new_source
+        lines = new_source.splitlines()
+        store_index = next(
+            i for i, l in enumerate(lines) if "mov r5, 0(r14)" in l
+        )
+        assert "bis" in lines[store_index - 1]
+        assert "and" in lines[store_index - 2]
+        assert "mov r4, r14" in lines[store_index - 3]
+
+    def test_masked_program_reassembles_and_verifies_memory(self):
+        program = assemble(FIG4, name="fig4")
+        result = TaintTracker(program).run()
+        new_source = insert_masks(
+            FIG4, program, result.violating_stores(), default_policy()
+        )
+        reprogram = assemble(new_source, name="fig4m")
+        second = TaintTracker(reprogram).run()
+        assert 2 not in second.violated_conditions()
+
+    def test_absolute_store_cannot_be_masked(self):
+        source = (
+            ".task app untrusted\n"
+            "    mov &P1IN, r4\n"
+            "    mov r4, &0x0200\n"
+            "    halt\n"
+        )
+        program = assemble(source, name="abs")
+        address = program.lines[1].address  # the absolute store
+        with pytest.raises(MaskingError, match="absolute"):
+            insert_masks(source, program, [address], default_policy())
+
+    def test_unaligned_partition_rejected(self):
+        from repro.memmap import MemoryRegion
+
+        policy = SecurityPolicy(
+            tainted_memory=(MemoryRegion("odd", 0x0401, 0x0500),)
+        )
+        program = assemble(FIG4, name="fig4")
+        with pytest.raises(MaskingError):
+            insert_masks(FIG4, program, [0], policy)
+
+
+class TestWatchdogTransform:
+    def test_rewrites_call_and_ret(self):
+        program = assemble(CONTROL_ONLY, name="ctrl")
+        plan = choose_slicing(40)
+        new_source = insert_watchdog_protection(
+            CONTROL_ONLY, program, {"app": plan}
+        )
+        assert "&WDTCTL" in new_source
+        assert "br #app" in new_source
+        assert "jmp $" in new_source
+        assert "call #app" not in new_source
+        # the sys restart loop survives
+        assert "jmp start" in new_source
+
+    def test_missing_call_convention(self):
+        source = CONTROL_ONLY.replace("call #app", "br #app")
+        program = assemble(source, name="ctrl")
+        with pytest.raises(WatchdogTransformError, match="call"):
+            insert_watchdog_protection(
+                source, program, {"app": choose_slicing(40)}
+            )
+
+    def test_missing_ret(self):
+        source = CONTROL_ONLY.replace("    ret", "    jmp app")
+        program = assemble(source, name="ctrl")
+        with pytest.raises(WatchdogTransformError, match="ret"):
+            insert_watchdog_protection(
+                source, program, {"app": choose_slicing(40)}
+            )
+
+
+class TestSecureCompile:
+    def test_fig4_repairs_to_secure(self):
+        result = secure_compile(FIG4, name="fig4", task_cycles={"app": 40})
+        assert result.secure
+        assert result.masked_stores == 1
+        assert result.bounded_tasks == ["app"]
+        assert result.iterations >= 2
+        # the verified binary still contains the app task
+        assert result.program.task_named("app") is not None
+
+    def test_control_only_needs_watchdog_not_masks(self):
+        result = secure_compile(
+            CONTROL_ONLY, name="ctrl", task_cycles={"app": 40}
+        )
+        assert result.secure
+        assert result.masked_stores == 0
+        assert result.bounded_tasks == ["app"]
+
+    def test_clean_program_untouched(self):
+        clean = """
+.task sys trusted
+start:
+    mov #0x0FFE, sp
+    call #app
+    jmp start
+.task app untrusted
+app:
+    mov &P1IN, r4
+    and #0x03FF, r4
+    bis #0x0400, r4
+    mov &P1IN, r5
+    mov r5, 0(r4)
+    ret
+"""
+        result = secure_compile(clean, name="clean")
+        assert result.secure
+        assert not result.modified
+        assert result.iterations == 1
+        assert "no modifications required" in result.diagnostics()
+
+    def test_fundamental_violation_raises(self):
+        bad = (
+            ".task sys trusted\n"
+            "    mov &P1IN, r4\n"
+            "    halt\n"
+        )
+        with pytest.raises(FundamentalViolation, match="error"):
+            secure_compile(bad, name="bad")
+
+    def test_diagnostics_mention_fixes(self):
+        result = secure_compile(FIG4, name="fig4", task_cycles={"app": 40})
+        text = result.diagnostics()
+        assert "watchdog" in text
+        assert "mask" in text
+
+    def test_verification_of_masked_store_inside_tainted_control(self):
+        """Section 5.2: masks work even when the PC is already tainted,
+        because the analysis verifies the mask on every explored path."""
+        source = """
+.task sys trusted
+start:
+    mov #0x0FFE, sp
+    call #app
+    jmp start
+.task app untrusted
+app:
+    mov &P1IN, r4
+    mov &P1IN, r5
+    tst r5
+    jz app_store
+    nop
+app_store:
+    mov r5, 0(r4)
+    ret
+"""
+        result = secure_compile(
+            source, name="fig4ctl", task_cycles={"app": 60}
+        )
+        assert result.secure
+        assert result.masked_stores == 1
+        assert result.bounded_tasks == ["app"]

@@ -1,0 +1,81 @@
+"""Tests for diagnostics rendering and the watchdog-reset details."""
+
+import pytest
+
+from repro.core.violations import Violation, ViolationKind
+from repro.isa.assembler import assemble
+from repro.transform.report import render_diagnostics
+from repro.transform.rootcause import RootCauses
+from repro.transform.watchdog_reset import estimate_task_cycles
+
+
+class TestRenderDiagnostics:
+    def test_no_findings(self):
+        text = render_diagnostics("app", RootCauses(), [])
+        assert "no modifications required" in text
+
+    def test_fundamental_errors_rendered(self):
+        causes = RootCauses(
+            fundamental=[
+                Violation(
+                    ViolationKind.TRUSTED_READ_TAINTED_PORT,
+                    cycle=3,
+                    address=0x10,
+                    task="sys",
+                    detail="trusted code reads a tainted input port",
+                    port="P1IN",
+                    source_line=4,
+                )
+            ]
+        )
+        text = render_diagnostics("app", causes, [])
+        assert "app:line 4: error" in text
+        assert "redefine the information-flow labels" in text
+
+    def test_fixes_rendered_as_warnings(self):
+        text = render_diagnostics(
+            "app", RootCauses(), ["store masked at line 9"]
+        )
+        assert "app: warning: store masked at line 9" in text
+
+    def test_port_errors_rendered(self):
+        causes = RootCauses(
+            port_errors=[
+                Violation(
+                    ViolationKind.TAINTED_WRITE_UNTAINTED_PORT,
+                    cycle=1,
+                    address=0x20,
+                    task="app",
+                    port="P4OUT",
+                )
+            ]
+        )
+        text = render_diagnostics("app", causes, [])
+        assert "error" in text
+
+
+class TestEstimateTaskCycles:
+    def test_scales_with_task_size(self):
+        program = assemble(
+            """
+.task small untrusted
+    nop
+    ret
+.task big untrusted
+big:
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    ret
+            """,
+            name="e",
+        )
+        small = estimate_task_cycles(program, "small")
+        big = estimate_task_cycles(program, "big")
+        assert big > small
+        assert small >= 32

@@ -1,0 +1,73 @@
+"""Tests for watchdog time-slice selection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.watchdog import WDT_INTERVALS
+from repro.transform.slicing import (
+    PER_SLICE_OVERHEAD,
+    SlicePlan,
+    choose_slicing,
+)
+
+
+class TestChooseSlicing:
+    def test_tiny_task_uses_smallest_interval(self):
+        plan = choose_slicing(10)
+        assert plan.interval == 64
+        assert plan.slices == 1
+        assert plan.total_cycles == 64
+
+    def test_single_long_slice_beats_many_short(self):
+        # 8000 useful cycles: 1 x 8192 (=8192) beats ceil(8000/34)=236 x 64
+        plan = choose_slicing(8000)
+        assert plan.interval == 8192
+        assert plan.slices == 1
+
+    def test_multi_slice_when_task_exceeds_max_interval(self):
+        plan = choose_slicing(40_000)
+        assert plan.total_cycles >= 40_000
+        assert plan.slices >= 2
+
+    def test_interval_select_encoding(self):
+        for select, interval in enumerate(WDT_INTERVALS):
+            plan = SlicePlan(interval, select, 1, 10)
+            assert plan.wdtctl_value == 0x5A00 | select
+
+    def test_overhead_accounting(self):
+        plan = choose_slicing(100)
+        assert plan.overhead_cycles == plan.total_cycles - 100
+        assert plan.overhead_fraction == pytest.approx(
+            plan.overhead_cycles / 100
+        )
+
+    def test_zero_cycles(self):
+        plan = choose_slicing(0)
+        assert plan.slices == 1
+        assert plan.overhead_fraction == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            choose_slicing(-1)
+
+    @given(st.integers(0, 200_000))
+    @settings(max_examples=200)
+    def test_plan_always_bounds_task(self, cycles):
+        plan = choose_slicing(cycles)
+        # capacity check: the slices can hold the work plus per-slice costs
+        useful = plan.interval - PER_SLICE_OVERHEAD
+        assert plan.slices * useful >= cycles
+
+    @given(st.integers(1, 200_000))
+    @settings(max_examples=200)
+    def test_plan_is_optimal_over_grid(self, cycles):
+        import math
+
+        plan = choose_slicing(cycles)
+        for interval in WDT_INTERVALS:
+            useful = interval - PER_SLICE_OVERHEAD
+            if useful <= 0:
+                continue
+            slices = max(1, math.ceil(cycles / useful))
+            assert plan.total_cycles <= slices * interval
