@@ -3,7 +3,7 @@
 from repro.eval.runtime import build_runtime, render_runtime
 
 
-def test_analysis_runtime(once):
+def test_analysis_runtime(once, bench_json):
     rows = once(build_runtime)
     assert len(rows) == 13
 
@@ -13,6 +13,14 @@ def test_analysis_runtime(once):
         # and it terminates *because* of merging, not luck: every
         # benchmark's exploration ends in merge-stops
         assert row.merge_terminations >= 1, row.name
+
+    bench_json(
+        "analysis_runtime",
+        {
+            "total_wall_seconds": sum(r.wall_seconds for r in rows),
+            "benchmarks": {row.name: row for row in rows},
+        },
+    )
 
     print()
     print(render_runtime(rows))

@@ -2,14 +2,19 @@
 
 Not a paper table -- these quantify the reproduction's own substrate so
 performance regressions in the gate-level simulator or tracker show up.
+Each test also emits a ``BENCH_*.json`` document (see conftest) so the
+perf trajectory is tracked commit over commit.
 """
+
+import time
 
 import pytest
 
-from repro.cpu import compiled_cpu
 from repro.core import TaintTracker
+from repro.cpu import compiled_cpu
 from repro.isa.assembler import assemble
 from repro.isasim.executor import run_concrete
+from repro.obs import Observer, TraceRecorder, observe
 from repro.sim.runner import GateRunner
 
 LOOP = """
@@ -26,30 +31,113 @@ def circuit():
     return compiled_cpu()
 
 
-def test_gate_level_cycles_per_second(benchmark, circuit):
+def _timed(func, *args):
+    start = time.perf_counter()
+    result = func(*args)
+    return result, time.perf_counter() - start
+
+
+def test_gate_level_cycles_per_second(benchmark, circuit, bench_json):
     program = assemble(LOOP, name="loop")
+    times = []
 
     def run():
-        runner = GateRunner(circuit, program)
-        return runner.run(max_cycles=2_000)
+        result, seconds = _timed(
+            lambda: GateRunner(circuit, program).run(max_cycles=2_000)
+        )
+        times.append(seconds)
+        return result
 
     cycles = benchmark.pedantic(run, rounds=3, iterations=1)
     assert cycles > 1_000
+    bench_json(
+        "simulator_gate_level",
+        {
+            "cycles": cycles,
+            "seconds": min(times),
+            "cycles_per_second": cycles / min(times),
+        },
+    )
 
 
-def test_architectural_simulator_speed(benchmark):
+def test_tracing_overhead(circuit, tmp_path, bench_json):
+    """Full observability (JSONL trace + metrics + spans) on the
+    gate-level runner must cost < 10% over the untraced run."""
     program = assemble(LOOP, name="loop")
+    cycles = 400
+    rounds = 5
+
+    def run_plain():
+        return GateRunner(circuit, program).run(max_cycles=cycles)
+
+    def run_traced(path):
+        observer = Observer(trace=TraceRecorder(path))
+        with observe(observer):
+            ran = GateRunner(circuit, program).run(max_cycles=cycles)
+        observer.close()
+        return ran, observer
+
+    run_plain()  # warm every lazy cache before timing
+    # Interleave the two variants so clock-speed drift over the run
+    # biases neither side; compare best-of-N against best-of-N.
+    plain_times = []
+    traced_times = []
+    observer = None
+    for index in range(rounds):
+        plain_times.append(_timed(run_plain)[1])
+        (_, observer), seconds = _timed(
+            run_traced, tmp_path / f"trace{index}.jsonl"
+        )
+        traced_times.append(seconds)
+    plain = min(plain_times)
+    traced = min(traced_times)
+
+    overhead = traced / plain
+    snapshot = observer.snapshot()
+    bench_json(
+        "simulator_tracing_overhead",
+        {
+            "cycles": cycles,
+            "plain_seconds": plain,
+            "traced_seconds": traced,
+            "overhead_ratio": overhead,
+            "events_per_run": observer.trace.events_written,
+            "counters": snapshot["metrics"]["counters"],
+        },
+    )
+    assert snapshot["metrics"]["counters"]["sim.gate_evals"] > 0
+    assert overhead < 1.10, (
+        f"tracing overhead {overhead:.3f}x exceeds the 10% budget "
+        f"(plain {plain:.3f}s, traced {traced:.3f}s)"
+    )
+
+
+def test_architectural_simulator_speed(benchmark, bench_json):
+    program = assemble(LOOP, name="loop")
+    times = []
 
     def run():
-        return run_concrete(
-            program, max_cycles=100_000, follow_watchdog=False
-        ).cycles
+        result, seconds = _timed(
+            lambda: run_concrete(
+                program, max_cycles=100_000, follow_watchdog=False
+            ).cycles
+        )
+        times.append(seconds)
+        return result
 
     cycles = benchmark.pedantic(run, rounds=3, iterations=1)
     assert cycles > 1_000
+    bench_json(
+        "simulator_architectural",
+        {
+            "cycles": cycles,
+            "seconds": min(times),
+            "cycles_per_second": cycles / min(times),
+        },
+    )
 
 
-def test_tracker_throughput(benchmark, circuit):
+def test_tracker_throughput(benchmark, circuit, bench_json):
     source = """
 .task sys trusted
 start:
@@ -66,19 +154,36 @@ app:
     ret
 """
     program = assemble(source, name="clean")
+    times = []
 
     def analyse():
-        return TaintTracker(program, circuit=circuit).run()
+        result, seconds = _timed(
+            lambda: TaintTracker(program, circuit=circuit).run()
+        )
+        times.append(seconds)
+        return result
 
     result = benchmark.pedantic(analyse, rounds=3, iterations=1)
     assert result.secure
+    bench_json(
+        "tracker_throughput",
+        {"seconds": min(times), "stats": result.stats},
+    )
 
 
-def test_cpu_compile_time(benchmark):
+def test_cpu_compile_time(benchmark, bench_json):
     from repro.cpu.build import build_cpu
     from repro.sim.compiled import CompiledCircuit
 
-    compiled = benchmark.pedantic(
-        lambda: CompiledCircuit(build_cpu()), rounds=3, iterations=1
-    )
+    times = []
+
+    def compile_cpu():
+        result, seconds = _timed(
+            lambda: CompiledCircuit(build_cpu())
+        )
+        times.append(seconds)
+        return result
+
+    compiled = benchmark.pedantic(compile_cpu, rounds=3, iterations=1)
     assert compiled.num_dffs > 300
+    bench_json("cpu_compile_time", {"seconds": min(times)})

@@ -5,9 +5,46 @@ the generation (single-round: these are experiments, not microbenchmarks)
 and asserts the paper's qualitative shape.  Run with::
 
     pytest benchmarks/ --benchmark-only -s
+
+Benchmarks additionally emit machine-readable ``BENCH_<name>.json``
+documents (to ``benchmarks/out/`` by default, or ``$REPRO_BENCH_DIR``)
+so the performance trajectory of the simulator and tracker can be
+tracked across commits.
 """
 
+import json
+import os
+from pathlib import Path
+
 import pytest
+
+from repro.eval.formatting import to_jsonable
+
+#: Bump when the emitted BENCH_*.json document shape changes.
+BENCH_SCHEMA = 1
+
+
+def bench_output_dir() -> Path:
+    return Path(
+        os.environ.get(
+            "REPRO_BENCH_DIR", Path(__file__).parent / "out"
+        )
+    )
+
+
+def emit_bench_json(name: str, payload: dict) -> Path:
+    """Write one machine-readable benchmark document.
+
+    *payload* is converted with :func:`repro.eval.formatting.to_jsonable`
+    so dataclasses and numpy scalars pass straight through.
+    """
+    out_dir = bench_output_dir()
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{name}.json"
+    document = {"bench": name, "schema": BENCH_SCHEMA}
+    document.update(to_jsonable(payload))
+    path.write_text(json.dumps(document, indent=2) + "\n")
+    return path
 
 
 def run_once(benchmark, func, *args, **kwargs):
@@ -23,3 +60,9 @@ def once(benchmark):
         return run_once(benchmark, func, *args, **kwargs)
 
     return runner
+
+
+@pytest.fixture
+def bench_json():
+    """Emit a BENCH_<name>.json document from inside a benchmark."""
+    return emit_bench_json

@@ -3,25 +3,33 @@
 Mirrors how the paper's tool is used: point it at an application source,
 get the verdict, the diagnostics and (optionally) the repaired binary.
 
-    python -m repro.cli analyze  app.s43
+    python -m repro.cli analyze  app.s43 [--json] [--trace t.jsonl]
     python -m repro.cli repair   app.s43 -o app_secure.s43
     python -m repro.cli run      app.s43 --max-cycles 20000
     python -m repro.cli disasm   app.s43
-    python -m repro.cli stats
+    python -m repro.cli stats    [--json]
+    python -m repro.cli profile  intavg   # per-phase time/counter table
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import nullcontext
 from pathlib import Path
 
 from repro.core import TaintTracker, default_policy, secret_policy
 from repro.cpu import cpu_stats
+from repro.eval.formatting import format_json, format_table, to_jsonable
 from repro.isa.assembler import assemble
 from repro.isa.disasm import disassemble_program
 from repro.isasim.executor import run_concrete
+from repro.obs import Observer, TraceRecorder, observe
 from repro.transform import FundamentalViolation, secure_compile
+
+#: Canonical pipeline phases, in reporting order (the profile table always
+#: prints these four, then any additional spans observed).
+PROFILE_PHASES = ("levelize", "explore", "check", "repair")
 
 
 def _policy(name: str):
@@ -38,17 +46,83 @@ def _load(path: str) -> tuple:
     return source, assemble(source, name=name), name
 
 
+def _trace_for(args) -> TraceRecorder | None:
+    if not getattr(args, "trace", None):
+        return None
+    try:
+        return TraceRecorder(args.trace)
+    except OSError as error:
+        raise SystemExit(f"cannot open trace file {args.trace!r}: {error}")
+
+
+def _observer_for(args) -> Observer | None:
+    """An Observer when any obs output was requested, else None."""
+    if not (getattr(args, "trace", None) or getattr(args, "metrics", None)):
+        return None
+    return Observer(trace=_trace_for(args))
+
+
+def _finish_observer(observer: Observer | None, args) -> None:
+    """Write the metrics file and close the trace sink."""
+    if observer is None:
+        return
+    if getattr(args, "metrics", None):
+        try:
+            Path(args.metrics).write_text(
+                format_json(observer.snapshot()) + "\n"
+            )
+        except OSError as error:
+            raise SystemExit(
+                f"cannot write metrics file {args.metrics!r}: {error}"
+            )
+    observer.close()
+
+
+def _analysis_document(result) -> dict:
+    """The ``analyze --json`` payload."""
+    return {
+        "program": result.program.name,
+        "policy": {
+            "name": result.policy.name,
+            "kind": result.policy.kind,
+        },
+        "secure": result.secure,
+        "violated_conditions": sorted(result.violated_conditions()),
+        "violations": [
+            {
+                "kind": violation.kind,
+                "condition": violation.condition,
+                "severity": violation.severity,
+                "cycle": violation.cycle,
+                "address": f"0x{violation.address:04x}",
+                "task": violation.task,
+                "advisory": violation.advisory,
+                "detail": violation.detail,
+            }
+            for violation in result.violations
+        ],
+        "stats": to_jsonable(result.stats),
+        "tree": result.tree.summary(),
+    }
+
+
 def cmd_analyze(args) -> int:
     _, program, _ = _load(args.source)
-    result = TaintTracker(
-        program,
-        policy=_policy(args.policy),
-        max_cycles=args.max_cycles,
-    ).run()
-    print(result.report())
-    if args.tree:
-        print()
-        print(result.tree.render())
+    observer = _observer_for(args)
+    with observe(observer) if observer else nullcontext():
+        result = TaintTracker(
+            program,
+            policy=_policy(args.policy),
+            max_cycles=args.max_cycles,
+        ).run()
+    _finish_observer(observer, args)
+    if args.json:
+        print(format_json(_analysis_document(result)))
+    else:
+        print(result.report())
+        if args.tree:
+            print()
+            print(result.tree.render())
     return 0 if result.secure else 1
 
 
@@ -95,7 +169,176 @@ def cmd_disasm(args) -> int:
 
 
 def cmd_stats(args) -> int:
-    print(cpu_stats().format())
+    stats = cpu_stats()
+    if args.json:
+        print(format_json(stats))
+    else:
+        print(stats.format())
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# profile
+# ---------------------------------------------------------------------------
+def _resolve_workload(spec: str) -> tuple:
+    """*spec* is a Table 1 benchmark name (case-insensitive) or a source
+    file path; returns ``(source, name)``."""
+    path = Path(spec)
+    if path.is_file():
+        return path.read_text(), path.stem
+    from repro.workloads.registry import BENCHMARKS
+
+    by_lower = {name.lower(): info for name, info in BENCHMARKS.items()}
+    info = by_lower.get(spec.lower())
+    if info is None:
+        known = ", ".join(sorted(BENCHMARKS))
+        raise SystemExit(
+            f"unknown workload {spec!r}: not a file, and not one of "
+            f"the registered benchmarks ({known})"
+        )
+    return info.service_source, info.name
+
+
+#: Counters surfaced in the profile breakdown (others stay in --json).
+_PROFILE_COUNTERS = (
+    "sim.gate_evals",
+    "sim.eval_passes",
+    "tracker.cycles",
+    "tracker.fast_forwarded_cycles",
+    "tracker.instructions",
+    "tracker.paths",
+    "tracker.forks",
+    "tracker.merges",
+    "tree.nodes",
+    "tree.pruned",
+    "tracker.violations",
+)
+
+
+def cmd_profile(args) -> int:
+    source, name = _resolve_workload(args.workload)
+    program = assemble(source, name=name)
+    policy = _policy(args.policy)
+    observer = Observer(trace=_trace_for(args))
+
+    repaired = None
+    repair_error = None
+    with observe(observer):
+        # A fresh compile so the levelize phase is measured rather than
+        # served from the process-wide cache.
+        from repro.cpu import build_cpu
+        from repro.sim.compiled import CompiledCircuit
+
+        with observer.span("elaborate"):
+            netlist = build_cpu()
+        circuit = CompiledCircuit(netlist)  # spans "levelize" internally
+        result = TaintTracker(
+            program,
+            policy=policy,
+            circuit=circuit,
+            max_cycles=args.max_cycles,
+        ).run()
+        if not result.secure and not args.no_repair:
+            try:
+                repaired = secure_compile(
+                    source,
+                    name=name,
+                    policy=policy,
+                    max_cycles=args.max_cycles,
+                )
+            except FundamentalViolation as error:
+                repair_error = str(error.diagnostics)
+
+    snapshot = observer.snapshot()
+    _finish_observer(observer, args)
+    counters = snapshot["metrics"]["counters"]
+    if not counters:
+        print(
+            "profile error: empty metrics snapshot -- the pipeline "
+            "ran without reporting a single counter",
+            file=sys.stderr,
+        )
+        return 1
+
+    if args.json:
+        print(
+            format_json(
+                {
+                    "workload": name,
+                    "policy": policy.name,
+                    "secure": result.secure,
+                    "repaired": repaired is not None and repaired.secure,
+                    "repair_error": repair_error,
+                    "analysis": _analysis_document(result),
+                    **snapshot,
+                }
+            )
+        )
+        return 0
+
+    profile = snapshot["profile"]
+    rows = []
+    for phase in PROFILE_PHASES:
+        entry = profile.get(
+            phase, {"calls": 0, "wall_seconds": 0.0, "cpu_seconds": 0.0}
+        )
+        rows.append(
+            (
+                phase,
+                entry["calls"],
+                f"{entry['wall_seconds']:.3f}",
+                f"{entry['cpu_seconds']:.3f}",
+            )
+        )
+    for path, entry in profile.items():
+        if path in PROFILE_PHASES:
+            continue
+        rows.append(
+            (
+                path,
+                entry["calls"],
+                f"{entry['wall_seconds']:.3f}",
+                f"{entry['cpu_seconds']:.3f}",
+            )
+        )
+    print(
+        format_table(
+            ["phase", "calls", "wall (s)", "cpu (s)"],
+            rows,
+            title=f"profile of {name!r} (policy {policy.name!r})",
+        )
+    )
+    print()
+    counter_rows = [
+        (key, counters[key]) for key in _PROFILE_COUNTERS if key in counters
+    ]
+    gate_types = sorted(
+        key for key in counters if key.startswith("sim.gate_evals.")
+    )
+    counter_rows.extend((key, counters[key]) for key in gate_types)
+    for gauge, value in snapshot["metrics"]["gauges"].items():
+        counter_rows.append((gauge, value))
+    print(format_table(["counter", "value"], counter_rows))
+    density = snapshot["metrics"]["histograms"].get("tracker.taint_density")
+    if density and density["count"]:
+        print()
+        print(
+            f"taint density: mean={density['mean']:.4f} "
+            f"min={density['min']:.4f} max={density['max']:.4f} "
+            f"over {density['count']} sampled instructions"
+        )
+    print()
+    verdict = "SECURE" if result.secure else "INSECURE"
+    line = f"analysis verdict: {verdict}"
+    if repaired is not None:
+        line += (
+            "; repaired to SECURE"
+            if repaired.secure
+            else "; repair did not converge"
+        )
+    elif repair_error is not None:
+        line += "; repair failed (fundamental violation)"
+    print(line)
     return 0
 
 
@@ -120,11 +363,29 @@ def build_parser() -> argparse.ArgumentParser:
             help="analysis/simulation cycle budget",
         )
 
+    def obs_flags(p):
+        p.add_argument(
+            "--trace",
+            metavar="PATH",
+            help="write a JSONL event trace (fork/merge/prune/...) here",
+        )
+        p.add_argument(
+            "--metrics",
+            metavar="PATH",
+            help="write the metrics+profile snapshot as JSON here",
+        )
+
     p = sub.add_parser("analyze", help="run the gate-level analysis")
     common(p)
     p.add_argument(
         "--tree", action="store_true", help="print the execution tree"
     )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable verdict/violations/stats output",
+    )
+    obs_flags(p)
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("repair", help="analyse, repair, verify")
@@ -141,7 +402,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_disasm)
 
     p = sub.add_parser("stats", help="LP430 netlist statistics")
+    p.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "profile",
+        help="run the full pipeline on a workload and print the "
+        "per-phase time/counter breakdown",
+    )
+    p.add_argument(
+        "workload",
+        help="a Table 1 benchmark name (e.g. intavg, mult; "
+        "case-insensitive) or an LP430 source file",
+    )
+    p.add_argument(
+        "--policy",
+        default="untrusted",
+        help="taint kind: untrusted (default) or secret",
+    )
+    p.add_argument(
+        "--max-cycles",
+        type=int,
+        default=1_200_000,
+        help="analysis cycle budget",
+    )
+    p.add_argument(
+        "--no-repair",
+        action="store_true",
+        help="skip the repair phase even when the analysis is insecure",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full metrics/profile document as JSON",
+    )
+    obs_flags(p)
+    p.set_defaults(func=cmd_profile)
     return parser
 
 

@@ -17,7 +17,6 @@ widened by merging (differing bits become X, taints OR).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -27,6 +26,7 @@ from repro.core.checker import PolicyChecker, check_conditions
 from repro.core.labels import SecurityPolicy
 from repro.core.tree import ExecutionTree, TreeNode
 from repro.core.violations import Violation, ViolationKind
+from repro.obs import CLOCK, get_observer
 from repro.cpu import compiled_cpu
 from repro.isa.encode import DecodedInstruction, EncodeError, decode
 from repro.isa.program import Program
@@ -80,6 +80,8 @@ class AnalysisStats:
     instructions: int = 0
     wall_seconds: float = 0.0
     max_taint_fraction: float = 0.0
+    #: high-water mark of stored conservative (merged) states
+    peak_merged_states: int = 0
     #: paths closed at an untainted-but-unbounded computed jump; non-zero
     #: means the exploration under-approximates and needs heuristics
     incomplete_paths: int = 0
@@ -180,6 +182,11 @@ class _BranchEntry:
     widened: bool = False
 
 
+def _site(key) -> str:
+    """Human-readable trace label for a merge-table key."""
+    return key if isinstance(key, str) else f"0x{key:04x}"
+
+
 def _state_digest(state: SoCState) -> bytes:
     """A canonical fingerprint of a snapshot (cycle count excluded)."""
     import hashlib
@@ -219,8 +226,12 @@ class TaintTracker:
         max_paths: int = 4_096,
         fork_limit: int = 64,
         exact_branch_visits: int = 512,
+        obs=None,
     ):
         self.program = program
+        #: observability sink; defaults to the process-wide current
+        #: observer (the no-op NULL_OBSERVER unless one is installed)
+        self.obs = obs if obs is not None else get_observer()
         self.policy = policy if policy is not None else SecurityPolicy()
         self.circuit = circuit if circuit is not None else compiled_cpu()
         self.max_cycles = max_cycles
@@ -249,6 +260,7 @@ class TaintTracker:
         self.tree = ExecutionTree()
         self.stats = AnalysisStats()
         self._table: Dict[object, SoCState] = {}
+        self._merged_states = 0
         self._scratch_space = AddressSpace()
 
     # ------------------------------------------------------------------
@@ -279,6 +291,11 @@ class TaintTracker:
             self._table[key] = entry
         return entry
 
+    def _note_merged_state(self) -> None:
+        self._merged_states += 1
+        if self._merged_states > self.stats.peak_merged_states:
+            self.stats.peak_merged_states = self._merged_states
+
     def _visit_widening(self, key, state: SoCState) -> Tuple[bool, SoCState]:
         """Conservative-state bookkeeping for widening points (X-PC forks
         and power-on resets), where exploration continues from the merged
@@ -296,9 +313,14 @@ class TaintTracker:
             return True, entry.merged
         if entry.merged is None:
             entry.merged = state
+            self._note_merged_state()
         else:
             entry.merged = self._merge(entry.merged, state)
             self.stats.merges += 1
+            if self.obs.enabled:
+                self.obs.emit(
+                    "merge", site=_site(key), cycle=state.cycle
+                )
         entry.widened = True
         return False, entry.merged
 
@@ -331,9 +353,14 @@ class TaintTracker:
             return "stop", entry.merged
         if entry.merged is None:
             entry.merged = state
+            self._note_merged_state()
         else:
             entry.merged = self._merge(entry.merged, state)
             self.stats.merges += 1
+            if self.obs.enabled:
+                self.obs.emit(
+                    "merge", site=_site(key), cycle=state.cycle
+                )
         if len(entry.seen) < self.exact_branch_visits:
             entry.seen.add(digest)
             return "exact", state
@@ -359,32 +386,70 @@ class TaintTracker:
     # Main loop
     # ------------------------------------------------------------------
     def run(self) -> AnalysisResult:
-        start_time = time.monotonic()
+        obs = self.obs
+        start_time = CLOCK.wall()
         soc = self.runner.soc
         root = self.tree.new_node(None, 0, soc.cycle)
         worklist: List[_WorkItem] = [
             _WorkItem(soc.snapshot(), root.node_id)
         ]
 
-        while worklist:
-            if self.stats.paths >= self.max_paths:
-                raise TrackerError(
-                    f"exceeded {self.max_paths} paths; the program's "
-                    "control structure needs heuristics (Section 8)"
-                )
-            item = worklist.pop()
-            soc.restore(item.snapshot)
-            self.stats.paths += 1
-            self._explore_path(item.node_id, worklist)
+        with obs.span("explore"):
+            while worklist:
+                if self.stats.paths >= self.max_paths:
+                    raise TrackerError(
+                        f"exceeded {self.max_paths} paths; the program's "
+                        "control structure needs heuristics (Section 8)"
+                    )
+                item = worklist.pop()
+                soc.restore(item.snapshot)
+                self.stats.paths += 1
+                self._explore_path(item.node_id, worklist)
 
-        self.stats.wall_seconds = time.monotonic() - start_time
+        self.stats.wall_seconds = CLOCK.wall() - start_time
+        with obs.span("check"):
+            violations = self.checker.violations()
+        self._publish(obs, violations)
         return AnalysisResult(
             program=self.program,
             policy=self.policy,
-            violations=self.checker.violations(),
+            violations=violations,
             tree=self.tree,
             stats=self.stats,
         )
+
+    def _publish(self, obs, violations: List[Violation]) -> None:
+        """Roll the completed run into metrics and trace events."""
+        if not obs.enabled:
+            return
+        stats = self.stats
+        metrics = obs.metrics
+        metrics.counter("tracker.cycles").inc(stats.cycles_simulated)
+        metrics.counter("tracker.fast_forwarded_cycles").inc(
+            stats.fast_forwarded_cycles
+        )
+        metrics.counter("tracker.instructions").inc(stats.instructions)
+        metrics.counter("tracker.paths").inc(stats.paths)
+        metrics.counter("tracker.forks").inc(stats.forks)
+        metrics.counter("tracker.merges").inc(stats.merges)
+        metrics.counter("tree.nodes").inc(len(self.tree))
+        metrics.counter("tree.pruned").inc(stats.terminations_by_merge)
+        metrics.counter("tracker.incomplete_paths").inc(
+            stats.incomplete_paths
+        )
+        metrics.counter("tracker.violations").inc(len(violations))
+        metrics.gauge("tracker.peak_merged_states").update_max(
+            stats.peak_merged_states
+        )
+        for violation in violations:
+            obs.emit(
+                "violation",
+                kind=violation.kind,
+                condition=violation.condition,
+                address=violation.address,
+                task=violation.task,
+                advisory=violation.advisory,
+            )
 
     # ------------------------------------------------------------------
     def _explore_path(
@@ -434,6 +499,10 @@ class TaintTracker:
                 control_tainted = bool(pc_word.tmask)
                 dff_codes = self.circuit.dff_state(soc.state)
                 baseline_taint = dff_codes & 1
+                if self.obs.enabled:
+                    self.obs.histogram("tracker.taint_density").observe(
+                        float(baseline_taint.mean())
+                    )
                 self.checker.note_instruction_start(
                     current,
                     task_name,
@@ -466,6 +535,13 @@ class TaintTracker:
                 if covered:
                     node.end_reason = "merged"
                     node.end_cycle = soc.cycle
+                    if self.obs.enabled:
+                        self.obs.emit(
+                            "prune",
+                            site="POR",
+                            node=node.node_id,
+                            cycle=soc.cycle,
+                        )
                     return
                 soc.restore(merged)
                 continue
@@ -531,6 +607,13 @@ class TaintTracker:
         if verdict == "stop":
             node.end_reason = "merged"
             node.end_cycle = soc.cycle
+            if self.obs.enabled:
+                self.obs.emit(
+                    "prune",
+                    site=_site(key),
+                    node=node.node_id,
+                    cycle=soc.cycle,
+                )
             return True
         if verdict == "widened":
             # Continue from the conservative state (Section 4.1), keeping
@@ -538,6 +621,13 @@ class TaintTracker:
             soc.restore(continuation)
             merged_pc_taint = soc.pc().tmask
             soc.force_pc(pc_word.bits, pc_word.tmask | merged_pc_taint)
+            if self.obs.enabled:
+                self.obs.emit(
+                    "widen",
+                    site=_site(key),
+                    node=node.node_id,
+                    cycle=soc.cycle,
+                )
         return False
 
     # ------------------------------------------------------------------
@@ -587,9 +677,17 @@ class TaintTracker:
         node.end_cycle = soc.cycle
         node.fork_address = instruction.address
         if covered:
+            if self.obs.enabled:
+                self.obs.emit(
+                    "prune",
+                    site=_site(instruction.address),
+                    node=node.node_id,
+                    cycle=soc.cycle,
+                )
             return True
 
         self.stats.forks += 1
+        children = []
         for candidate in candidates:
             soc.restore(merged)
             soc.force_pc(candidate, pc_word.tmask)
@@ -597,4 +695,15 @@ class TaintTracker:
                 node.node_id, candidate, soc.cycle, pc_taint=pc_word.tmask
             )
             worklist.append(_WorkItem(soc.snapshot(), child.node_id))
+            children.append(child.node_id)
+        if self.obs.enabled:
+            self.obs.emit(
+                "fork",
+                site=_site(instruction.address),
+                node=node.node_id,
+                children=children,
+                targets=[f"0x{c:04x}" for c in candidates],
+                pc_tainted=bool(pc_word.tmask),
+                cycle=soc.cycle,
+            )
         return True

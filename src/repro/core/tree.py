@@ -66,6 +66,33 @@ class ExecutionTree:
     def leaves(self) -> List[TreeNode]:
         return [node for node in self.nodes.values() if not node.children]
 
+    def depth_of(self, node_id: int) -> int:
+        depth = 0
+        node = self.nodes[node_id]
+        while node.parent is not None:
+            node = self.nodes[node.parent]
+            depth += 1
+        return depth
+
+    def summary(self) -> dict:
+        """Aggregate shape statistics (JSON-ready; feeds ``--json`` and
+        the obs metrics snapshot)."""
+        end_reasons: Dict[str, int] = {}
+        for node in self.nodes.values():
+            end_reasons[node.end_reason] = (
+                end_reasons.get(node.end_reason, 0) + 1
+            )
+        return {
+            "nodes": len(self.nodes),
+            "leaves": len(self.leaves()),
+            "max_depth": (
+                max(self.depth_of(n.node_id) for n in self.nodes.values())
+                if self.nodes
+                else 0
+            ),
+            "end_reasons": dict(sorted(end_reasons.items())),
+        }
+
     def render(self) -> str:
         """ASCII rendering of the tree (the Figure 7 style diagram)."""
         lines: List[str] = []

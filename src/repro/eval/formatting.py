@@ -1,7 +1,10 @@
-"""Plain-text table rendering shared by the evaluation modules."""
+"""Plain-text table and JSON rendering shared by the evaluation modules
+and the CLI's ``--json`` outputs."""
 
 from __future__ import annotations
 
+import dataclasses
+import json
 from typing import Iterable, List, Sequence
 
 
@@ -29,3 +32,34 @@ def format_table(
     parts.append(line(["-" * width for width in widths]))
     parts.extend(line(row) for row in body)
     return "\n".join(parts)
+
+
+def to_jsonable(value):
+    """Recursively convert *value* into plain JSON-compatible data.
+
+    Handles dataclasses, mappings, sequences, sets and numpy scalars
+    (anything exposing ``.item()``); everything else falls back to
+    ``str``.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: to_jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(to_jsonable(item) for item in value)
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    return str(value)
+
+
+def format_json(value, indent: int = 2) -> str:
+    """Render *value* as pretty-printed JSON (after :func:`to_jsonable`)."""
+    return json.dumps(to_jsonable(value), indent=indent, sort_keys=False)

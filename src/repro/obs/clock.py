@@ -1,0 +1,44 @@
+"""Time sources for the observability layer.
+
+Every obs component reads time through a :class:`Clock` instance instead
+of calling :mod:`time` directly, so tests can substitute a deterministic
+fake and the rest of the codebase reports runtimes from one consistent
+source (``repro.core.tracker`` used to carry its own ``time`` import;
+it now uses :data:`CLOCK`).
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    """Wall (monotonic) and CPU (process) time, behind one indirection."""
+
+    def wall(self) -> float:
+        return time.monotonic()
+
+    def cpu(self) -> float:
+        return time.process_time()
+
+
+class ManualClock(Clock):
+    """A hand-advanced clock for deterministic tests."""
+
+    def __init__(self, wall: float = 0.0, cpu: float = 0.0):
+        self._wall = wall
+        self._cpu = cpu
+
+    def advance(self, wall: float, cpu: float = None) -> None:
+        self._wall += wall
+        self._cpu += wall if cpu is None else cpu
+
+    def wall(self) -> float:
+        return self._wall
+
+    def cpu(self) -> float:
+        return self._cpu
+
+
+#: The process-wide default clock.
+CLOCK = Clock()

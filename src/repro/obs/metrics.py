@@ -1,0 +1,147 @@
+"""Counters, gauges and histograms for the analysis pipeline.
+
+A :class:`MetricsRegistry` hands out named instruments on demand and
+renders the whole collection as one plain dict via :meth:`snapshot`, so
+the CLI can dump it as JSON and benchmarks can diff runs.  Counters are
+strictly monotonic (negative increments are a programming error);
+histograms use fixed bucket bounds so snapshots from different runs are
+directly comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+#: Default histogram bounds, tuned for fractions in [0, 1] (taint/unknown
+#: densities).  Values above the last bound land in the overflow bucket.
+FRACTION_BOUNDS: Tuple[float, ...] = (
+    0.001, 0.01, 0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1.0,
+)
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name!r} is monotonic; cannot add {amount}"
+            )
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (e.g. a peak watermark)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def update_max(self, value) -> None:
+        if value > self.value:
+            self.value = value
+
+
+class Histogram:
+    """A fixed-bucket histogram with count/sum/min/max."""
+
+    __slots__ = ("name", "bounds", "buckets", "count", "total",
+                 "minimum", "maximum")
+
+    def __init__(self, name: str, bounds: Sequence[float] = FRACTION_BOUNDS):
+        self.name = name
+        self.bounds = tuple(bounds)
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError(f"histogram {name!r} bounds must be sorted")
+        self.buckets = [0] * (len(self.bounds) + 1)  # +1 overflow
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        index = len(self.bounds)
+        for position, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = position
+                break
+        self.buckets[index] += 1
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    def snapshot(self) -> dict:
+        labels = [f"<={bound:g}" for bound in self.bounds] + ["+inf"]
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": (self.total / self.count) if self.count else None,
+            "buckets": dict(zip(labels, self.buckets)),
+        }
+
+
+class MetricsRegistry:
+    """Creates instruments on first use and snapshots them all at once."""
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge(name)
+        return gauge
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = FRACTION_BOUNDS
+    ) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(name, bounds)
+        return histogram
+
+    def __len__(self) -> int:
+        return (
+            len(self._counters) + len(self._gauges) + len(self._histograms)
+        )
+
+    def snapshot(self) -> dict:
+        """The whole registry as one JSON-ready dict."""
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: gauge.value
+                for name, gauge in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: histogram.snapshot()
+                for name, histogram in sorted(self._histograms.items())
+            },
+        }

@@ -1,0 +1,97 @@
+"""Phase-scoped profiling spans.
+
+``profiler.span("explore")`` opens a nestable phase scope; wall and CPU
+time accumulate per *path* ("repair/explore" when an analysis runs inside
+the repair loop), so the breakdown table shows where the pipeline's time
+actually goes.  Spans are designed for phase granularity (dozens per run,
+not per-cycle); the disabled path uses a shared no-op span object so a
+pipeline running without an observer pays one attribute lookup per phase.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.obs.clock import CLOCK, Clock
+
+
+class SpanStats:
+    """Accumulated cost of one span path."""
+
+    __slots__ = ("calls", "wall", "cpu")
+
+    def __init__(self):
+        self.calls = 0
+        self.wall = 0.0
+        self.cpu = 0.0
+
+
+class _Span:
+    """One live span; re-entrant use creates independent instances."""
+
+    __slots__ = ("_profiler", "_name", "_wall0", "_cpu0")
+
+    def __init__(self, profiler: "Profiler", name: str):
+        self._profiler = profiler
+        self._name = name
+
+    def __enter__(self) -> "_Span":
+        self._profiler._push(self._name)
+        self._wall0 = self._profiler._clock.wall()
+        self._cpu0 = self._profiler._clock.cpu()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        clock = self._profiler._clock
+        self._profiler._pop(
+            clock.wall() - self._wall0, clock.cpu() - self._cpu0
+        )
+
+
+class Profiler:
+    """Collects nested span timings keyed by slash-joined phase paths."""
+
+    def __init__(self, clock: Clock = CLOCK):
+        self._clock = clock
+        self._stack: List[str] = []
+        #: insertion-ordered: first-seen order is the natural report order
+        self.stats: Dict[str, SpanStats] = {}
+
+    def span(self, name: str) -> _Span:
+        return _Span(self, name)
+
+    # ------------------------------------------------------------------
+    def _push(self, name: str) -> None:
+        self._stack.append(name)
+
+    def _pop(self, wall: float, cpu: float) -> None:
+        path = "/".join(self._stack)
+        self._stack.pop()
+        entry = self.stats.get(path)
+        if entry is None:
+            entry = self.stats[path] = SpanStats()
+        entry.calls += 1
+        entry.wall += wall
+        entry.cpu += cpu
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    def snapshot(self) -> dict:
+        return {
+            path: {
+                "calls": entry.calls,
+                "wall_seconds": round(entry.wall, 6),
+                "cpu_seconds": round(entry.cpu, 6),
+            }
+            for path, entry in self.stats.items()
+        }
+
+    def rows(self) -> List[Tuple[str, int, float, float]]:
+        """(path, calls, wall, cpu) rows in first-seen order."""
+        return [
+            (path, entry.calls, entry.wall, entry.cpu)
+            for path, entry in self.stats.items()
+        ]

@@ -1,0 +1,89 @@
+"""Structured event tracing: typed JSONL, one event per line.
+
+Every event is a flat JSON object with two reserved fields -- ``event``
+(the type tag) and ``wall`` (seconds since the recorder opened) -- plus
+arbitrary type-specific fields.  The schema is documented in DESIGN.md
+("Observability"); the event types emitted by the pipeline are:
+
+=====================  ====================================================
+``fork``               PC concretisation split (tracker)
+``merge``              conservative-state widening at a merge point
+``prune``              a path stopped because its state was already covered
+``widen``              exploration continued from the conservative state
+``violation``          one policy violation from the completed analysis
+``step``               per-cycle summary from the gate-level runner
+``transform_applied``  one repair rewrite (watchdog bound / store mask)
+``reverify``           a re-analysis round inside the secure-compile loop
+=====================  ====================================================
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.obs.clock import CLOCK, Clock
+
+
+def _jsonable(value):
+    """Last-resort JSON conversion (numpy scalars, arbitrary objects)."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    if isinstance(value, (set, frozenset, tuple)):
+        return sorted(value) if isinstance(value, (set, frozenset)) else list(value)
+    return str(value)
+
+
+class TraceRecorder:
+    """Appends typed events to a JSONL sink (path or file-like object)."""
+
+    def __init__(
+        self,
+        sink: Union[str, Path, io.TextIOBase],
+        clock: Clock = CLOCK,
+    ):
+        if isinstance(sink, (str, Path)):
+            self._file = open(sink, "w", encoding="utf-8")
+            self._owns_file = True
+        else:
+            self._file = sink
+            self._owns_file = False
+        self._clock = clock
+        self._start = clock.wall()
+        self.events_written = 0
+
+    def emit(self, event: str, **fields) -> None:
+        record = {
+            "event": event,
+            "wall": round(self._clock.wall() - self._start, 6),
+        }
+        record.update(fields)
+        self._file.write(json.dumps(record, default=_jsonable) + "\n")
+        self.events_written += 1
+
+    def flush(self) -> None:
+        self._file.flush()
+
+    def close(self) -> None:
+        if self._owns_file and not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "TraceRecorder":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_events(path: Union[str, Path]):
+    """Parse a JSONL trace back into a list of event dicts."""
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

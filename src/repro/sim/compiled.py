@@ -33,6 +33,7 @@ from repro.logic.words import TWord
 from repro.netlist.cells import CONSTANT_CELLS
 from repro.netlist.levelize import levelize
 from repro.netlist.netlist import Netlist
+from repro.obs import get_observer
 
 #: Codes for common states.
 CODE_0 = 0  # value 0, untainted
@@ -98,6 +99,7 @@ class _Group:
     lut: np.ndarray
     inputs: List[np.ndarray]  # arity arrays of net ids
     outputs: np.ndarray
+    cell_type: str = ""
 
 
 class CircuitState:
@@ -133,28 +135,49 @@ class CompiledCircuit:
         self._const_codes_arr = np.array(self._const_codes, dtype=np.uint8)
 
         self._levels: List[List[_Group]] = []
-        for level in levelize(netlist)[1:]:
-            by_type: Dict[str, List] = {}
-            for gate in level:
-                by_type.setdefault(gate.cell_type, []).append(gate)
-            groups = []
-            for cell_type, gates in sorted(by_type.items()):
-                arity = len(gates[0].inputs)
-                inputs = [
-                    np.array(
-                        [g.inputs[position] for g in gates], dtype=np.int64
+        with get_observer().span("levelize"):
+            for level in levelize(netlist)[1:]:
+                by_type: Dict[str, List] = {}
+                for gate in level:
+                    by_type.setdefault(gate.cell_type, []).append(gate)
+                groups = []
+                for cell_type, gates in sorted(by_type.items()):
+                    arity = len(gates[0].inputs)
+                    inputs = [
+                        np.array(
+                            [g.inputs[position] for g in gates],
+                            dtype=np.int64,
+                        )
+                        for position in range(arity)
+                    ]
+                    outputs = np.array(
+                        [g.output for g in gates], dtype=np.int64
                     )
-                    for position in range(arity)
-                ]
-                outputs = np.array([g.output for g in gates], dtype=np.int64)
-                groups.append(
-                    _Group(
-                        _cached_lut(cell_type, taint_mode),
-                        inputs,
-                        outputs,
+                    groups.append(
+                        _Group(
+                            _cached_lut(cell_type, taint_mode),
+                            inputs,
+                            outputs,
+                            cell_type,
+                        )
                     )
+                self._levels.append(groups)
+
+        #: per-cell-type gate totals for one full combinational pass,
+        #: used by the gate-eval counters
+        self._gates_by_type: Dict[str, int] = {}
+        for groups in self._levels:
+            for group in groups:
+                self._gates_by_type[group.cell_type] = (
+                    self._gates_by_type.get(group.cell_type, 0)
+                    + len(group.outputs)
                 )
-            self._levels.append(groups)
+        self._total_gates = sum(self._gates_by_type.values())
+        #: cached per-plan gate totals, keyed by plan identity
+        self._plan_totals: Dict[int, Tuple[Dict[str, int], int]] = {}
+        #: cached (Counter, amount) increment lists keyed by
+        #: (registry id, totals id) -- avoids name lookups per eval pass
+        self._counter_cache: Dict[Tuple[int, int], list] = {}
 
         self._dff_q = np.array([d.q for d in netlist.dffs], dtype=np.int64)
         self._dff_d = np.array([d.d for d in netlist.dffs], dtype=np.int64)
@@ -245,6 +268,44 @@ class CompiledCircuit:
                     index *= 6
                     index += codes[column]
                 codes[group.outputs] = group.lut[index]
+        obs = get_observer()
+        if obs.enabled:
+            self._count_gate_evals(obs, self._gates_by_type,
+                                   self._total_gates)
+
+    def _count_gate_evals(self, obs, by_type: Dict[str, int],
+                          total: int) -> None:
+        metrics = obs.metrics
+        key = (id(metrics), id(by_type))
+        increments = self._counter_cache.get(key)
+        if increments is None:
+            increments = [
+                (metrics.counter("sim.eval_passes"), 1),
+                (metrics.counter("sim.gate_evals"), total),
+            ]
+            increments.extend(
+                (metrics.counter(f"sim.gate_evals.{cell_type}"), count)
+                for cell_type, count in by_type.items()
+            )
+            self._counter_cache[key] = increments
+        for counter, amount in increments:
+            counter.value += amount
+
+    def _totals_of_plan(
+        self, plan: List[List[_Group]]
+    ) -> Tuple[Dict[str, int], int]:
+        key = id(plan)
+        cached = self._plan_totals.get(key)
+        if cached is None:
+            by_type: Dict[str, int] = {}
+            for groups in plan:
+                for group in groups:
+                    by_type[group.cell_type] = (
+                        by_type.get(group.cell_type, 0) + len(group.outputs)
+                    )
+            cached = (by_type, sum(by_type.values()))
+            self._plan_totals[key] = cached
+        return cached
 
     def cone_plan(self, port_names: Sequence[str]) -> List[List[_Group]]:
         """Pre-group only the gates feeding the named output ports.
@@ -293,6 +354,7 @@ class CompiledCircuit:
                             group.lut,
                             [column[keep] for column in group.inputs],
                             group.outputs[keep],
+                            group.cell_type,
                         )
                     )
             if level_plan:
@@ -313,6 +375,10 @@ class CompiledCircuit:
                     index *= 6
                     index += codes[column]
                 codes[group.outputs] = group.lut[index]
+        obs = get_observer()
+        if obs.enabled:
+            by_type, total = self._totals_of_plan(plan)
+            self._count_gate_evals(obs, by_type, total)
 
     def clock_edge(self, state: CircuitState) -> None:
         """Latch every flip-flop: ``Q <= D``."""

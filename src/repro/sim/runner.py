@@ -6,28 +6,48 @@ evaluation harness when it wants ground-truth gate-level runs.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from collections.abc import Mapping
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.isa.encode import EncodeError, decode
 from repro.isa.program import Program
 from repro.logic.ternary import ONE, UNKNOWN, ZERO
 from repro.logic.words import TWord
+from repro.obs import get_observer
 from repro.sim.compiled import CompiledCircuit
 from repro.sim.soc import AddressSpace, CycleEvents, Rom, SoC
 
 #: dbg_phase bit indices (matches the build order in repro.cpu.build).
 PHASE_F, PHASE_SE, PHASE_SL, PHASE_DE, PHASE_DL, PHASE_E, PHASE_J = range(7)
 
+#: Symbolic names of the FSM phases, indexed by the values above.
+PHASE_NAMES = ("F", "SE", "SL", "DE", "DL", "E", "J")
+
+InputSpec = Union[
+    Callable[[str], int], Mapping[str, Union[int, Callable[[], int]]]
+]
+
 
 class GateRunner:
-    """Loads a program into a gate-level SoC and steps it."""
+    """Loads a program into a gate-level SoC and steps it.
+
+    *inputs* drives the GPIO input ports for concrete runs.  It is either
+
+    * a mapping ``{port_name: value_or_callable}`` -- validated eagerly,
+      so an unknown port name fails here with the known names listed,
+      rather than cycles later inside the simulation; or
+    * a callable ``inputs(port_name) -> int`` polled on every port read
+      (kept for stateful drivers); lookup errors it raises are re-raised
+      with the offending port named.
+    """
 
     def __init__(
         self,
         circuit: CompiledCircuit,
         program: Program,
         space: Optional[AddressSpace] = None,
-        inputs: Optional[Callable[[str], int]] = None,
+        inputs: Optional[InputSpec] = None,
+        trace_interval: int = 1,
     ):
         self.program = program
         rom = Rom()
@@ -35,14 +55,51 @@ class GateRunner:
         self.soc = SoC(circuit, rom=rom, space=space)
         program.load_ram(self.soc.space.ram)
         if inputs is not None:
-            for port in self.soc.space.input_ports:
-                port.driver = lambda name=port.name: inputs(name)
+            self._wire_inputs(inputs)
         self._net_ids: Dict[str, int] = {
             name: index
             for index, name in enumerate(circuit.netlist.net_names)
         }
+        self.trace_interval = trace_interval
         self.soc.reset()
         self.events: List[CycleEvents] = []
+
+    def _wire_inputs(self, inputs: InputSpec) -> None:
+        ports = self.soc.space.input_ports
+        known = [port.name for port in ports]
+        if isinstance(inputs, Mapping):
+            unknown = sorted(set(inputs) - set(known))
+            if unknown:
+                raise ValueError(
+                    f"unknown input port name(s) {unknown}; "
+                    f"this SoC has input ports {known}"
+                )
+            for port in ports:
+                if port.name not in inputs:
+                    continue
+                value = inputs[port.name]
+                if callable(value):
+                    port.driver = value
+                else:
+                    port.driver = lambda value=int(value): value
+            return
+        if not callable(inputs):
+            raise TypeError(
+                "inputs must be a mapping {port_name: value} or a "
+                f"callable inputs(port_name) -> int, got {type(inputs)!r}"
+            )
+        for port in ports:
+
+            def driver(name=port.name):
+                try:
+                    return inputs(name)
+                except LookupError as error:
+                    raise ValueError(
+                        f"inputs callback has no value for port "
+                        f"{name!r} (known ports: {known})"
+                    ) from error
+
+            port.driver = driver
 
     # ------------------------------------------------------------------
     # Observation
@@ -99,15 +156,35 @@ class GateRunner:
     def step(self) -> CycleEvents:
         events = self.soc.step()
         self.events.append(events)
+        obs = get_observer()
+        if obs.enabled and obs.trace is not None:
+            cycle = self.soc.cycle
+            if self.trace_interval and cycle % self.trace_interval == 0:
+                self._emit_step(obs, cycle, events)
         return events
+
+    def _emit_step(self, obs, cycle: int, events: CycleEvents) -> None:
+        """One per-cycle summary trace event."""
+        phase = self.phase()
+        obs.emit(
+            "step",
+            cycle=cycle,
+            phase=PHASE_NAMES[phase] if phase >= 0 else "X",
+            pc=events.pc.bits if not events.pc.xmask else None,
+            reset=events.reset[0] == ONE,
+            read=events.read is not None,
+            write=events.write is not None,
+            port_events=len(events.port_events),
+        )
 
     def run(
         self, max_cycles: int = 100_000, stop_at_halt: bool = True
     ) -> int:
         """Step until the idle loop (or *max_cycles*); returns cycles run."""
         start = self.soc.cycle
-        while self.soc.cycle - start < max_cycles:
-            if stop_at_halt and self.at_halt():
-                break
-            self.step()
+        with get_observer().span("gate_run"):
+            while self.soc.cycle - start < max_cycles:
+                if stop_at_halt and self.at_halt():
+                    break
+                self.step()
         return self.soc.cycle - start

@@ -42,6 +42,7 @@ import numpy as np
 from repro import memmap
 from repro.logic.ternary import ONE, UNKNOWN, ZERO
 from repro.logic.words import TWord
+from repro.obs import get_observer
 from repro.sim.compiled import CircuitState, CompiledCircuit
 from repro.sim.memory import TaintedMemory
 from repro.sim.peripherals import AuxTimer, InputPort, OutputPort, PortEvent
@@ -417,6 +418,9 @@ class SoC:
 
         circuit.clock_edge(state)
         self.cycle += 1
+        obs = get_observer()
+        if obs.enabled:
+            obs.metrics.counter("sim.cycles").inc()
         return events
 
     # ------------------------------------------------------------------

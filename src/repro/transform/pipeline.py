@@ -17,6 +17,7 @@ from typing import Dict, List, Optional
 from repro.core.labels import SecurityPolicy, default_policy
 from repro.core.tracker import AnalysisResult, TaintTracker
 from repro.isa.assembler import assemble
+from repro.obs import get_observer
 from repro.isa.program import Program
 from repro.transform.masking import insert_masks
 from repro.transform.report import render_diagnostics
@@ -69,6 +70,7 @@ def secure_compile(
     task_cycles: Optional[Dict[str, int]] = None,
     max_iterations: int = 5,
     max_slices: int = 1,
+    obs=None,
     **tracker_kwargs,
 ) -> SecureCompileResult:
     """Repair *source* until the analysis proves it secure.
@@ -78,9 +80,13 @@ def secure_compile(
     *max_slices* defaults to 1 -- a bare task restarted by the watchdog
     must finish within one slice; pass higher values only for tasks whose
     scheduler checkpoints context across slices (Section 7.3).
+    *obs* is an :class:`repro.obs.Observer`; repairs emit
+    ``transform_applied`` events and each re-analysis round a
+    ``reverify`` event, with the rewrite time under the ``repair`` span.
     """
     if policy is None:
         policy = default_policy()
+    obs = obs if obs is not None else get_observer()
     fixes: List[str] = []
     bounded: List[str] = []
     plans: Dict[str, SlicePlan] = {}
@@ -88,7 +94,7 @@ def secure_compile(
 
     current_source = source
     program = assemble(current_source, name=name)
-    result = TaintTracker(program, policy, **tracker_kwargs).run()
+    result = TaintTracker(program, policy, obs=obs, **tracker_kwargs).run()
 
     for iteration in range(1, max_iterations + 1):
         if result.secure:
@@ -119,51 +125,79 @@ def secure_compile(
             new_tasks = [
                 t for t in causes.tasks_to_bound if t not in plans
             ]
-            for task in new_tasks:
-                cycles = (
-                    task_cycles.get(task)
-                    if task_cycles and task in task_cycles
-                    else estimate_task_cycles(program, task)
-                )
-                # Headroom for the masking instructions a later repair
-                # round may add (the slice must still fit the whole task).
-                cycles = int(cycles * 1.25) + 32
-                plans[task] = choose_slicing(cycles, max_slices=max_slices)
-                bounded.append(task)
-                fixes.append(
-                    f"task {task!r}: control flow depends on tainted "
-                    "input; bounded with the watchdog timer "
-                    f"({plans[task].slices} x {plans[task].interval} "
-                    "cycles)"
-                )
+            with obs.span("repair"):
+                for task in new_tasks:
+                    cycles = (
+                        task_cycles.get(task)
+                        if task_cycles and task in task_cycles
+                        else estimate_task_cycles(program, task)
+                    )
+                    # Headroom for the masking instructions a later repair
+                    # round may add (the slice must still fit the whole
+                    # task).
+                    cycles = int(cycles * 1.25) + 32
+                    plans[task] = choose_slicing(
+                        cycles, max_slices=max_slices
+                    )
+                    bounded.append(task)
+                    fixes.append(
+                        f"task {task!r}: control flow depends on tainted "
+                        "input; bounded with the watchdog timer "
+                        f"({plans[task].slices} x {plans[task].interval} "
+                        "cycles)"
+                    )
+                    obs.emit(
+                        "transform_applied",
+                        kind="watchdog",
+                        task=task,
+                        slices=plans[task].slices,
+                        interval=plans[task].interval,
+                        iteration=iteration,
+                    )
+                if new_tasks:
+                    current_source = insert_watchdog_protection(
+                        current_source,
+                        program,
+                        {t: plans[t] for t in new_tasks},
+                    )
+                    # Figure 11: re-analyse before mask insertion -- the
+                    # rewrite moved instruction addresses.
+                    program = assemble(current_source, name=name)
             if new_tasks:
-                current_source = insert_watchdog_protection(
-                    current_source,
-                    program,
-                    {t: plans[t] for t in new_tasks},
-                )
-                # Figure 11: re-analyse before mask insertion -- the
-                # rewrite moved instruction addresses.
-                program = assemble(current_source, name=name)
-                result = TaintTracker(program, policy, **tracker_kwargs).run()
+                obs.emit("reverify", iteration=iteration, after="watchdog")
+                result = TaintTracker(
+                    program, policy, obs=obs, **tracker_kwargs
+                ).run()
                 continue
 
         if causes.needs_masking:
-            for address in causes.stores_to_mask:
-                line = program.line_at(address)
-                where = (
-                    f"line {line.line_no}" if line else f"0x{address:04x}"
+            with obs.span("repair"):
+                for address in causes.stores_to_mask:
+                    line = program.line_at(address)
+                    where = (
+                        f"line {line.line_no}"
+                        if line
+                        else f"0x{address:04x}"
+                    )
+                    fixes.append(
+                        f"{where}: store may escape the tainted "
+                        "partition; memory-bounds mask inserted"
+                    )
+                    obs.emit(
+                        "transform_applied",
+                        kind="mask",
+                        address=f"0x{address:04x}",
+                        iteration=iteration,
+                    )
+                current_source = insert_masks(
+                    current_source, program, causes.stores_to_mask, policy
                 )
-                fixes.append(
-                    f"{where}: store may escape the tainted partition; "
-                    "memory-bounds mask inserted"
-                )
-            current_source = insert_masks(
-                current_source, program, causes.stores_to_mask, policy
-            )
-            masked += len(causes.stores_to_mask)
-            program = assemble(current_source, name=name)
-            result = TaintTracker(program, policy, **tracker_kwargs).run()
+                masked += len(causes.stores_to_mask)
+                program = assemble(current_source, name=name)
+            obs.emit("reverify", iteration=iteration, after="mask")
+            result = TaintTracker(
+                program, policy, obs=obs, **tracker_kwargs
+            ).run()
             continue
 
     raise FundamentalViolation(

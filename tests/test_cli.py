@@ -1,8 +1,11 @@
 """CLI front-end tests."""
 
+import json
+
 import pytest
 
 from repro.cli import main
+from repro.obs import read_events
 
 CLEAN = """
 .task sys trusted
@@ -78,6 +81,34 @@ class TestAnalyze:
         with pytest.raises(SystemExit):
             main(["analyze", source_file(CLEAN), "--policy", "bogus"])
 
+    def test_json_output(self, source_file, capsys):
+        code = main(["analyze", source_file(VULNERABLE), "--json"])
+        assert code == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["secure"] is False
+        assert document["violations"]
+        assert document["violations"][0]["address"].startswith("0x")
+        assert document["tree"]["nodes"] >= 1
+        assert "stats" in document
+
+    def test_trace_and_metrics_files(self, source_file, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        code = main(
+            [
+                "analyze",
+                source_file(VULNERABLE),
+                "--trace", str(trace),
+                "--metrics", str(metrics),
+            ]
+        )
+        assert code == 1
+        events = read_events(trace)
+        assert any(e["event"] == "violation" for e in events)
+        snapshot = json.loads(metrics.read_text())
+        assert snapshot["metrics"]["counters"]["tracker.instructions"] > 0
+        assert snapshot["profile"]["explore"]["calls"] == 1
+
 
 class TestRepair:
     def test_repairs_and_writes_output(self, source_file, tmp_path, capsys):
@@ -114,3 +145,46 @@ class TestRunDisasmStats:
         code = main(["stats"])
         assert code == 0
         assert "flip-flops" in capsys.readouterr().out
+
+    def test_stats_json(self, capsys):
+        code = main(["stats", "--json"])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["num_dffs"] > 0
+        assert document["cells"]
+
+
+class TestProfile:
+    def test_profile_source_file(self, source_file, capsys):
+        code = main(
+            ["profile", source_file(VULNERABLE), "--no-repair"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for phase in ("levelize", "explore", "check", "repair"):
+            assert phase in out
+        assert "sim.gate_evals" in out
+        assert "tree.nodes" in out
+        assert "INSECURE" in out
+
+    def test_profile_json(self, source_file, capsys):
+        code = main(
+            ["profile", source_file(CLEAN), "--json"]
+        )
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["secure"] is True
+        assert document["metrics"]["counters"]["sim.gate_evals"] > 0
+        assert "levelize" in document["profile"]
+        assert "explore" in document["profile"]
+
+    def test_profile_unknown_workload(self):
+        with pytest.raises(SystemExit, match="not a file"):
+            main(["profile", "no_such_benchmark"])
+
+    def test_profile_registry_name_case_insensitive(self):
+        from repro.cli import _resolve_workload
+
+        source, name = _resolve_workload("intavg")
+        assert name == "intAVG"
+        assert source.strip()
