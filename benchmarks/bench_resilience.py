@@ -1,0 +1,94 @@
+"""Resilience-layer overhead on the un-degraded hot path.
+
+The budget checks and checkpoint-cadence test run on every worklist pop
+and instruction fetch; an armed-but-unexhausted budget plus a
+never-due checkpointer must cost < 5% over the unbudgeted analysis.
+Emits ``BENCH_resilience.json``.
+"""
+
+import time
+
+import pytest
+
+from repro.core import TaintTracker, default_policy
+from repro.cpu import compiled_cpu
+from repro.isa.assembler import assemble
+from repro.resilience import AnalysisBudget, Checkpointer
+from repro.workloads.registry import BENCHMARKS
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return compiled_cpu()
+
+
+def _timed(func):
+    start = time.perf_counter()
+    result = func()
+    return result, time.perf_counter() - start
+
+
+def test_budget_and_checkpoint_overhead(circuit, tmp_path, bench_json):
+    """Armed budgets + cadence checks on a real Table 1 analysis."""
+    program = assemble(BENCHMARKS["intAVG"].service_source, name="intavg")
+    policy = default_policy()
+    rounds = 5
+
+    def run_plain():
+        return TaintTracker(program, policy, circuit=circuit).run()
+
+    def run_armed():
+        # Every axis armed but far from exhaustion, plus a checkpointer
+        # whose cadence never comes due: the zero-degradation hot path.
+        budget = AnalysisBudget(
+            max_paths=10**6,
+            max_cycles=10**9,
+            max_merged_states=10**6,
+            deadline_seconds=3600.0,
+            max_rss_mb=1 << 20,
+        )
+        checkpointer = Checkpointer(
+            tmp_path / "never.ckpt", every_paths=10**6
+        )
+        return TaintTracker(
+            program,
+            policy,
+            circuit=circuit,
+            budget=budget,
+            checkpointer=checkpointer,
+        ).run()
+
+    baseline = run_plain()  # warm every lazy cache before timing
+
+    # Interleave the variants so clock drift biases neither side.
+    plain_times, armed_times = [], []
+    for _ in range(rounds):
+        plain_times.append(_timed(run_plain)[1])
+        armed_result, seconds = _timed(run_armed)
+        armed_times.append(seconds)
+    plain = min(plain_times)
+    armed = min(armed_times)
+    overhead = armed / plain
+
+    # The armed run must not have degraded anything.
+    assert armed_result.verdict == baseline.verdict
+    assert not armed_result.exhausted
+    assert armed_result.stats.drained_paths == 0
+    assert not (tmp_path / "never.ckpt").exists()
+
+    bench_json(
+        "resilience",
+        {
+            "workload": "intAVG",
+            "verdict": armed_result.verdict,
+            "paths": armed_result.stats.paths,
+            "plain_seconds": plain,
+            "armed_seconds": armed,
+            "overhead_ratio": overhead,
+            "rounds": rounds,
+        },
+    )
+    assert overhead < 1.05, (
+        f"budget/checkpoint overhead {overhead:.3f}x exceeds the 5% "
+        f"target (plain {plain:.3f}s, armed {armed:.3f}s)"
+    )

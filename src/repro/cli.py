@@ -4,27 +4,44 @@ Mirrors how the paper's tool is used: point it at an application source,
 get the verdict, the diagnostics and (optionally) the repaired binary.
 
     python -m repro.cli analyze  app.s43 [--json] [--trace t.jsonl]
+    python -m repro.cli analyze  app.s43 --deadline 3600 \\
+        --checkpoint run.ckpt --checkpoint-every 16   # resumable
+    python -m repro.cli analyze  app.s43 --resume run.ckpt
     python -m repro.cli repair   app.s43 -o app_secure.s43
     python -m repro.cli run      app.s43 --max-cycles 20000
     python -m repro.cli disasm   app.s43
     python -m repro.cli stats    [--json]
     python -m repro.cli profile  intavg   # per-phase time/counter table
+
+Exit codes (see ``repro.resilience.errors`` and DESIGN.md): 0 secure,
+1 insecure, 2 fundamental violation, 3 inconclusive (budget exhausted),
+4 input error, 5 checkpoint error, 6 analysis error, 130 interrupted.
 """
 
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
-from contextlib import nullcontext
+from contextlib import contextmanager, nullcontext
 from pathlib import Path
 
 from repro.core import TaintTracker, default_policy, secret_policy
 from repro.cpu import cpu_stats
 from repro.eval.formatting import format_json, format_table, to_jsonable
-from repro.isa.assembler import assemble
+from repro.isa.assembler import AssemblyError, assemble
 from repro.isa.disasm import disassemble_program
 from repro.isasim.executor import run_concrete
 from repro.obs import Observer, TraceRecorder, observe
+from repro.resilience import (
+    AnalysisBudget,
+    AnalysisInterrupted,
+    Checkpointer,
+    InputError,
+    ReproError,
+    VERDICT_EXIT_CODES,
+    read_checkpoint,
+)
 from repro.transform import FundamentalViolation, secure_compile
 
 #: Canonical pipeline phases, in reporting order (the profile table always
@@ -41,9 +58,54 @@ def _policy(name: str):
 
 
 def _load(path: str) -> tuple:
-    source = Path(path).read_text()
+    try:
+        source = Path(path).read_text()
+    except OSError as error:
+        raise InputError(
+            f"cannot read source file {path!r}: {error}", path=path
+        ) from error
     name = Path(path).stem
-    return source, assemble(source, name=name), name
+    try:
+        return source, assemble(source, name=name), name
+    except AssemblyError as error:
+        raise InputError(
+            f"cannot assemble {path!r}: {error}", path=path
+        ) from error
+
+
+def _budget_from(args) -> AnalysisBudget:
+    """An :class:`AnalysisBudget` assembled from the resource flags."""
+    return AnalysisBudget(
+        max_paths=getattr(args, "max_paths", None) or 4_096,
+        deadline_seconds=getattr(args, "deadline", None),
+        max_merged_states=getattr(args, "max_merged_states", None),
+        max_rss_mb=getattr(args, "max_rss_mb", None),
+    )
+
+
+@contextmanager
+def _graceful_interrupts(tracker):
+    """Route SIGINT/SIGTERM to a cooperative tracker interrupt.
+
+    The handler only sets a flag (signal-safe); the tracker notices it at
+    the next fetch boundary, writes a checkpoint when one is configured,
+    and raises :class:`AnalysisInterrupted` instead of dying mid-cycle.
+    """
+
+    def handler(signum, frame):
+        tracker.request_interrupt(signal.Signals(signum).name)
+
+    previous = {}
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[sig] = signal.signal(sig, handler)
+        except ValueError:
+            pass  # not the main thread (e.g. test runners)
+    try:
+        yield
+    finally:
+        for sig, old in previous.items():
+            signal.signal(sig, old)
 
 
 def _trace_for(args) -> TraceRecorder | None:
@@ -87,6 +149,9 @@ def _analysis_document(result) -> dict:
             "kind": result.policy.kind,
         },
         "secure": result.secure,
+        "verdict": result.verdict,
+        "degraded": result.degraded,
+        "exhausted_budgets": list(result.exhausted),
         "violated_conditions": sorted(result.violated_conditions()),
         "violations": [
             {
@@ -109,13 +174,41 @@ def _analysis_document(result) -> dict:
 def cmd_analyze(args) -> int:
     _, program, _ = _load(args.source)
     observer = _observer_for(args)
-    with observe(observer) if observer else nullcontext():
-        result = TaintTracker(
-            program,
-            policy=_policy(args.policy),
-            max_cycles=args.max_cycles,
-        ).run()
-    _finish_observer(observer, args)
+
+    checkpointer = None
+    if args.checkpoint:
+        checkpointer = Checkpointer(
+            args.checkpoint, every_paths=args.checkpoint_every
+        )
+    tracker = TaintTracker(
+        program,
+        policy=_policy(args.policy),
+        max_cycles=args.max_cycles,
+        budget=_budget_from(args),
+        checkpointer=checkpointer,
+        obs=observer,
+    )
+    if args.resume:
+        payload = read_checkpoint(
+            args.resume, expected_digest=tracker.config_digest()
+        )
+        tracker.restore_checkpoint(payload)
+        print(
+            f"resumed from {args.resume} "
+            f"({tracker.stats.paths} path(s) already explored)",
+            file=sys.stderr,
+        )
+
+    interrupts = (
+        _graceful_interrupts(tracker)
+        if (args.checkpoint or args.resume)
+        else nullcontext()
+    )
+    try:
+        with interrupts, observe(observer) if observer else nullcontext():
+            result = tracker.run()
+    finally:
+        _finish_observer(observer, args)
     if args.json:
         print(format_json(_analysis_document(result)))
     else:
@@ -123,7 +216,7 @@ def cmd_analyze(args) -> int:
         if args.tree:
             print()
             print(result.tree.render())
-    return 0 if result.secure else 1
+    return VERDICT_EXIT_CODES[result.verdict]
 
 
 def cmd_repair(args) -> int:
@@ -143,7 +236,14 @@ def cmd_repair(args) -> int:
     if args.output:
         Path(args.output).write_text(repaired.source)
         print(f"repaired source written to {args.output}")
-    return 0
+    if repaired.partial:
+        print(
+            "repair incomplete: an analysis budget was exhausted before "
+            "the result could be verified",
+            file=sys.stderr,
+        )
+        return VERDICT_EXIT_CODES["inconclusive"]
+    return VERDICT_EXIT_CODES[repaired.verdict]
 
 
 def cmd_run(args) -> int:
@@ -220,6 +320,7 @@ def cmd_profile(args) -> int:
     program = assemble(source, name=name)
     policy = _policy(args.policy)
     observer = Observer(trace=_trace_for(args))
+    budget = _budget_from(args)
 
     repaired = None
     repair_error = None
@@ -237,14 +338,16 @@ def cmd_profile(args) -> int:
             policy=policy,
             circuit=circuit,
             max_cycles=args.max_cycles,
+            budget=budget,
         ).run()
-        if not result.secure and not args.no_repair:
+        if result.verdict == "insecure" and not args.no_repair:
             try:
                 repaired = secure_compile(
                     source,
                     name=name,
                     policy=policy,
                     max_cycles=args.max_cycles,
+                    budget=budget,
                 )
             except FundamentalViolation as error:
                 repair_error = str(error.diagnostics)
@@ -267,6 +370,7 @@ def cmd_profile(args) -> int:
                     "workload": name,
                     "policy": policy.name,
                     "secure": result.secure,
+                    "verdict": result.verdict,
                     "repaired": repaired is not None and repaired.secure,
                     "repair_error": repair_error,
                     "analysis": _analysis_document(result),
@@ -328,8 +432,9 @@ def cmd_profile(args) -> int:
             f"over {density['count']} sampled instructions"
         )
     print()
-    verdict = "SECURE" if result.secure else "INSECURE"
-    line = f"analysis verdict: {verdict}"
+    line = f"analysis verdict: {result.verdict.upper()}"
+    if result.exhausted:
+        line += f" (budget exhausted: {', '.join(result.exhausted)})"
     if repaired is not None:
         line += (
             "; repaired to SECURE"
@@ -375,6 +480,35 @@ def build_parser() -> argparse.ArgumentParser:
             help="write the metrics+profile snapshot as JSON here",
         )
 
+    def budget_flags(p):
+        p.add_argument(
+            "--deadline",
+            type=float,
+            metavar="SECONDS",
+            help="wall-clock budget; on expiry unexplored paths are "
+            "widened to the fully-tainted state and the verdict "
+            "becomes inconclusive instead of secure",
+        )
+        p.add_argument(
+            "--max-paths",
+            type=int,
+            metavar="N",
+            help="path budget (default 4096); exhaustion degrades "
+            "soundly to an inconclusive verdict",
+        )
+        p.add_argument(
+            "--max-merged-states",
+            type=int,
+            metavar="N",
+            help="cap on retained merged branch states",
+        )
+        p.add_argument(
+            "--max-rss-mb",
+            type=int,
+            metavar="MB",
+            help="resident-set ceiling for the analysis process",
+        )
+
     p = sub.add_parser("analyze", help="run the gate-level analysis")
     common(p)
     p.add_argument(
@@ -384,6 +518,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="machine-readable verdict/violations/stats output",
+    )
+    budget_flags(p)
+    p.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help="write analysis checkpoints here (on SIGINT/SIGTERM, and "
+        "every --checkpoint-every explored paths)",
+    )
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also checkpoint every N explored paths (0 = only on "
+        "interrupt)",
+    )
+    p.add_argument(
+        "--resume",
+        metavar="PATH",
+        help="resume the analysis from a checkpoint written by "
+        "--checkpoint (validated against the program digest)",
     )
     obs_flags(p)
     p.set_defaults(func=cmd_analyze)
@@ -438,6 +593,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the full metrics/profile document as JSON",
     )
+    budget_flags(p)
     obs_flags(p)
     p.set_defaults(func=cmd_profile)
     return parser
@@ -446,7 +602,26 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except AnalysisInterrupted as error:
+        if getattr(args, "json", False):
+            print(format_json({"error": error.to_document()}))
+        else:
+            print(error.render(), file=sys.stderr)
+            if error.checkpoint_path:
+                print(
+                    f"resume with: repro analyze {args.source} "
+                    f"--resume {error.checkpoint_path}",
+                    file=sys.stderr,
+                )
+        return error.exit_code
+    except ReproError as error:
+        if getattr(args, "json", False):
+            print(format_json({"error": error.to_document()}))
+        else:
+            print(error.render(), file=sys.stderr)
+        return error.exit_code
 
 
 if __name__ == "__main__":

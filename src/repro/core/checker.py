@@ -332,6 +332,20 @@ class PolicyChecker:
                     )
 
     # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Serializable streaming state (for analysis checkpoints)."""
+        return {
+            "violations": dict(self._violations),
+            "watchdog_flagged": self._watchdog_flagged,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._violations = dict(state["violations"])
+        self._watchdog_flagged = state["watchdog_flagged"]
+
+    # ------------------------------------------------------------------
     def violations(self) -> List[Violation]:
         return sorted(
             self._violations.values(), key=lambda v: (v.condition, v.address)

@@ -31,14 +31,25 @@ from repro.cpu import compiled_cpu
 from repro.isa.encode import DecodedInstruction, EncodeError, decode
 from repro.isa.program import Program
 from repro.logic.ternary import ONE, UNKNOWN, ZERO
-from repro.logic.words import TWord
+from repro.logic.words import EnumerationLimitError, TWord
+from repro.resilience.budget import AnalysisBudget
+from repro.resilience.errors import (
+    AnalysisError,
+    AnalysisInterrupted,
+    ForkError,
+    ReproError,
+    SimulationError,
+)
+from repro.resilience.faults import get_injector
 from repro.sim.compiled import CompiledCircuit
-from repro.sim.runner import PHASE_E, PHASE_J, GateRunner
+from repro.sim.runner import PHASE_E, PHASE_F, PHASE_J, GateRunner
 from repro.sim.soc import AddressSpace, SoCState
 
 
-class TrackerError(Exception):
+class TrackerError(AnalysisError):
     """Raised when exploration cannot proceed soundly."""
+
+    code = "TRACKER"
 
 
 # ---------------------------------------------------------------------------
@@ -85,6 +96,9 @@ class AnalysisStats:
     #: paths closed at an untainted-but-unbounded computed jump; non-zero
     #: means the exploration under-approximates and needs heuristics
     incomplete_paths: int = 0
+    #: worklist entries never explored because a budget was exhausted;
+    #: each was widened to the fully-tainted top state (sound degradation)
+    drained_paths: int = 0
 
 
 @dataclass
@@ -97,14 +111,42 @@ class AnalysisResult:
     violations: List[Violation]
     tree: ExecutionTree
     stats: AnalysisStats
+    #: budget axes whose exhaustion cut the exploration short (empty for
+    #: a complete run); see :class:`repro.resilience.AnalysisBudget`
+    exhausted: List[str] = field(default_factory=list)
+
+    @property
+    def verdict(self) -> str:
+        """``secure`` | ``insecure`` | ``inconclusive``.
+
+        *insecure* -- definite (non-advisory) violations exist; cutting
+        exploration short only ever *adds* violations, so these stand.
+        *secure* -- exploration completed with no definite violation.
+        *inconclusive* -- no violation found, but unexplored work was
+        widened away (budget exhaustion) or the exploration was
+        incomplete, so security was not proven.
+        """
+        if [v for v in self.violations if not v.advisory]:
+            return "insecure"
+        if (
+            self.exhausted
+            or self.stats.drained_paths
+            or self.stats.incomplete_paths
+        ):
+            return "inconclusive"
+        return "secure"
+
+    @property
+    def degraded(self) -> bool:
+        """True when a budget cut the exploration short (worklist items
+        were widened to the fully-tainted top state)."""
+        return bool(self.exhausted or self.stats.drained_paths)
 
     @property
     def secure(self) -> bool:
         """True when no *non-advisory* violation exists (and exploration
         was complete): the non-interference property holds."""
-        if self.stats.incomplete_paths:
-            return False
-        return not [v for v in self.violations if not v.advisory]
+        return self.verdict == "secure"
 
     def violated_conditions(self, include_advisory: bool = False) -> Set[int]:
         relevant = [
@@ -144,15 +186,44 @@ class AnalysisResult:
             f"cycles={self.stats.cycles_simulated} "
             f"wall={self.stats.wall_seconds:.2f}s",
         ]
-        if self.secure:
+        verdict = self.verdict
+        if verdict == "secure":
             lines.append(
                 "  SECURE: no possible information-flow violations"
             )
+        elif verdict == "inconclusive":
+            lines.append(
+                "  INCONCLUSIVE: security not proven"
+            )
+            if self.exhausted:
+                lines.append(
+                    "  budget(s) exhausted: "
+                    + ", ".join(sorted(self.exhausted))
+                )
+            if self.stats.drained_paths:
+                lines.append(
+                    f"  {self.stats.drained_paths} unexplored path(s) "
+                    "widened to the fully-tainted X state"
+                )
+            if self.stats.incomplete_paths:
+                lines.append(
+                    f"  exploration incomplete: "
+                    f"{self.stats.incomplete_paths} path(s) ended at an "
+                    "unbounded computed control transfer"
+                )
+            for violation in self.violations:
+                lines.append("  " + violation.render())
         else:
             lines.append(
                 f"  INSECURE: conditions violated: "
                 f"{sorted(self.violated_conditions())}"
             )
+            if self.exhausted:
+                lines.append(
+                    "  budget(s) exhausted: "
+                    + ", ".join(sorted(self.exhausted))
+                    + " (violations above are definite; more may exist)"
+                )
             if self.stats.incomplete_paths:
                 lines.append(
                     f"  exploration incomplete: "
@@ -168,6 +239,9 @@ class AnalysisResult:
 class _WorkItem:
     snapshot: SoCState
     node_id: int
+    #: False for an item requeued mid-path (interrupt/budget pause), so
+    #: the resumed continuation does not double-count as a new path
+    counted: bool = True
 
 
 @dataclass
@@ -227,6 +301,8 @@ class TaintTracker:
         fork_limit: int = 64,
         exact_branch_visits: int = 512,
         obs=None,
+        budget: Optional[AnalysisBudget] = None,
+        checkpointer=None,
     ):
         self.program = program
         #: observability sink; defaults to the process-wide current
@@ -236,6 +312,16 @@ class TaintTracker:
         self.circuit = circuit if circuit is not None else compiled_cpu()
         self.max_cycles = max_cycles
         self.max_paths = max_paths
+        #: resource ceilings with sound degradation; the legacy
+        #: *max_paths* argument becomes the default budget's path cap
+        self.budget = (
+            budget
+            if budget is not None
+            else AnalysisBudget(max_paths=max_paths)
+        )
+        #: optional :class:`repro.resilience.Checkpointer` for periodic
+        #: and on-interrupt state saves
+        self.checkpointer = checkpointer
         self.fork_limit = fork_limit
         #: how many times a concrete PC-changing instruction is revisited
         #: *exactly* before switching to Algorithm 1's continue-from-the-
@@ -249,7 +335,16 @@ class TaintTracker:
             tainted_input_ports=tuple(self.policy.tainted_input_ports),
             tainted_output_ports=tuple(self.policy.tainted_output_ports),
         )
-        self.runner = GateRunner(self.circuit, program, space=space)
+        try:
+            self.runner = GateRunner(self.circuit, program, space=space)
+        except ReproError:
+            raise
+        except Exception as error:
+            # The substrate can fail during the power-on reset too (e.g.
+            # an injected gate-eval fault); keep the typed-error contract.
+            raise SimulationError(
+                f"gate-level substrate failed during reset: {error}"
+            ) from error
         if self.policy.taint_code_words:
             untrusted = {t.name for t in program.untrusted_tasks()}
             program.load_rom_tainted(self.runner.soc.rom, untrusted)
@@ -262,6 +357,11 @@ class TaintTracker:
         self._table: Dict[object, SoCState] = {}
         self._merged_states = 0
         self._scratch_space = AddressSpace()
+        #: unexplored work; None until run() (or a resume) seeds it, so
+        #: a resumed tracker does not re-create the root node
+        self._worklist: Optional[List[_WorkItem]] = None
+        self._interrupt_reason: Optional[str] = None
+        self._exhausted: List[str] = []
 
     # ------------------------------------------------------------------
     # Snapshot lattice (via a scratch AddressSpace for peripheral state)
@@ -371,6 +471,11 @@ class TaintTracker:
     # Shadow decode
     # ------------------------------------------------------------------
     def _decode_at(self, address: int) -> Optional[DecodedInstruction]:
+        injector = get_injector()
+        if injector is not None and injector.on_decode(
+            address, self.runner.soc.cycle
+        ):
+            return None  # injected decode failure: path ends "illegal"
         try:
             return decode(self.program.slice_from(address), address)
         except EncodeError:
@@ -386,27 +491,66 @@ class TaintTracker:
     # Main loop
     # ------------------------------------------------------------------
     def run(self) -> AnalysisResult:
+        """Explore to completion, budget exhaustion, or interrupt.
+
+        On budget exhaustion the remaining worklist is *drained*: every
+        unexplored snapshot is widened to the fully-tainted top state and
+        the result's verdict degrades to ``inconclusive`` (or stays
+        ``insecure`` when definite violations were already found) -- the
+        run never discards its work by raising.  On a cooperative
+        interrupt (:meth:`request_interrupt`) the state is checkpointed
+        (when a checkpointer is attached) and a typed
+        :class:`AnalysisInterrupted` is raised; the tracker itself stays
+        resumable, in-process via a second :meth:`run` call or across
+        processes via :meth:`restore_checkpoint`.
+        """
         obs = self.obs
         start_time = CLOCK.wall()
         soc = self.runner.soc
-        root = self.tree.new_node(None, 0, soc.cycle)
-        worklist: List[_WorkItem] = [
-            _WorkItem(soc.snapshot(), root.node_id)
-        ]
+        if self._worklist is None:
+            root = self.tree.new_node(None, 0, soc.cycle)
+            self._worklist = [_WorkItem(soc.snapshot(), root.node_id)]
+        worklist = self._worklist
+        budget = self.budget
+        budget.start()
+        self._exhausted = []
 
-        with obs.span("explore"):
-            while worklist:
-                if self.stats.paths >= self.max_paths:
-                    raise TrackerError(
-                        f"exceeded {self.max_paths} paths; the program's "
-                        "control structure needs heuristics (Section 8)"
+        try:
+            with obs.span("explore"):
+                while worklist:
+                    if self._interrupt_reason is not None:
+                        self._handle_interrupt()
+                    reasons = budget.exhausted_reasons(
+                        self.stats, self._merged_states
                     )
-                item = worklist.pop()
-                soc.restore(item.snapshot)
-                self.stats.paths += 1
-                self._explore_path(item.node_id, worklist)
+                    if reasons:
+                        self._drain(worklist, reasons)
+                        break
+                    if (
+                        self.checkpointer is not None
+                        and self.checkpointer.due(self.stats.paths)
+                    ):
+                        self.checkpointer.save(self)
+                    item = worklist.pop()
+                    soc.restore(item.snapshot)
+                    if item.counted:
+                        self.stats.paths += 1
+                    try:
+                        self._explore_path(item.node_id, worklist)
+                    except ReproError:
+                        raise
+                    except Exception as error:
+                        raise SimulationError(
+                            "gate-level exploration failed at cycle "
+                            f"{soc.cycle} (path {self.stats.paths}): "
+                            f"{error}",
+                            cycle=soc.cycle,
+                            paths=self.stats.paths,
+                            node=item.node_id,
+                        ) from error
+        finally:
+            self.stats.wall_seconds += CLOCK.wall() - start_time
 
-        self.stats.wall_seconds = CLOCK.wall() - start_time
         with obs.span("check"):
             violations = self.checker.violations()
         self._publish(obs, violations)
@@ -416,7 +560,162 @@ class TaintTracker:
             violations=violations,
             tree=self.tree,
             stats=self.stats,
+            exhausted=list(self._exhausted),
         )
+
+    # ------------------------------------------------------------------
+    # Resilience: interrupts, degradation, checkpoint/resume
+    # ------------------------------------------------------------------
+    def request_interrupt(self, reason: str = "interrupt") -> None:
+        """Ask the exploration to stop at the next safe boundary (a
+        worklist pop or an instruction fetch).  Signal-handler safe: it
+        only sets a flag."""
+        self._interrupt_reason = reason
+
+    def _handle_interrupt(self) -> None:
+        reason = self._interrupt_reason or "interrupt"
+        self._interrupt_reason = None
+        path = None
+        if self.checkpointer is not None:
+            path = str(self.checkpointer.save(self, reason=reason))
+        if self.obs.enabled:
+            self.obs.emit(
+                "interrupted",
+                reason=reason,
+                checkpoint=path,
+                paths=self.stats.paths,
+                cycles=self.stats.cycles_simulated,
+            )
+        message = (
+            f"analysis interrupted ({reason}) after "
+            f"{self.stats.paths} path(s) / "
+            f"{self.stats.cycles_simulated} cycles"
+        )
+        if path is not None:
+            message += f"; checkpoint saved to {path}"
+        raise AnalysisInterrupted(
+            message,
+            reason=reason,
+            checkpoint=path,
+            paths=self.stats.paths,
+            cycles=self.stats.cycles_simulated,
+        )
+
+    def _widen_to_top(self, snapshot: SoCState) -> SoCState:
+        """The fully-tainted top state at *snapshot*'s position: every
+        DFF and RAM word becomes tainted-``X``.  Any continuation of the
+        real state is covered by this, which is what makes draining
+        unexplored work sound (over-taint only adds violations)."""
+        bits, xmask, tmask, wdt, timer, outputs = snapshot.space_state
+        return SoCState(
+            dff_codes=np.full_like(snapshot.dff_codes, 5),
+            space_state=(
+                np.zeros_like(bits),
+                np.full_like(xmask, 0xFFFF),
+                np.full_like(tmask, 0xFFFF),
+                wdt,
+                timer,
+                outputs,
+            ),
+            pending_por=(UNKNOWN, 1),
+            cycle=snapshot.cycle,
+        )
+
+    def _drain(self, worklist: List[_WorkItem], reasons: List[str]) -> None:
+        """Sound degradation: widen every unexplored worklist entry to
+        the top state, record it in the merge table, and mark the
+        analysis as budget-exhausted (verdict becomes inconclusive)."""
+        obs = self.obs
+        entry = self._entry("DRAINED")
+        for item in worklist:
+            widened = self._widen_to_top(item.snapshot)
+            if entry.merged is None:
+                entry.merged = widened
+                self._note_merged_state()
+            else:
+                entry.merged = self._merge(entry.merged, widened)
+            entry.widened = True
+            node = self.tree.nodes[item.node_id]
+            node.end_reason = "drained"
+            node.end_cycle = item.snapshot.cycle
+            self.stats.drained_paths += 1
+            if obs.enabled:
+                obs.emit(
+                    "degraded",
+                    node=item.node_id,
+                    cycle=item.snapshot.cycle,
+                    reasons=list(reasons),
+                )
+        worklist.clear()
+        self._exhausted = list(reasons)
+        if obs.enabled:
+            obs.emit(
+                "budget_exhausted",
+                reasons=list(reasons),
+                paths=self.stats.paths,
+                cycles=self.stats.cycles_simulated,
+                drained=self.stats.drained_paths,
+            )
+
+    def config_digest(self) -> str:
+        """Fingerprint of everything a checkpoint's validity depends on:
+        the program image (code + initial data + taints), the policy, and
+        the netlist shape."""
+        import hashlib
+
+        digest = hashlib.sha256()
+        rom = self.runner.soc.rom
+        digest.update(rom.words.tobytes())
+        digest.update(rom.tmask.tobytes())
+        digest.update(repr(sorted(self.program.data.items())).encode())
+        policy = self.policy
+        digest.update(
+            repr(
+                (
+                    policy.name,
+                    policy.kind,
+                    sorted(policy.tainted_input_ports),
+                    sorted(policy.tainted_output_ports),
+                    tuple(
+                        (r.low, r.high) for r in policy.tainted_memory
+                    ),
+                    policy.taint_code_words,
+                    policy.strict_conditions,
+                )
+            ).encode()
+        )
+        digest.update(str(len(self.circuit.netlist.net_names)).encode())
+        return digest.hexdigest()
+
+    def export_checkpoint(self) -> dict:
+        """Everything needed to continue this exploration elsewhere."""
+        worklist = self._worklist if self._worklist is not None else []
+        return {
+            "worklist": [
+                (item.snapshot, item.node_id, item.counted)
+                for item in worklist
+            ],
+            "table": self._table,
+            "stats": self.stats,
+            "tree_nodes": self.tree.nodes,
+            "tree_next_id": self.tree._next_id,
+            "checker": self.checker.export_state(),
+            "merged_states": self._merged_states,
+        }
+
+    def restore_checkpoint(self, payload: dict) -> None:
+        """Adopt a checkpoint payload (see :mod:`repro.resilience`'s
+        ``read_checkpoint`` for validation) and become resumable."""
+        self._worklist = [
+            _WorkItem(snapshot, node_id, counted)
+            for snapshot, node_id, counted in payload["worklist"]
+        ]
+        self._table = payload["table"]
+        self.stats = payload["stats"]
+        self.tree.nodes = payload["tree_nodes"]
+        self.tree._next_id = payload["tree_next_id"]
+        self.checker.restore_state(payload["checker"])
+        self._merged_states = payload["merged_states"]
 
     def _publish(self, obs, violations: List[Violation]) -> None:
         """Roll the completed run into metrics and trace events."""
@@ -437,6 +736,7 @@ class TaintTracker:
         metrics.counter("tracker.incomplete_paths").inc(
             stats.incomplete_paths
         )
+        metrics.counter("tracker.drained_paths").inc(stats.drained_paths)
         metrics.counter("tracker.violations").inc(len(violations))
         metrics.gauge("tracker.peak_merged_states").update_max(
             stats.peak_merged_states
@@ -469,6 +769,19 @@ class TaintTracker:
                 return
 
             phase = self.runner.phase()
+            if phase == PHASE_F and (
+                self._interrupt_reason is not None
+                or self.budget.mid_path_exhausted(self.stats)
+            ):
+                # Pause at the fetch boundary: requeue this exact state
+                # (resuming from it re-derives every per-instruction
+                # local, so the continuation is bit-identical) and let
+                # run() decide -- checkpoint+raise on interrupt, drain
+                # on budget exhaustion.
+                worklist.append(
+                    _WorkItem(soc.snapshot(), node.node_id, counted=False)
+                )
+                return
             if phase < 0:
                 # The FSM's own state bits are unknown: the machine has
                 # diverged beyond cycle-accurate tracking (e.g. a corrupted
@@ -646,7 +959,7 @@ class TaintTracker:
                 candidates = sorted(
                     pc_word.possible_values(limit=self.fork_limit)
                 )
-            except ValueError:
+            except EnumerationLimitError:
                 # A computed control transfer through a widely unknown
                 # target (e.g. a return address clobbered by the Figure 4
                 # smear).  Exploring 64K successors is pointless; report
@@ -669,6 +982,20 @@ class TaintTracker:
                 node.end_cycle = soc.cycle
                 node.fork_address = instruction.address
                 return True
+            except ValueError as error:
+                # Any *other* ValueError is a genuine bug, not the
+                # enumeration tripwire: surface it typed, with the fork
+                # site fully identified, instead of silently closing the
+                # path as "unbounded control".
+                raise ForkError(
+                    "PC concretisation failed at fork site "
+                    f"pc=0x{instruction.address:04x} "
+                    f"cycle={soc.cycle} "
+                    f"(fork #{self.stats.forks + 1}): {error}",
+                    pc=instruction.address,
+                    cycle=soc.cycle,
+                    forks=self.stats.forks,
+                ) from error
 
         covered, merged = self._visit_widening(
             instruction.address, soc.snapshot()

@@ -29,6 +29,16 @@ def _mask(width: int) -> int:
     return (1 << width) - 1
 
 
+class EnumerationLimitError(ValueError):
+    """More concrete values exist than the caller's enumeration limit.
+
+    A distinct subclass so callers using :meth:`TWord.possible_values` as
+    a tripwire (the tracker's fork-target enumeration) can tell the
+    expected "too many successors" signal apart from an unexpected
+    ``ValueError`` raised by a genuine bug.
+    """
+
+
 def _full_adder_tables() -> Tuple[Dict[int, Tuple[int, int]], Dict[int, Tuple[int, int]]]:
     """Precompute GLIFT tables for a full adder's sum and carry outputs.
 
@@ -119,14 +129,14 @@ class TWord:
     def possible_values(self, limit: int = 1 << 16) -> Iterator[int]:
         """Enumerate every concrete value this word may take.
 
-        Raises :class:`ValueError` when more than *limit* values exist --
-        callers that enumerate successor PCs use this as a tripwire rather
-        than silently exploding.
+        Raises :class:`EnumerationLimitError` (a ``ValueError``) when more
+        than *limit* values exist -- callers that enumerate successor PCs
+        use this as a tripwire rather than silently exploding.
         """
         unknown_bits = [i for i in range(self.width) if self.xmask >> i & 1]
         count = 1 << len(unknown_bits)
         if count > limit:
-            raise ValueError(
+            raise EnumerationLimitError(
                 f"{count} possible values exceeds enumeration limit {limit}"
             )
         for combo in range(count):

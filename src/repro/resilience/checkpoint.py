@@ -1,0 +1,185 @@
+"""Versioned checkpoint/resume for long-running analyses.
+
+A checkpoint captures everything Algorithm 1 needs to continue exactly
+where it stopped: the worklist of unexplored snapshots, the conservative
+merge table, the execution tree, the effort statistics and the policy
+checker's violation state.  Exploration is deterministic, so a resumed
+run reaches the same verdict and violation set as an uninterrupted one.
+
+File format (all little-endian, written atomically via rename)::
+
+    REPRO-CKPT\\n                     magic
+    {json header}\\n                  version, digest, progress metadata
+    <pickle blob>                     the tracker's exported state
+
+The header is readable without unpickling, so stale or incompatible
+checkpoints are rejected with a clear :class:`CheckpointError` before any
+state is touched.  The digest covers the program image, the policy and
+the netlist shape: resuming against a different binary or policy is a
+hard error, not a silent wrong answer.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import pickle
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.resilience.errors import CheckpointError
+
+MAGIC = b"REPRO-CKPT\n"
+CHECKPOINT_VERSION = 1
+
+
+def write_checkpoint(
+    path, digest: str, payload: dict, meta: Optional[dict] = None
+) -> Path:
+    """Atomically write one checkpoint file."""
+    path = Path(path)
+    header = {
+        "version": CHECKPOINT_VERSION,
+        "digest": digest,
+        "saved_unix": time.time(),
+    }
+    if meta:
+        header.update(meta)
+    buffer = io.BytesIO()
+    buffer.write(MAGIC)
+    buffer.write(json.dumps(header, sort_keys=True).encode() + b"\n")
+    pickle.dump(payload, buffer, protocol=pickle.HIGHEST_PROTOCOL)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        tmp.write_bytes(buffer.getvalue())
+        os.replace(tmp, path)
+    except OSError as error:
+        raise CheckpointError(
+            f"cannot write checkpoint {str(path)!r}: {error}",
+            code="CHECKPOINT_WRITE",
+            path=str(path),
+        ) from error
+    return path
+
+
+def read_checkpoint_header(path) -> dict:
+    """Validate magic/version and return the JSON header."""
+    path = Path(path)
+    try:
+        with path.open("rb") as handle:
+            magic = handle.read(len(MAGIC))
+            if magic != MAGIC:
+                raise CheckpointError(
+                    f"{str(path)!r} is not a repro checkpoint "
+                    "(bad magic)",
+                    code="CHECKPOINT_CORRUPT",
+                    path=str(path),
+                )
+            header_line = handle.readline()
+    except OSError as error:
+        raise CheckpointError(
+            f"cannot read checkpoint {str(path)!r}: {error}",
+            code="CHECKPOINT_READ",
+            path=str(path),
+        ) from error
+    try:
+        header = json.loads(header_line)
+    except ValueError as error:
+        raise CheckpointError(
+            f"checkpoint {str(path)!r} has a corrupt header: {error}",
+            code="CHECKPOINT_CORRUPT",
+            path=str(path),
+        ) from error
+    if header.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {str(path)!r} has version "
+            f"{header.get('version')!r}; this build reads version "
+            f"{CHECKPOINT_VERSION}",
+            code="CHECKPOINT_VERSION",
+            path=str(path),
+        )
+    return header
+
+
+def read_checkpoint(path, expected_digest: Optional[str] = None) -> dict:
+    """Load a checkpoint payload, validating header and digest first."""
+    path = Path(path)
+    header = read_checkpoint_header(path)
+    if expected_digest is not None and header.get("digest") != expected_digest:
+        raise CheckpointError(
+            f"checkpoint {str(path)!r} is stale: it was taken for a "
+            "different program/policy/netlist (digest "
+            f"{header.get('digest')!r}, expected {expected_digest!r}). "
+            "Re-run the analysis from scratch.",
+            code="CHECKPOINT_STALE",
+            path=str(path),
+            found=header.get("digest"),
+            expected=expected_digest,
+        )
+    try:
+        with path.open("rb") as handle:
+            handle.read(len(MAGIC))
+            handle.readline()
+            payload = pickle.load(handle)
+    except CheckpointError:
+        raise
+    except Exception as error:
+        raise CheckpointError(
+            f"checkpoint {str(path)!r} payload is corrupt: {error}",
+            code="CHECKPOINT_CORRUPT",
+            path=str(path),
+        ) from error
+    return payload
+
+
+class Checkpointer:
+    """Cadence + destination for a tracker's periodic checkpoints.
+
+    ``every_paths=N`` saves after every N explored paths; 0 disables the
+    cadence (checkpoints then happen only on interrupt).  The tracker
+    calls :meth:`due` once per worklist pop -- a comparison, no I/O --
+    and :meth:`save` does the actual serialisation.
+    """
+
+    def __init__(self, path, every_paths: int = 0):
+        self.path = Path(path)
+        self.every_paths = every_paths
+        self._last_saved_paths = 0
+        self.saves = 0
+
+    def due(self, paths: int) -> bool:
+        return (
+            self.every_paths > 0
+            and paths - self._last_saved_paths >= self.every_paths
+        )
+
+    def save(self, tracker, reason: str = "periodic") -> Path:
+        payload = tracker.export_checkpoint()
+        stats = tracker.stats
+        write_checkpoint(
+            self.path,
+            tracker.config_digest(),
+            payload,
+            meta={
+                "program": tracker.program.name,
+                "policy": tracker.policy.name,
+                "paths": stats.paths,
+                "cycles": stats.cycles_simulated,
+                "reason": reason,
+            },
+        )
+        self._last_saved_paths = stats.paths
+        self.saves += 1
+        obs = tracker.obs
+        if obs.enabled:
+            obs.emit(
+                "checkpoint_saved",
+                path=str(self.path),
+                paths=stats.paths,
+                cycles=stats.cycles_simulated,
+                reason=reason,
+            )
+            obs.metrics.counter("resilience.checkpoints_saved").inc()
+        return self.path

@@ -43,6 +43,7 @@ from repro import memmap
 from repro.logic.ternary import ONE, UNKNOWN, ZERO
 from repro.logic.words import TWord
 from repro.obs import get_observer
+from repro.resilience.faults import get_injector
 from repro.sim.compiled import CircuitState, CompiledCircuit
 from repro.sim.memory import TaintedMemory
 from repro.sim.peripherals import AuxTimer, InputPort, OutputPort, PortEvent
@@ -347,6 +348,11 @@ class SoC:
         self, external_reset: Tuple[int, int] = (ZERO, 0)
     ) -> CycleEvents:
         """Advance one clock cycle; returns everything observable about it."""
+        injector = get_injector()
+        if injector is not None:
+            # Fault-injection hook (gate-eval exceptions, clock skew);
+            # a single None check when no injector is installed.
+            injector.on_step(self)
         circuit = self.circuit
         state = self.state
 
@@ -427,12 +433,18 @@ class SoC:
     # Tracker state management
     # ------------------------------------------------------------------
     def snapshot(self) -> SoCState:
-        return SoCState(
+        snapshot = SoCState(
             dff_codes=self.circuit.dff_state(self.state),
             space_state=self.space.snapshot(),
             pending_por=self.pending_por,
             cycle=self.cycle,
         )
+        injector = get_injector()
+        if injector is not None:
+            # Snapshot-corruption fault hook (models bit-rot in stored
+            # fork states as conservative loss of knowledge).
+            snapshot = injector.on_snapshot(snapshot)
+        return snapshot
 
     def restore(self, snapshot: SoCState) -> None:
         self.circuit.set_dff_state(self.state, snapshot.dff_codes.copy())

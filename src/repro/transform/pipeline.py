@@ -19,6 +19,7 @@ from repro.core.tracker import AnalysisResult, TaintTracker
 from repro.isa.assembler import assemble
 from repro.obs import get_observer
 from repro.isa.program import Program
+from repro.resilience.errors import EXIT_FUNDAMENTAL, ReproError
 from repro.transform.masking import insert_masks
 from repro.transform.report import render_diagnostics
 from repro.transform.rootcause import RootCauses, identify_root_causes
@@ -29,12 +30,16 @@ from repro.transform.watchdog_reset import (
 )
 
 
-class FundamentalViolation(Exception):
+class FundamentalViolation(ReproError):
     """The application (or its labels) cannot be repaired automatically."""
 
+    code = "FUNDAMENTAL_VIOLATION"
+    phase = "repair"
+    exit_code = EXIT_FUNDAMENTAL
+
     def __init__(self, diagnostics: str):
-        self.diagnostics = diagnostics
         super().__init__(diagnostics)
+        self.diagnostics = diagnostics
 
 
 @dataclass
@@ -49,10 +54,17 @@ class SecureCompileResult:
     masked_stores: int = 0
     bounded_tasks: List[str] = field(default_factory=list)
     slice_plans: Dict[str, SlicePlan] = field(default_factory=dict)
+    #: True when an analysis budget cut a (re-)verification short: the
+    #: repairs applied so far are kept, but the verdict is inconclusive
+    partial: bool = False
 
     @property
     def secure(self) -> bool:
         return self.analysis.secure
+
+    @property
+    def verdict(self) -> str:
+        return self.analysis.verdict
 
     @property
     def modified(self) -> bool:
@@ -107,6 +119,22 @@ def secure_compile(
                 masked_stores=masked,
                 bounded_tasks=bounded,
                 slice_plans=plans,
+            )
+        if result.degraded:
+            # A budget cut this (re-)verification short.  The repairs
+            # already applied stand; instead of discarding them behind a
+            # FundamentalViolation, hand back a partial result whose
+            # verdict is honestly inconclusive.
+            return SecureCompileResult(
+                program=program,
+                source=current_source,
+                analysis=result,
+                fixes=fixes,
+                iterations=iteration,
+                masked_stores=masked,
+                bounded_tasks=bounded,
+                slice_plans=plans,
+                partial=True,
             )
         causes = identify_root_causes(result)
         if not causes.automatic_repair_possible:

@@ -1,0 +1,146 @@
+"""The exact-visit budget and the switch to conservative merging.
+
+``_visit_concrete`` fingerprints each state at a concrete PC-changing
+instruction while the exact-visit budget lasts ("exact"), stops on a
+revisit of an identical state, and past the budget switches to Section
+4.1's continue-from-the-conservative-state widening ("widened"), after
+which coverage by the accumulated merge terminates the site ("stop").
+"""
+
+from repro.core import TaintTracker, default_policy
+from repro.isa.assembler import assemble
+
+FORKY = """
+.task sys trusted
+start:
+    mov &P3IN, r4
+    bit #1, r4
+    jz even
+    mov #1, &P2OUT
+    halt
+even:
+    mov #2, &P2OUT
+    halt
+"""
+
+# A bounded, untainted counting loop: 4 trips through `jnz`.
+LOOP = """
+.task sys trusted
+    mov #4, r4
+loop:
+    sub #1, r4
+    jnz loop
+    mov #1, &P2OUT
+    halt
+"""
+
+
+def _tracker(source=FORKY, **kwargs):
+    program = assemble(source, name="t")
+    return TaintTracker(program, default_policy(), **kwargs)
+
+
+def _distinct_snapshots(tracker, count):
+    """Genuinely different SoC states, one per simulated cycle."""
+    snapshots = []
+    for _ in range(count):
+        tracker.runner.soc.step()
+        snapshots.append(tracker.runner.soc.snapshot())
+    return snapshots
+
+
+class TestVisitConcrete:
+    def test_exact_until_budget_then_widened_then_stop(self):
+        tracker = _tracker(exact_branch_visits=2)
+        s1, s2, s3 = _distinct_snapshots(tracker, 3)
+        key = ("site", 0x10)
+
+        verdict, cont = tracker._visit_concrete(key, s1)
+        assert verdict == "exact"
+        assert cont is s1
+        verdict, _ = tracker._visit_concrete(key, s2)
+        assert verdict == "exact"
+
+        # Budget exhausted: the third distinct state switches the site
+        # to the conservative continuation.
+        verdict, cont = tracker._visit_concrete(key, s3)
+        assert verdict == "widened"
+        assert cont is not s3  # the merged state, not the input
+
+        # Once widened, a state covered by the merge terminates.
+        verdict, _ = tracker._visit_concrete(key, s3)
+        assert verdict == "stop"
+
+    def test_identical_state_stops_within_budget(self):
+        tracker = _tracker(exact_branch_visits=8)
+        (s1,) = _distinct_snapshots(tracker, 1)
+        key = ("site", 0x10)
+        assert tracker._visit_concrete(key, s1)[0] == "exact"
+        # A bit-identical revisit is a true "already explored": its
+        # continuation is this very path.
+        assert tracker._visit_concrete(key, s1)[0] == "stop"
+        assert tracker.stats.terminations_by_merge == 1
+
+    def test_sites_have_independent_budgets(self):
+        tracker = _tracker(exact_branch_visits=1)
+        s1, s2 = _distinct_snapshots(tracker, 2)
+        assert tracker._visit_concrete(("a", 1), s1)[0] == "exact"
+        assert tracker._visit_concrete(("b", 2), s2)[0] == "exact"
+
+    def test_merge_statistics_grow_on_widening(self):
+        tracker = _tracker(exact_branch_visits=1)
+        s1, s2 = _distinct_snapshots(tracker, 2)
+        key = ("site", 0x10)
+        tracker._visit_concrete(key, s1)
+        before = tracker.stats.merges
+        tracker._visit_concrete(key, s2)
+        assert tracker.stats.merges == before + 1
+        assert tracker.stats.peak_merged_states >= 1
+
+
+class TestVisitWidening:
+    def test_first_visit_merges_and_continues(self):
+        tracker = _tracker()
+        (s1,) = _distinct_snapshots(tracker, 1)
+        covered, merged = tracker._visit_widening(("w", 1), s1)
+        assert not covered
+        assert merged is s1
+
+    def test_covered_revisit_terminates(self):
+        tracker = _tracker()
+        (s1,) = _distinct_snapshots(tracker, 1)
+        key = ("w", 1)
+        tracker._visit_widening(key, s1)
+        covered, merged = tracker._visit_widening(key, s1)
+        assert covered
+        assert tracker.stats.terminations_by_merge == 1
+
+    def test_uncovered_revisit_widens_the_merge(self):
+        tracker = _tracker()
+        s1, s2 = _distinct_snapshots(tracker, 2)
+        key = ("w", 1)
+        tracker._visit_widening(key, s1)
+        before = tracker.stats.merges
+        covered, merged = tracker._visit_widening(key, s2)
+        assert tracker.stats.merges == before + 1
+        assert merged is not s2
+
+
+class TestSwitchoverEndToEnd:
+    def test_bounded_loop_exact_budget_verifies_precisely(self):
+        result = _tracker(LOOP, exact_branch_visits=512).run()
+        assert result.verdict == "secure"
+
+    def test_bounded_loop_tiny_budget_still_sound(self):
+        # With the budget below the trip count the loop converges
+        # through the conservative merge instead of exact replay -- the
+        # verdict must not become wrong, and nothing may raise.
+        result = _tracker(LOOP, exact_branch_visits=1).run()
+        assert result.verdict in ("secure", "inconclusive")
+        assert result.stats.merges > 0
+
+    def test_forky_verdict_independent_of_budget(self):
+        exact = _tracker(FORKY, exact_branch_visits=512).run()
+        tiny = _tracker(FORKY, exact_branch_visits=1).run()
+        assert exact.verdict == "secure"
+        assert tiny.verdict in ("secure", "inconclusive")
