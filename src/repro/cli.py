@@ -4,6 +4,7 @@ Mirrors how the paper's tool is used: point it at an application source,
 get the verdict, the diagnostics and (optionally) the repaired binary.
 
     python -m repro.cli analyze  app.s43 [--json] [--trace t.jsonl]
+    python -m repro.cli analyze  app.s43 --provenance   # record taint flows
     python -m repro.cli analyze  app.s43 --deadline 3600 \\
         --checkpoint run.ckpt --checkpoint-every 16   # resumable
     python -m repro.cli analyze  app.s43 --resume run.ckpt
@@ -12,6 +13,9 @@ get the verdict, the diagnostics and (optionally) the repaired binary.
     python -m repro.cli disasm   app.s43
     python -m repro.cli stats    [--json]
     python -m repro.cli profile  intavg   # per-phase time/counter table
+    python -m repro.cli explain  figure4 --violation 0 --dot flow.dot
+    python -m repro.cli report   figure4 -o report.html
+    python -m repro.cli trace-lint t.jsonl   # validate a JSONL trace
 
 Exit codes (see ``repro.resilience.errors`` and DESIGN.md): 0 secure,
 1 insecure, 2 fundamental violation, 3 inconclusive (budget exhausted),
@@ -32,7 +36,15 @@ from repro.eval.formatting import format_json, format_table, to_jsonable
 from repro.isa.assembler import AssemblyError, assemble
 from repro.isa.disasm import disassemble_program
 from repro.isasim.executor import run_concrete
-from repro.obs import Observer, TraceRecorder, observe
+from repro.obs import (
+    Observer,
+    ProvenanceRecorder,
+    TraceRecorder,
+    explain_violation,
+    lint_trace,
+    observe,
+)
+from repro.obs.report import build_report
 from repro.resilience import (
     AnalysisBudget,
     AnalysisInterrupted,
@@ -47,6 +59,10 @@ from repro.transform import FundamentalViolation, secure_compile
 #: Canonical pipeline phases, in reporting order (the profile table always
 #: prints these four, then any additional spans observed).
 PROFILE_PHASES = ("levelize", "explore", "check", "repair")
+
+#: Violations explained inline by ``analyze --provenance`` (backward
+#: slices cost O(edges) each; ``repro explain`` picks any index).
+_EXPLAIN_CAP = 8
 
 
 def _policy(name: str):
@@ -117,6 +133,15 @@ def _trace_for(args) -> TraceRecorder | None:
         raise SystemExit(f"cannot open trace file {args.trace!r}: {error}")
 
 
+def _recorder_for(args) -> ProvenanceRecorder | None:
+    """A ProvenanceRecorder when ``--provenance`` was given, else None."""
+    if not getattr(args, "provenance", False):
+        return None
+    return ProvenanceRecorder(
+        capacity=getattr(args, "provenance_capacity", None) or (1 << 20)
+    )
+
+
 def _observer_for(args) -> Observer | None:
     """An Observer when any obs output was requested, else None."""
     if not (getattr(args, "trace", None) or getattr(args, "metrics", None)):
@@ -174,6 +199,7 @@ def _analysis_document(result) -> dict:
 def cmd_analyze(args) -> int:
     _, program, _ = _load(args.source)
     observer = _observer_for(args)
+    recorder = _recorder_for(args)
 
     checkpointer = None
     if args.checkpoint:
@@ -187,6 +213,7 @@ def cmd_analyze(args) -> int:
         budget=_budget_from(args),
         checkpointer=checkpointer,
         obs=observer,
+        provenance=recorder,
     )
     if args.resume:
         payload = read_checkpoint(
@@ -210,9 +237,28 @@ def cmd_analyze(args) -> int:
     finally:
         _finish_observer(observer, args)
     if args.json:
-        print(format_json(_analysis_document(result)))
+        document = _analysis_document(result)
+        if recorder is not None:
+            document["provenance"] = recorder.snapshot()
+            document["explanations"] = [
+                result.explain(violation).to_document()
+                for violation in result.violations[:_EXPLAIN_CAP]
+            ]
+        print(format_json(document))
     else:
         print(result.report())
+        if recorder is not None:
+            print()
+            truncated = " [truncated]" if recorder.truncated else ""
+            print(
+                f"provenance: {recorder.recorded} taint-flow edge(s) "
+                f"recorded{truncated}"
+            )
+            for index, violation in enumerate(
+                result.violations[:_EXPLAIN_CAP]
+            ):
+                print(f"  violation {index}: "
+                      f"{result.explain(violation).summary()}")
         if args.tree:
             print()
             print(result.tree.render())
@@ -286,12 +332,18 @@ def _resolve_workload(spec: str) -> tuple:
     path = Path(spec)
     if path.is_file():
         return path.read_text(), path.stem
+    if spec.lower() == "figure4":
+        # The paper's motivating example -- the canonical
+        # known-violation workload for explain/report demos.
+        from repro.workloads.motivating import figure4_source
+
+        return figure4_source(), "figure4"
     from repro.workloads.registry import BENCHMARKS
 
     by_lower = {name.lower(): info for name, info in BENCHMARKS.items()}
     info = by_lower.get(spec.lower())
     if info is None:
-        known = ", ".join(sorted(BENCHMARKS))
+        known = ", ".join(sorted(BENCHMARKS) + ["figure4"])
         raise SystemExit(
             f"unknown workload {spec!r}: not a file, and not one of "
             f"the registered benchmarks ({known})"
@@ -447,6 +499,108 @@ def cmd_profile(args) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# explain / report / trace-lint
+# ---------------------------------------------------------------------------
+def _assemble_workload(spec: str):
+    """Assemble a benchmark name or source path into ``(program, name)``."""
+    source, name = _resolve_workload(spec)
+    try:
+        return assemble(source, name=name), name
+    except AssemblyError as error:
+        raise InputError(
+            f"cannot assemble workload {spec!r}: {error}", path=spec
+        ) from error
+
+
+def _analyze_with_provenance(args):
+    """Run the analysis with a provenance recorder armed; returns
+    ``(result, recorder)``."""
+    program, _ = _assemble_workload(args.workload)
+    recorder = ProvenanceRecorder(
+        capacity=args.provenance_capacity or (1 << 20)
+    )
+    result = TaintTracker(
+        program,
+        policy=_policy(args.policy),
+        max_cycles=args.max_cycles,
+        budget=_budget_from(args),
+        provenance=recorder,
+    ).run()
+    return result, recorder
+
+
+def cmd_explain(args) -> int:
+    result, recorder = _analyze_with_provenance(args)
+    if not result.violations:
+        print(
+            f"{result.program.name}: verdict {result.verdict}: "
+            "no violations to explain"
+        )
+        return VERDICT_EXIT_CODES[result.verdict]
+    try:
+        flow = explain_violation(result, args.violation, recorder=recorder)
+    except IndexError as error:
+        raise InputError(str(error)) from None
+    if args.json:
+        document = flow.to_document()
+        document["violation"] = {
+            "index": args.violation,
+            "kind": flow.violation.kind,
+            "cycle": flow.violation.cycle,
+            "address": f"0x{flow.violation.address:04x}",
+            "task": flow.violation.task,
+        }
+        print(format_json(document))
+    else:
+        print(flow.violation.render())
+        print(flow.render())
+    if args.dot:
+        violation = flow.violation
+        title = f"{violation.kind} at 0x{violation.address:04x}"
+        try:
+            Path(args.dot).write_text(flow.to_dot(title=title) + "\n")
+        except OSError as error:
+            raise SystemExit(
+                f"cannot write DOT file {args.dot!r}: {error}"
+            )
+        if not args.json:
+            print(f"flow graph written to {args.dot}")
+    return VERDICT_EXIT_CODES[result.verdict]
+
+
+def cmd_report(args) -> int:
+    result, recorder = _analyze_with_provenance(args)
+    html = build_report(result, recorder)
+    output = args.output or f"report_{result.program.name}.html"
+    try:
+        Path(output).write_text(html)
+    except OSError as error:
+        raise SystemExit(f"cannot write report {output!r}: {error}")
+    print(
+        f"report written to {output} ({len(html)} bytes, "
+        f"verdict {result.verdict}, {len(result.violations)} violation(s))"
+    )
+    return 0
+
+
+def cmd_trace_lint(args) -> int:
+    try:
+        problems = lint_trace(args.trace_file)
+    except OSError as error:
+        raise InputError(
+            f"cannot read trace file {args.trace_file!r}: {error}",
+            path=args.trace_file,
+        ) from error
+    if problems:
+        for problem in problems:
+            print(problem)
+        print(f"{args.trace_file}: {len(problems)} problem(s)")
+        return 1
+    print(f"{args.trace_file}: ok")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -509,6 +663,24 @@ def build_parser() -> argparse.ArgumentParser:
             help="resident-set ceiling for the analysis process",
         )
 
+    def provenance_flags(p, opt_in: bool = True):
+        if opt_in:
+            p.add_argument(
+                "--provenance",
+                action="store_true",
+                help="record per-bit taint provenance during the "
+                "analysis (enables explanations in the output; "
+                "~25%% slower)",
+            )
+        p.add_argument(
+            "--provenance-capacity",
+            type=int,
+            default=1 << 20,
+            metavar="N",
+            help="edge-ring capacity for the provenance recorder "
+            "(default 1Mi edges; wrapping sets provenance_truncated)",
+        )
+
     p = sub.add_parser("analyze", help="run the gate-level analysis")
     common(p)
     p.add_argument(
@@ -541,6 +713,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--checkpoint (validated against the program digest)",
     )
     obs_flags(p)
+    provenance_flags(p)
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("repair", help="analyse, repair, verify")
@@ -596,6 +769,73 @@ def build_parser() -> argparse.ArgumentParser:
     budget_flags(p)
     obs_flags(p)
     p.set_defaults(func=cmd_profile)
+
+    def workload_flags(p):
+        p.add_argument(
+            "workload",
+            help="a benchmark name (e.g. figure4, intavg; "
+            "case-insensitive) or an LP430 source file",
+        )
+        p.add_argument(
+            "--policy",
+            default="untrusted",
+            help="taint kind: untrusted (default) or secret",
+        )
+        p.add_argument(
+            "--max-cycles",
+            type=int,
+            default=1_000_000,
+            help="analysis cycle budget",
+        )
+        budget_flags(p)
+        provenance_flags(p, opt_in=False)
+
+    p = sub.add_parser(
+        "explain",
+        help="trace one violation's taint back to its labelled "
+        "input bits (gate-level backward slice)",
+    )
+    workload_flags(p)
+    p.add_argument(
+        "--violation",
+        type=int,
+        default=0,
+        metavar="N",
+        help="index into the analysis' violation list (default 0)",
+    )
+    p.add_argument(
+        "--dot",
+        metavar="PATH",
+        help="also write the sliced flow graph as Graphviz DOT here",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the explanation as a JSON document",
+    )
+    p.set_defaults(func=cmd_explain)
+
+    p = sub.add_parser(
+        "report",
+        help="analyse a workload and write a self-contained HTML "
+        "report (verdict, heatmap, violations, provenance chains)",
+    )
+    workload_flags(p)
+    p.add_argument(
+        "-o",
+        "--output",
+        metavar="PATH",
+        help="report file (default report_<workload>.html)",
+    )
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "trace-lint",
+        help="validate a JSONL trace file against the documented "
+        "v2 event schema",
+    )
+    p.add_argument("trace_file", help="JSONL trace written by --trace")
+    p.set_defaults(func=cmd_trace_lint)
     return parser
 
 

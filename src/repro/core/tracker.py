@@ -17,6 +17,7 @@ widened by merging (differing bits become X, taints OR).
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -27,6 +28,7 @@ from repro.core.labels import SecurityPolicy
 from repro.core.tree import ExecutionTree, TreeNode
 from repro.core.violations import Violation, ViolationKind
 from repro.obs import CLOCK, get_observer
+from repro.obs.provenance import ProvenanceRecorder, record_provenance
 from repro.cpu import compiled_cpu
 from repro.isa.encode import DecodedInstruction, EncodeError, decode
 from repro.isa.program import Program
@@ -114,6 +116,19 @@ class AnalysisResult:
     #: budget axes whose exhaustion cut the exploration short (empty for
     #: a complete run); see :class:`repro.resilience.AnalysisBudget`
     exhausted: List[str] = field(default_factory=list)
+    #: the :class:`repro.obs.provenance.ProvenanceRecorder` that rode
+    #: along with the exploration, or None (recording is opt-in)
+    provenance: Optional[ProvenanceRecorder] = None
+    #: the compiled circuit the analysis ran on (net-id space for
+    #: provenance slicing)
+    circuit: Optional[CompiledCircuit] = None
+
+    def explain(self, violation, max_nodes: int = 4096):
+        """Backward-slice *violation* (index or object) to its labelled
+        taint origins; see :func:`repro.obs.provenance.explain_violation`."""
+        from repro.obs.provenance import explain_violation
+
+        return explain_violation(self, violation, max_nodes=max_nodes)
 
     @property
     def verdict(self) -> str:
@@ -303,6 +318,7 @@ class TaintTracker:
         obs=None,
         budget: Optional[AnalysisBudget] = None,
         checkpointer=None,
+        provenance: Optional[ProvenanceRecorder] = None,
     ):
         self.program = program
         #: observability sink; defaults to the process-wide current
@@ -322,6 +338,9 @@ class TaintTracker:
         #: optional :class:`repro.resilience.Checkpointer` for periodic
         #: and on-interrupt state saves
         self.checkpointer = checkpointer
+        #: optional per-bit taint provenance recorder, installed
+        #: process-wide for the duration of :meth:`run`
+        self.provenance = provenance
         self.fork_limit = fork_limit
         #: how many times a concrete PC-changing instruction is revisited
         #: *exactly* before switching to Algorithm 1's continue-from-the-
@@ -515,8 +534,13 @@ class TaintTracker:
         budget.start()
         self._exhausted = []
 
+        recording = (
+            record_provenance(self.provenance)
+            if self.provenance is not None
+            else nullcontext()
+        )
         try:
-            with obs.span("explore"):
+            with obs.span("explore"), recording:
                 while worklist:
                     if self._interrupt_reason is not None:
                         self._handle_interrupt()
@@ -561,6 +585,8 @@ class TaintTracker:
             tree=self.tree,
             stats=self.stats,
             exhausted=list(self._exhausted),
+            provenance=self.provenance,
+            circuit=self.circuit,
         )
 
     # ------------------------------------------------------------------
@@ -701,6 +727,12 @@ class TaintTracker:
             "tree_next_id": self.tree._next_id,
             "checker": self.checker.export_state(),
             "merged_states": self._merged_states,
+            "provenance": (
+                self.provenance.export_state()
+                if self.provenance is not None
+                else None
+            ),
+            "obs": self.obs.export_state(),
         }
 
     def restore_checkpoint(self, payload: dict) -> None:
@@ -716,6 +748,14 @@ class TaintTracker:
         self.tree._next_id = payload["tree_next_id"]
         self.checker.restore_state(payload["checker"])
         self._merged_states = payload["merged_states"]
+        # Keys added after checkpoint-format introduction: absent in old
+        # checkpoints, so .get() keeps them restorable.
+        provenance_state = payload.get("provenance")
+        if provenance_state is not None and self.provenance is not None:
+            self.provenance.restore_state(provenance_state)
+        obs_state = payload.get("obs")
+        if obs_state is not None:
+            self.obs.restore_state(obs_state)
 
     def _publish(self, obs, violations: List[Violation]) -> None:
         """Roll the completed run into metrics and trace events."""
@@ -741,6 +781,28 @@ class TaintTracker:
         metrics.gauge("tracker.peak_merged_states").update_max(
             stats.peak_merged_states
         )
+        if self.provenance is not None:
+            summary = self.provenance.snapshot()
+            metrics.counter("provenance.edges").inc(
+                summary["edges_recorded"]
+            )
+            metrics.gauge("provenance.retained").set(
+                summary["edges_retained"]
+            )
+            obs.emit(
+                "provenance",
+                edges=summary["edges_recorded"],
+                retained=summary["edges_retained"],
+                capacity=summary["capacity"],
+                truncated=summary["truncated"],
+                labels=summary["labels"],
+            )
+            if summary["truncated"]:
+                obs.emit(
+                    "provenance_truncated",
+                    edges=summary["edges_recorded"],
+                    capacity=summary["capacity"],
+                )
         for violation in violations:
             obs.emit(
                 "violation",

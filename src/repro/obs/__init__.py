@@ -36,7 +36,23 @@ from repro.obs.metrics import (
     MetricsRegistry,
 )
 from repro.obs.profiler import Profiler
-from repro.obs.trace import TraceRecorder, read_events
+from repro.obs.provenance import (
+    FlowEdge,
+    FlowLeaf,
+    FlowSlice,
+    ProvenanceRecorder,
+    explain_violation,
+    get_recorder,
+    install_recorder,
+    record_provenance,
+)
+from repro.obs.trace import (
+    EVENT_SCHEMAS,
+    TRACE_SCHEMA_VERSION,
+    TraceRecorder,
+    lint_trace,
+    read_events,
+)
 
 
 class Observer:
@@ -85,6 +101,26 @@ class Observer:
             "metrics": self.metrics.snapshot(),
             "profile": self.profiler.snapshot(),
         }
+
+    def export_state(self) -> dict:
+        """Checkpointable observer state: metric values, span stats, and
+        the trace sequence cursor, so a resumed run's snapshot matches
+        the uninterrupted run's."""
+        return {
+            "metrics": self.metrics.export_state(),
+            "profile": self.profiler.export_state(),
+            "trace_seq": (
+                self.trace.sequence if self.trace is not None else 0
+            ),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.metrics.restore_state(state.get("metrics", {}))
+        self.profiler.restore_state(state.get("profile", {}))
+        if self.trace is not None:
+            self.trace.set_sequence(
+                max(self.trace.sequence, state.get("trace_seq", 0))
+            )
 
     def close(self) -> None:
         if self.trace is not None:
@@ -150,6 +186,12 @@ class NullObserver:
             "profile": {},
         }
 
+    def export_state(self) -> None:
+        return None
+
+    def restore_state(self, state) -> None:
+        pass
+
     def close(self) -> None:
         pass
 
@@ -194,6 +236,17 @@ __all__ = [
     "Profiler",
     "TraceRecorder",
     "read_events",
+    "lint_trace",
+    "EVENT_SCHEMAS",
+    "TRACE_SCHEMA_VERSION",
+    "ProvenanceRecorder",
+    "FlowEdge",
+    "FlowLeaf",
+    "FlowSlice",
+    "explain_violation",
+    "get_recorder",
+    "install_recorder",
+    "record_provenance",
     "Observer",
     "NullObserver",
     "NULL_OBSERVER",

@@ -84,6 +84,31 @@ class Histogram:
         if self.maximum is None or value > self.maximum:
             self.maximum = value
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold *other*'s observations into this histogram.
+
+        Requires identical bucket bounds.  Merging an empty histogram is
+        a no-op (min/max stay untouched); merging into an empty one
+        adopts the other's extrema.
+        """
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"histogram {self.name!r} bounds differ from "
+                f"{other.name!r}; cannot merge"
+            )
+        for index, value in enumerate(other.buckets):
+            self.buckets[index] += value
+        self.count += other.count
+        self.total += other.total
+        if other.minimum is not None and (
+            self.minimum is None or other.minimum < self.minimum
+        ):
+            self.minimum = other.minimum
+        if other.maximum is not None and (
+            self.maximum is None or other.maximum > self.maximum
+        ):
+            self.maximum = other.maximum
+
     def snapshot(self) -> dict:
         labels = [f"<={bound:g}" for bound in self.bounds] + ["+inf"]
         return {
@@ -145,3 +170,43 @@ class MetricsRegistry:
                 for name, histogram in sorted(self._histograms.items())
             },
         }
+
+    # ------------------------------------------------------------------
+    # Checkpoint support: a resumed analysis restores the interrupted
+    # run's instrument values so its final snapshot matches what an
+    # uninterrupted run would have reported.
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in self._counters.items()
+            },
+            "gauges": {
+                name: gauge.value for name, gauge in self._gauges.items()
+            },
+            "histograms": {
+                name: {
+                    "bounds": list(histogram.bounds),
+                    "buckets": list(histogram.buckets),
+                    "count": histogram.count,
+                    "total": histogram.total,
+                    "minimum": histogram.minimum,
+                    "maximum": histogram.maximum,
+                }
+                for name, histogram in self._histograms.items()
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        for name, value in state.get("counters", {}).items():
+            self.counter(name).value = value
+        for name, value in state.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, payload in state.get("histograms", {}).items():
+            histogram = self.histogram(name, tuple(payload["bounds"]))
+            histogram.buckets = list(payload["buckets"])
+            histogram.count = payload["count"]
+            histogram.total = payload["total"]
+            histogram.minimum = payload["minimum"]
+            histogram.maximum = payload["maximum"]

@@ -18,12 +18,16 @@ from repro.obs.clock import CLOCK, Clock
 class SpanStats:
     """Accumulated cost of one span path."""
 
-    __slots__ = ("calls", "wall", "cpu")
+    __slots__ = ("calls", "wall", "cpu", "errors")
 
     def __init__(self):
         self.calls = 0
         self.wall = 0.0
         self.cpu = 0.0
+        #: spans on this path that exited via an exception; the timing
+        #: still accumulates, so the stack stays balanced when wrapped
+        #: code raises
+        self.errors = 0
 
 
 class _Span:
@@ -36,15 +40,22 @@ class _Span:
         self._name = name
 
     def __enter__(self) -> "_Span":
+        # Read the clocks *before* pushing: if a clock raised after the
+        # push, the stack would stay unbalanced for every later span.
+        clock = self._profiler._clock
+        wall0 = clock.wall()
+        cpu0 = clock.cpu()
+        self._wall0 = wall0
+        self._cpu0 = cpu0
         self._profiler._push(self._name)
-        self._wall0 = self._profiler._clock.wall()
-        self._cpu0 = self._profiler._clock.cpu()
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, exc_type, exc, tb) -> None:
         clock = self._profiler._clock
         self._profiler._pop(
-            clock.wall() - self._wall0, clock.cpu() - self._cpu0
+            clock.wall() - self._wall0,
+            clock.cpu() - self._cpu0,
+            error=exc_type is not None,
         )
 
 
@@ -64,7 +75,9 @@ class Profiler:
     def _push(self, name: str) -> None:
         self._stack.append(name)
 
-    def _pop(self, wall: float, cpu: float) -> None:
+    def _pop(self, wall: float, cpu: float, error: bool = False) -> None:
+        if not self._stack:
+            return  # defensively tolerate an exit without a matching push
         path = "/".join(self._stack)
         self._stack.pop()
         entry = self.stats.get(path)
@@ -73,6 +86,8 @@ class Profiler:
         entry.calls += 1
         entry.wall += wall
         entry.cpu += cpu
+        if error:
+            entry.errors += 1
 
     # ------------------------------------------------------------------
     @property
@@ -85,9 +100,29 @@ class Profiler:
                 "calls": entry.calls,
                 "wall_seconds": round(entry.wall, 6),
                 "cpu_seconds": round(entry.cpu, 6),
+                "errors": entry.errors,
             }
             for path, entry in self.stats.items()
         }
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        return {
+            path: (entry.calls, entry.wall, entry.cpu, entry.errors)
+            for path, entry in self.stats.items()
+        }
+
+    def restore_state(self, state: dict) -> None:
+        for path, (calls, wall, cpu, errors) in state.items():
+            entry = self.stats.get(path)
+            if entry is None:
+                entry = self.stats[path] = SpanStats()
+            entry.calls = calls
+            entry.wall = wall
+            entry.cpu = cpu
+            entry.errors = errors
 
     def rows(self) -> List[Tuple[str, int, float, float]]:
         """(path, calls, wall, cpu) rows in first-seen order."""

@@ -1,20 +1,33 @@
 """Structured event tracing: typed JSONL, one event per line.
 
-Every event is a flat JSON object with two reserved fields -- ``event``
-(the type tag) and ``wall`` (seconds since the recorder opened) -- plus
-arbitrary type-specific fields.  The schema is documented in DESIGN.md
-("Observability"); the event types emitted by the pipeline are:
+Every event is a flat JSON object with four reserved fields -- ``event``
+(the type tag), ``wall`` (seconds since the recorder opened), ``v`` (the
+trace schema version, currently :data:`TRACE_SCHEMA_VERSION`), and
+``seq`` (a per-recorder monotonic sequence number, checkpoint-restorable
+so a resumed run continues the uninterrupted numbering) -- plus
+type-specific fields.  :data:`EVENT_SCHEMAS` documents every event type
+the pipeline emits and is what ``repro trace-lint`` validates against:
 
-=====================  ====================================================
-``fork``               PC concretisation split (tracker)
-``merge``              conservative-state widening at a merge point
-``prune``              a path stopped because its state was already covered
-``widen``              exploration continued from the conservative state
-``violation``          one policy violation from the completed analysis
-``step``               per-cycle summary from the gate-level runner
-``transform_applied``  one repair rewrite (watchdog bound / store mask)
-``reverify``           a re-analysis round inside the secure-compile loop
-=====================  ====================================================
+=======================  ==================================================
+``fork``                 PC concretisation split (tracker)
+``merge``                conservative-state widening at a merge point
+``prune``                a path stopped because its state was covered
+``widen``                exploration continued from the conservative state
+``violation``            one policy violation from the completed analysis
+``step``                 per-cycle summary from the gate-level runner
+``transform_applied``    one repair rewrite (watchdog bound / store mask)
+``reverify``             a re-analysis round inside the secure-compile loop
+``interrupted``          cooperative interrupt stopped the exploration
+``degraded``             one unexplored path widened away (budget)
+``budget_exhausted``     a budget axis ran out; worklist drained
+``checkpoint_saved``     analysis state persisted to disk
+``fault_injected``       the fault injector fired
+``provenance``           provenance-recording summary for a finished run
+``provenance_truncated`` the provenance ring wrapped; slices best-effort
+=======================  ==================================================
+
+Version history: v1 (unversioned) had no ``v``/``seq`` fields; v2 added
+them plus the provenance events.
 """
 
 from __future__ import annotations
@@ -22,9 +35,88 @@ from __future__ import annotations
 import io
 import json
 from pathlib import Path
-from typing import Optional, Union
+from typing import Dict, List, Union
 
 from repro.obs.clock import CLOCK, Clock
+
+#: Schema version stamped into every event's ``v`` field.
+TRACE_SCHEMA_VERSION = 2
+
+#: Fields present on every event, owned by the recorder itself.
+RESERVED_FIELDS = frozenset({"event", "wall", "v", "seq"})
+
+#: Per-event-type field contracts: required fields must be present,
+#: optional ones may be; anything else is flagged by :func:`lint_trace`.
+EVENT_SCHEMAS: Dict[str, Dict[str, frozenset]] = {
+    "fork": {
+        "required": frozenset(
+            {"site", "node", "children", "targets", "pc_tainted", "cycle"}
+        ),
+        "optional": frozenset(),
+    },
+    "merge": {
+        "required": frozenset({"site", "cycle"}),
+        "optional": frozenset(),
+    },
+    "prune": {
+        "required": frozenset({"site", "node", "cycle"}),
+        "optional": frozenset(),
+    },
+    "widen": {
+        "required": frozenset({"site", "node", "cycle"}),
+        "optional": frozenset(),
+    },
+    "violation": {
+        "required": frozenset(
+            {"kind", "condition", "address", "task", "advisory"}
+        ),
+        "optional": frozenset(),
+    },
+    "step": {
+        "required": frozenset(
+            {"cycle", "phase", "pc", "reset", "read", "write", "port_events"}
+        ),
+        "optional": frozenset({"provenance_edges"}),
+    },
+    "transform_applied": {
+        "required": frozenset({"kind", "iteration"}),
+        "optional": frozenset({"task", "slices", "interval", "address"}),
+    },
+    "reverify": {
+        "required": frozenset({"iteration", "after"}),
+        "optional": frozenset(),
+    },
+    "interrupted": {
+        "required": frozenset({"reason", "checkpoint", "paths", "cycles"}),
+        "optional": frozenset(),
+    },
+    "degraded": {
+        "required": frozenset({"node", "cycle", "reasons"}),
+        "optional": frozenset(),
+    },
+    "budget_exhausted": {
+        "required": frozenset({"reasons", "paths", "cycles", "drained"}),
+        "optional": frozenset(),
+    },
+    "checkpoint_saved": {
+        "required": frozenset({"path", "paths", "cycles", "reason"}),
+        "optional": frozenset(),
+    },
+    "fault_injected": {
+        "required": frozenset({"kind", "cycle"}),
+        "optional": frozenset(),
+    },
+    "provenance": {
+        "required": frozenset(
+            {"edges", "retained", "capacity", "truncated", "labels"}
+        ),
+        "optional": frozenset(),
+    },
+    "provenance_truncated": {
+        "required": frozenset({"edges", "capacity"}),
+        "optional": frozenset(),
+    },
+}
 
 
 def _jsonable(value):
@@ -54,15 +146,26 @@ class TraceRecorder:
         self._clock = clock
         self._start = clock.wall()
         self.events_written = 0
+        #: next event's ``seq``; runs ahead of ``events_written`` after a
+        #: checkpoint restore so resumed runs continue the original
+        #: numbering instead of restarting at zero
+        self.sequence = 0
 
     def emit(self, event: str, **fields) -> None:
         record = {
             "event": event,
             "wall": round(self._clock.wall() - self._start, 6),
+            "v": TRACE_SCHEMA_VERSION,
+            "seq": self.sequence,
         }
         record.update(fields)
         self._file.write(json.dumps(record, default=_jsonable) + "\n")
         self.events_written += 1
+        self.sequence += 1
+
+    def set_sequence(self, sequence: int) -> None:
+        """Continue numbering from *sequence* (checkpoint restore)."""
+        self.sequence = sequence
 
     def flush(self) -> None:
         self._file.flush()
@@ -87,3 +190,69 @@ def read_events(path: Union[str, Path]):
             if line:
                 events.append(json.loads(line))
     return events
+
+
+def lint_trace(path: Union[str, Path]) -> List[str]:
+    """Validate a JSONL trace against :data:`EVENT_SCHEMAS`.
+
+    Returns a list of human-readable problems (empty for a clean trace):
+    unparseable lines, missing reserved fields, wrong schema version,
+    non-monotonic sequence numbers, unknown event types, and missing or
+    undeclared event fields.
+    """
+    problems: List[str] = []
+    last_sequence = None
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                problems.append(f"line {line_no}: unparseable JSON ({error})")
+                continue
+            if not isinstance(record, dict):
+                problems.append(f"line {line_no}: event is not an object")
+                continue
+            for reserved in ("event", "wall", "v", "seq"):
+                if reserved not in record:
+                    problems.append(
+                        f"line {line_no}: missing reserved field "
+                        f"{reserved!r}"
+                    )
+            version = record.get("v")
+            if version is not None and version != TRACE_SCHEMA_VERSION:
+                problems.append(
+                    f"line {line_no}: schema version {version!r} != "
+                    f"{TRACE_SCHEMA_VERSION}"
+                )
+            sequence = record.get("seq")
+            if isinstance(sequence, int):
+                if last_sequence is not None and sequence <= last_sequence:
+                    problems.append(
+                        f"line {line_no}: seq {sequence} not greater than "
+                        f"previous {last_sequence}"
+                    )
+                last_sequence = sequence
+            event = record.get("event")
+            if event is None:
+                continue
+            schema = EVENT_SCHEMAS.get(event)
+            if schema is None:
+                problems.append(
+                    f"line {line_no}: unknown event type {event!r}"
+                )
+                continue
+            present = set(record) - RESERVED_FIELDS
+            missing = schema["required"] - present
+            for name in sorted(missing):
+                problems.append(
+                    f"line {line_no}: {event}: missing field {name!r}"
+                )
+            unknown = present - schema["required"] - schema["optional"]
+            for name in sorted(unknown):
+                problems.append(
+                    f"line {line_no}: {event}: undeclared field {name!r}"
+                )
+    return problems

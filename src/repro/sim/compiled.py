@@ -34,6 +34,7 @@ from repro.netlist.cells import CONSTANT_CELLS
 from repro.netlist.levelize import levelize
 from repro.netlist.netlist import Netlist
 from repro.obs import get_observer
+from repro.obs.provenance import get_recorder
 
 #: Codes for common states.
 CODE_0 = 0  # value 0, untainted
@@ -261,17 +262,90 @@ class CompiledCircuit:
         codes = state.codes
         if len(self._const_nets_arr):
             codes[self._const_nets_arr] = self._const_codes_arr
-        for groups in self._levels:
+        recorder = get_recorder()
+        if recorder is not None:
+            self._eval_levels_recording(codes, self._levels, recorder)
+        else:
+            for groups in self._levels:
+                for group in groups:
+                    index = codes[group.inputs[0]].astype(np.int32)
+                    for column in group.inputs[1:]:
+                        index *= 6
+                        index += codes[column]
+                    codes[group.outputs] = group.lut[index]
+        obs = get_observer()
+        if obs.enabled:
+            self._count_gate_evals(obs, self._gates_by_type,
+                                   self._total_gates)
+
+    def _producer_tables(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-net fan-in table and topological rank for provenance.
+
+        ``table`` is ``(num_nets, max_arity)``: row *n* holds the input
+        net ids of the gate driving net *n* (-1 padded; nets without a
+        combinational producer -- DFF Qs, ports, constants -- stay all
+        -1).  ``rank[n]`` is the driving gate's position in evaluation
+        order, used to emit a pass's edges cause-before-effect.  Built
+        lazily on the first provenance-recording pass.
+        """
+        cached = getattr(self, "_prod_tables", None)
+        if cached is None:
+            max_arity = 1
+            for groups in self._levels:
+                for group in groups:
+                    max_arity = max(max_arity, len(group.inputs))
+            table = np.full((self.num_nets, max_arity), -1, dtype=np.int64)
+            rank = np.zeros(self.num_nets, dtype=np.int64)
+            counter = 0
+            for groups in self._levels:
+                for group in groups:
+                    for position, column in enumerate(group.inputs):
+                        table[group.outputs, position] = column
+                    rank[group.outputs] = np.arange(
+                        counter, counter + len(group.outputs)
+                    )
+                    counter += len(group.outputs)
+            cached = self._prod_tables = (table, rank)
+        return cached
+
+    def _eval_levels_recording(
+        self, codes: np.ndarray, levels: List[List[_Group]], recorder
+    ) -> None:
+        """The evaluation loop with per-gate taint-provenance capture.
+
+        The inner gate loop is identical to the plain path; provenance
+        costs two whole-array operations per pass -- snapshot the codes
+        before, diff the taint bits after -- plus fan-in resolution for
+        just the newly-tainted nets.  Each net is written at most once
+        per pass and its fan-ins come from earlier levels, so the
+        post-pass codes are exactly what the producing gate read, and
+        the diff attributes every new taint bit to the right edges.
+        Edges are emitted in the gates' evaluation order: the backward
+        slicer relies on a cause being recorded before its effect.
+        """
+        before = codes.copy()
+        for groups in levels:
             for group in groups:
                 index = codes[group.inputs[0]].astype(np.int32)
                 for column in group.inputs[1:]:
                     index *= 6
                     index += codes[column]
                 codes[group.outputs] = group.lut[index]
-        obs = get_observer()
-        if obs.enabled:
-            self._count_gate_evals(obs, self._gates_by_type,
-                                   self._total_gates)
+        fresh = np.nonzero(codes & ~before & 1)[0]
+        if len(fresh) == 0:
+            return
+        table, rank = self._producer_tables()
+        fresh = fresh[np.argsort(rank[fresh])]
+        fan_in = table[fresh]  # (n, max_arity)
+        # Row-major ravel keeps each gate's fan-in edges consecutive, so
+        # the stream stays topologically ordered within the pass.
+        src_flat = fan_in.ravel()
+        dst_flat = np.repeat(fresh, fan_in.shape[1])
+        mask = (src_flat >= 0) & (
+            (codes[np.maximum(src_flat, 0)] & 1).astype(bool)
+        )
+        if mask.any():
+            recorder.record_gate(dst_flat[mask], src_flat[mask])
 
     def _count_gate_evals(self, obs, by_type: Dict[str, int],
                           total: int) -> None:
@@ -368,13 +442,17 @@ class CompiledCircuit:
         codes = state.codes
         if len(self._const_nets_arr):
             codes[self._const_nets_arr] = self._const_codes_arr
-        for groups in plan:
-            for group in groups:
-                index = codes[group.inputs[0]].astype(np.int32)
-                for column in group.inputs[1:]:
-                    index *= 6
-                    index += codes[column]
-                codes[group.outputs] = group.lut[index]
+        recorder = get_recorder()
+        if recorder is not None:
+            self._eval_levels_recording(codes, plan, recorder)
+        else:
+            for groups in plan:
+                for group in groups:
+                    index = codes[group.inputs[0]].astype(np.int32)
+                    for column in group.inputs[1:]:
+                        index *= 6
+                        index += codes[column]
+                    codes[group.outputs] = group.lut[index]
         obs = get_observer()
         if obs.enabled:
             by_type, total = self._totals_of_plan(plan)
@@ -382,7 +460,20 @@ class CompiledCircuit:
 
     def clock_edge(self, state: CircuitState) -> None:
         """Latch every flip-flop: ``Q <= D``."""
+        recorder = get_recorder()
+        if recorder is not None:
+            codes = state.codes
+            newly = (codes[self._dff_d] & 1) & (codes[self._dff_q] & 1 ^ 1)
+            picks = np.nonzero(newly)[0]
+            if len(picks):
+                recorder.record_latch(
+                    self._dff_q[picks], self._dff_d[picks]
+                )
         state.codes[self._dff_q] = state.codes[self._dff_d]
+
+    def dff_nets(self) -> np.ndarray:
+        """Net ids of every flip-flop Q (read-only view)."""
+        return self._dff_q
 
     def taint_fraction(self, state: CircuitState) -> float:
         """Fraction of nets currently tainted (used by the *-logic study)."""

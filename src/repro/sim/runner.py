@@ -14,6 +14,7 @@ from repro.isa.program import Program
 from repro.logic.ternary import ONE, UNKNOWN, ZERO
 from repro.logic.words import TWord
 from repro.obs import get_observer
+from repro.obs.provenance import get_recorder
 from repro.sim.compiled import CompiledCircuit
 from repro.sim.soc import AddressSpace, CycleEvents, Rom, SoC
 
@@ -166,6 +167,10 @@ class GateRunner:
     def _emit_step(self, obs, cycle: int, events: CycleEvents) -> None:
         """One per-cycle summary trace event."""
         phase = self.phase()
+        fields = {}
+        recorder = get_recorder()
+        if recorder is not None:
+            fields["provenance_edges"] = recorder.edges_this_cycle
         obs.emit(
             "step",
             cycle=cycle,
@@ -175,6 +180,7 @@ class GateRunner:
             read=events.read is not None,
             write=events.write is not None,
             port_events=len(events.port_events),
+            **fields,
         )
 
     def run(

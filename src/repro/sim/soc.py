@@ -43,6 +43,7 @@ from repro import memmap
 from repro.logic.ternary import ONE, UNKNOWN, ZERO
 from repro.logic.words import TWord
 from repro.obs import get_observer
+from repro.obs.provenance import get_recorder
 from repro.resilience.faults import get_injector
 from repro.sim.compiled import CircuitState, CompiledCircuit
 from repro.sim.memory import TaintedMemory
@@ -355,6 +356,10 @@ class SoC:
             injector.on_step(self)
         circuit = self.circuit
         state = self.state
+        recorder = get_recorder()
+        if recorder is not None:
+            recorder.ensure_bound(circuit)
+            recorder.begin_cycle(self.cycle)
 
         por_value, por_taint = self.pending_por
         ext_value, ext_taint = external_reset
@@ -379,6 +384,17 @@ class SoC:
         pmem_addr = circuit.read_output(state, "pmem_addr")
         instruction = self.rom.read(pmem_addr)
         circuit.set_input(state, "pmem_rdata", instruction)
+        if recorder is not None and instruction.tmask:
+            # Tainted instruction bits were introduced at the fetch
+            # interface: label them with their program-memory origin.
+            label = (
+                f"rom[0x{pmem_addr.bits:04x}]"
+                if pmem_addr.xmask == 0
+                else "rom"
+            )
+            recorder.record_input(
+                circuit.input_nets("pmem_rdata"), instruction.tmask, label
+            )
 
         # While reset is asserted the FSM outputs are not yet meaningful
         # (they are X out of power-on); a real POR gates the memory
@@ -393,6 +409,8 @@ class SoC:
             data = self.space.read(dmem_addr, ren)
             read_event = MemRead(dmem_addr, data, ren)
             circuit.set_input(state, "dmem_rdata", data)
+            if recorder is not None and data.tmask:
+                self._record_read_provenance(recorder, dmem_addr, data)
         else:
             circuit.set_input(state, "dmem_rdata", TWord.unknown(16))
 
@@ -407,6 +425,10 @@ class SoC:
             waddr = circuit.read_output(state, "dmem_addr")
             ram_match = self.space.write(waddr, wdata, wen)
             write_event = MemWrite(waddr, wdata, wen, ram_match)
+            if recorder is not None and (wdata.tmask or waddr.tmask):
+                self._record_write_provenance(
+                    recorder, waddr, wdata, ram_match
+                )
 
         self.space.timer.tick()
         self.pending_por = self.space.watchdog.tick()
@@ -428,6 +450,58 @@ class SoC:
         if obs.enabled:
             obs.metrics.counter("sim.cycles").inc()
         return events
+
+    def _record_read_provenance(
+        self, recorder, address: TWord, data: TWord
+    ) -> None:
+        """Explain tainted load data arriving at ``dmem_rdata``.
+
+        Concrete loads link to their device (tainted input port by name,
+        RAM word by pseudo-net so store->load flows stay connected); an
+        attacker-steerable address additionally links the data bits to
+        the tainted address bits; smeared loads fall back to a
+        ``dmem[smeared]`` label.
+        """
+        circuit = self.circuit
+        rdata_nets = circuit.input_nets("dmem_rdata")
+        if address.tmask:
+            addr_nets = circuit.output_nets("dmem_addr")
+            srcs = [
+                net
+                for bit, net in enumerate(addr_nets)
+                if (address.tmask >> bit) & 1
+            ]
+            dsts = [
+                net
+                for bit, net in enumerate(rdata_nets)
+                if (data.tmask >> bit) & 1
+            ]
+            recorder.record_cross(dsts, srcs)
+        if address.xmask == 0:
+            index = address.bits
+            port = self.space.ports.get(index)
+            if port is None:
+                recorder.record_ram_read(rdata_nets, data.tmask, index)
+            elif getattr(port, "tainted", False) or not address.tmask:
+                recorder.record_input(
+                    rdata_nets, data.tmask, getattr(port, "name", "port")
+                )
+        else:
+            recorder.record_input(rdata_nets, data.tmask, "dmem[smeared]")
+
+    def _record_write_provenance(
+        self, recorder, address: TWord, data: TWord, ram_match: np.ndarray
+    ) -> None:
+        """Link possibly-written RAM words to the tainted store nets."""
+        circuit = self.circuit
+        srcs: List[int] = []
+        for bit, net in enumerate(circuit.output_nets("dmem_wdata")):
+            if (data.tmask >> bit) & 1:
+                srcs.append(net)
+        for bit, net in enumerate(circuit.output_nets("dmem_addr")):
+            if (address.tmask >> bit) & 1:
+                srcs.append(net)
+        recorder.record_ram_write(np.nonzero(ram_match)[0], srcs)
 
     # ------------------------------------------------------------------
     # Tracker state management

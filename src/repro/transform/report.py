@@ -29,6 +29,14 @@ def render_diagnostics(
         )
     for fix in fixes:
         lines.append(f"{program_name}: warning: {fix}")
+    for flow in causes.explanations:
+        violation = flow.violation
+        where = (
+            f"0x{violation.address:04x}" if violation is not None else "?"
+        )
+        lines.append(
+            f"{program_name}: note: taint flow at {where}: {flow.summary()}"
+        )
     if not lines:
         lines.append(f"{program_name}: no modifications required")
     return "\n".join(lines)

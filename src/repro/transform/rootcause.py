@@ -38,6 +38,10 @@ class RootCauses:
     #: direct tainted writes to untainted ports (fundamental unless the
     #: store is reparable by masking -- those appear in stores_to_mask)
     port_errors: List[Violation] = field(default_factory=list)
+    #: gate-level taint-flow explanations (``FlowSlice`` per violation),
+    #: populated when the analysis recorded provenance; diagnostics quote
+    #: these so the developer sees *which labelled input* reached the sink
+    explanations: List[object] = field(default_factory=list)
 
     @property
     def needs_masking(self) -> bool:
@@ -52,6 +56,11 @@ class RootCauses:
         return not self.fundamental and not self.port_errors
 
 
+#: Per-analysis cap on attached explanations; backward slices cost
+#: O(edges) each and diagnostics only quote the first few anyway.
+MAX_EXPLANATIONS = 8
+
+
 def identify_root_causes(result: AnalysisResult) -> RootCauses:
     causes = RootCauses()
     causes.stores_to_mask = result.violating_stores()
@@ -63,4 +72,9 @@ def identify_root_causes(result: AnalysisResult) -> RootCauses:
             if violation.address in causes.stores_to_mask:
                 continue  # masking already repairs this store
             causes.port_errors.append(violation)
+    if result.provenance is not None:
+        for violation in result.violations[:MAX_EXPLANATIONS]:
+            if violation.advisory:
+                continue
+            causes.explanations.append(result.explain(violation))
     return causes

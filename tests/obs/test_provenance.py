@@ -1,0 +1,275 @@
+"""Tests for the taint-provenance recorder, slicer and report."""
+
+import numpy as np
+import pytest
+
+from repro.core import TaintTracker, default_policy
+from repro.isa.assembler import assemble
+from repro.obs.provenance import (
+    KIND_GATE,
+    ProvenanceRecorder,
+    explain_violation,
+    get_recorder,
+    install_recorder,
+    record_provenance,
+)
+from repro.obs.report import build_report
+from repro.workloads.motivating import figure4_source
+
+
+def _ids(values):
+    return np.asarray(values, dtype=np.int64)
+
+
+class TestRecorder:
+    def test_off_by_default(self):
+        assert get_recorder() is None
+
+    def test_hook_installs_and_restores(self):
+        recorder = ProvenanceRecorder(capacity=16)
+        with record_provenance(recorder) as installed:
+            assert installed is recorder
+            assert get_recorder() is recorder
+        assert get_recorder() is None
+
+    def test_hook_restores_on_exception(self):
+        recorder = ProvenanceRecorder(capacity=16)
+        with pytest.raises(RuntimeError):
+            with record_provenance(recorder):
+                raise RuntimeError("boom")
+        assert get_recorder() is None
+        assert install_recorder(None) is None
+
+    def test_label_interning_is_stable(self):
+        recorder = ProvenanceRecorder(capacity=16)
+        first = recorder.label_id("P1IN")
+        second = recorder.label_id("rom")
+        assert first == recorder.label_id("P1IN")
+        assert first != second
+        assert first < 0 and second < 0
+        assert recorder.node_name(first) == "P1IN"
+        assert recorder.node_name(second) == "rom"
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            ProvenanceRecorder(capacity=0)
+
+    def test_ring_wrap_sets_truncated_and_keeps_newest(self):
+        recorder = ProvenanceRecorder(capacity=4)
+        recorder.bind_raw(100)
+        for cycle in range(6):
+            recorder.begin_cycle(cycle)
+            recorder.record_gate(_ids([cycle]), _ids([cycle + 50]))
+        assert recorder.recorded == 6
+        assert recorder.truncated
+        # Only the newest 4 edges survive; dst 0 and 1 were evicted.
+        index = recorder._dst_index()
+        assert 0 not in index and 1 not in index
+        assert sorted(index) == [2, 3, 4, 5]
+
+    def test_ram_pseudo_net_naming(self):
+        recorder = ProvenanceRecorder(capacity=16)
+        recorder.bind_raw(10)
+        node = recorder.ram_node(0x42)
+        assert recorder.node_name(node) == "ram[0x0042]"
+        assert recorder.is_source_node(node)
+        assert not recorder.is_source_node(3)
+
+    def test_slice_chases_through_gate_dff_and_ram(self):
+        """input -> gate -> dff -> ram store -> ram load -> sink."""
+        recorder = ProvenanceRecorder(capacity=64)
+        recorder.bind_raw(100)
+        recorder.begin_cycle(1)
+        recorder.record_input([10], tmask=1, label="P1IN")
+        recorder.record_gate(_ids([11]), _ids([10]))
+        recorder.record_latch(_ids([12]), _ids([11]))
+        recorder.begin_cycle(2)
+        recorder.record_ram_write([7], _ids([12]))
+        recorder.begin_cycle(3)
+        recorder.record_ram_read([13], tmask=1, word=7)
+        flow = recorder.slice_to([13], cycle=3)
+        assert "P1IN" in flow.origins
+        assert "ram[0x0007]" in flow.origins
+        assert flow.chain, "expected a linear origin->sink chain"
+        assert flow.chain[0].src_name == "P1IN"
+        assert flow.chain[-1].dst == 13
+        kinds = {edge.kind for edge in flow.edges}
+        assert kinds == {"input", "gate", "dff", "ram"}
+
+    def test_slice_unrecorded_taint_is_honest_dead_end(self):
+        recorder = ProvenanceRecorder(capacity=16)
+        recorder.bind_raw(100)
+        recorder.begin_cycle(1)
+        # net 20's own cause was never recorded
+        recorder.record_gate(_ids([21]), _ids([20]))
+        flow = recorder.slice_to([21], cycle=1)
+        assert flow.origins == []
+        assert any("(unrecorded)" in leaf.name for leaf in flow.leaves)
+        assert "unrecorded" in flow.summary() or flow.origins == []
+
+    def test_slice_ignores_later_reconvergence(self):
+        """Events recorded *after* the sink's cause must not alias the
+        backward walk into a cycle (tracker re-simulates cycle numbers)."""
+        recorder = ProvenanceRecorder(capacity=64)
+        recorder.bind_raw(100)
+        recorder.begin_cycle(1)
+        recorder.record_input([10], tmask=1, label="P1IN")
+        recorder.record_gate(_ids([11]), _ids([10]))
+        # a restored sibling path re-taints 10 *from* 11 at the same cycle
+        recorder.begin_cycle(1)
+        recorder.record_gate(_ids([10]), _ids([11]))
+        flow = recorder.slice_to([11], cycle=1)
+        assert flow.origins == ["P1IN"]
+
+    def test_cross_product_edges_are_capped(self):
+        recorder = ProvenanceRecorder(capacity=4096)
+        recorder.bind_raw(1000)
+        recorder.begin_cycle(0)
+        recorder.record_cross(_ids(range(32)), _ids(range(100, 164)))
+        from repro.obs.provenance import CROSS_EDGE_CAP
+
+        assert recorder.recorded <= CROSS_EDGE_CAP
+
+    def test_smeared_ram_write_cap_sets_truncated(self):
+        from repro.obs.provenance import RAM_WRITE_CAP
+
+        recorder = ProvenanceRecorder(capacity=4096)
+        recorder.bind_raw(100)
+        recorder.begin_cycle(0)
+        recorder.record_ram_write(list(range(RAM_WRITE_CAP + 8)), _ids([1]))
+        assert recorder.truncated
+
+    def test_cycle_activity_buckets(self):
+        recorder = ProvenanceRecorder(capacity=256)
+        recorder.bind_raw(100)
+        for cycle in range(20):
+            recorder.begin_cycle(cycle)
+            recorder.record_gate(_ids([1, 2]), _ids([3, 4]))
+        activity = recorder.cycle_activity(buckets=5)
+        assert len(activity) == 5
+        assert sum(entry["edges"] for entry in activity) == 40
+        assert activity[0]["from_cycle"] == 0
+
+    def test_export_restore_roundtrip(self):
+        recorder = ProvenanceRecorder(capacity=32)
+        recorder.bind_raw(100)
+        recorder.begin_cycle(1)
+        recorder.record_input([10], tmask=1, label="P1IN")
+        recorder.record_gate(_ids([11]), _ids([10]))
+        state = recorder.export_state()
+        clone = ProvenanceRecorder(capacity=32)
+        clone.restore_state(state)
+        flow = clone.slice_to([11], cycle=1)
+        assert flow.origins == ["P1IN"]
+        assert clone.recorded == recorder.recorded
+
+    def test_restore_into_smaller_ring_keeps_newest(self):
+        recorder = ProvenanceRecorder(capacity=32)
+        recorder.bind_raw(100)
+        for cycle in range(8):
+            recorder.begin_cycle(cycle)
+            recorder.record_gate(_ids([cycle]), _ids([cycle + 50]))
+        clone = ProvenanceRecorder(capacity=4)
+        clone.restore_state(recorder.export_state())
+        assert clone.truncated
+        index = clone._dst_index()
+        assert sorted(index) == [4, 5, 6, 7]
+
+
+@pytest.fixture(scope="module")
+def figure4_result():
+    program = assemble(figure4_source(), name="figure4")
+    recorder = ProvenanceRecorder()
+    result = TaintTracker(
+        program, default_policy(), provenance=recorder
+    ).run()
+    return result
+
+
+class TestExplainEndToEnd:
+    def test_analysis_is_insecure(self, figure4_result):
+        assert figure4_result.verdict == "insecure"
+        assert figure4_result.violations
+        assert figure4_result.provenance is not None
+
+    def test_every_violation_reaches_a_labelled_origin(self, figure4_result):
+        for index in range(len(figure4_result.violations)):
+            flow = explain_violation(figure4_result, index)
+            assert flow.origins, f"violation {index} found no origin"
+            assert flow.chain, f"violation {index} has no linear chain"
+            # leaf = a labelled tainted input (P1IN or tainted rom/ram)
+            assert flow.chain[0].src < 0 or flow.chain[0].src_name.startswith(
+                "ram["
+            )
+
+    def test_store_violation_chain_ends_at_write_port(self, figure4_result):
+        store = next(
+            index
+            for index, violation in enumerate(figure4_result.violations)
+            if violation.kind == "tainted_write_untainted_memory"
+        )
+        flow = figure4_result.explain(store)
+        assert "P1IN" in flow.origins
+        assert flow.chain[-1].dst_name.startswith(
+            ("dmem_wdata", "dmem_addr")
+        )
+
+    def test_explain_index_out_of_range(self, figure4_result):
+        with pytest.raises(IndexError):
+            explain_violation(figure4_result, 99)
+
+    def test_explain_requires_a_recorder(self):
+        program = assemble(figure4_source(), name="figure4")
+        result = TaintTracker(program, default_policy()).run()
+        with pytest.raises(ValueError):
+            explain_violation(result, 0)
+
+    def test_dot_export_is_wellformed(self, figure4_result):
+        flow = figure4_result.explain(0)
+        dot = flow.to_dot(title="test")
+        assert dot.startswith("digraph taint_flow {")
+        assert dot.rstrip().endswith("}")
+        assert '"P1IN"' in dot
+        assert "->" in dot
+
+    def test_to_document_is_json_ready(self, figure4_result):
+        import json
+
+        document = figure4_result.explain(0).to_document()
+        json.dumps(document)
+        assert document["origins"]
+        assert document["chain"]
+
+    def test_checkpoint_roundtrip_preserves_provenance(self, figure4_result):
+        payload = {
+            "provenance": figure4_result.provenance.export_state(),
+        }
+        program = assemble(figure4_source(), name="figure4")
+        recorder = ProvenanceRecorder()
+        recorder.restore_state(payload["provenance"])
+        assert recorder.recorded == figure4_result.provenance.recorded
+        assert recorder.truncated == figure4_result.provenance.truncated
+
+    def test_html_report_is_self_contained(self, figure4_result):
+        html = build_report(figure4_result)
+        assert html.startswith("<!DOCTYPE html>")
+        assert "http://" not in html and "https://" not in html
+        assert "INSECURE" in html
+        assert "P1IN" in html
+        assert "heatmap" in html
+        assert "digraph taint_flow" in html
+
+    def test_report_without_recorder_still_renders(self, figure4_result):
+        program = assemble(figure4_source(), name="figure4")
+        result = TaintTracker(program, default_policy()).run()
+        html = build_report(result)
+        assert "INSECURE" in html
+        assert "digraph" not in html
+
+    def test_root_causes_carry_explanations(self, figure4_result):
+        from repro.transform.rootcause import identify_root_causes
+
+        causes = identify_root_causes(figure4_result)
+        assert causes.explanations
+        assert all(flow.violation is not None for flow in causes.explanations)
+        assert any(flow.origins for flow in causes.explanations)

@@ -1,0 +1,182 @@
+"""Trace schema v2: versioned events, sequence numbers, and the linter."""
+
+import io
+import json
+
+from repro.obs import (
+    EVENT_SCHEMAS,
+    Observer,
+    TRACE_SCHEMA_VERSION,
+    TraceRecorder,
+    lint_trace,
+)
+
+
+def _events(sink: io.StringIO):
+    return [
+        json.loads(line) for line in sink.getvalue().splitlines() if line
+    ]
+
+
+class TestVersionAndSequence:
+    def test_every_event_carries_version_and_seq(self):
+        sink = io.StringIO()
+        trace = TraceRecorder(sink)
+        trace.emit("merge", site="0x10", cycle=1)
+        trace.emit("prune", site="0x10", node=2, cycle=1)
+        events = _events(sink)
+        assert [event["v"] for event in events] == [TRACE_SCHEMA_VERSION] * 2
+        assert [event["seq"] for event in events] == [0, 1]
+
+    def test_set_sequence_continues_numbering(self):
+        sink = io.StringIO()
+        trace = TraceRecorder(sink)
+        trace.set_sequence(41)
+        trace.emit("merge", site="0x10", cycle=1)
+        assert _events(sink)[0]["seq"] == 41
+        assert trace.sequence == 42
+
+    def test_observer_state_roundtrips_trace_seq(self):
+        sink = io.StringIO()
+        observer = Observer(trace=TraceRecorder(sink))
+        observer.emit("merge", site="0x10", cycle=1)
+        observer.counter("tracker.paths").inc(3)
+        state = observer.export_state()
+        assert state["trace_seq"] == 1
+
+        resumed = Observer(trace=TraceRecorder(io.StringIO()))
+        resumed.restore_state(state)
+        assert resumed.trace.sequence == 1
+        assert resumed.metrics.counter("tracker.paths").value == 3
+
+    def test_restore_never_rewinds_sequence(self):
+        observer = Observer(trace=TraceRecorder(io.StringIO()))
+        observer.trace.set_sequence(10)
+        observer.restore_state({"trace_seq": 4})
+        assert observer.trace.sequence == 10
+
+
+class TestLinter:
+    def _write(self, tmp_path, lines):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    def test_recorder_output_lints_clean(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceRecorder(path) as trace:
+            trace.emit("merge", site="0x10", cycle=1)
+            trace.emit(
+                "step",
+                cycle=1,
+                phase="F",
+                pc=0x10,
+                reset=False,
+                read=False,
+                write=False,
+                port_events=0,
+                provenance_edges=12,
+            )
+            trace.emit(
+                "provenance",
+                edges=100,
+                retained=100,
+                capacity=1024,
+                truncated=False,
+                labels=["P1IN"],
+            )
+        assert lint_trace(path) == []
+
+    def test_unparseable_line(self, tmp_path):
+        path = self._write(tmp_path, ["{not json"])
+        problems = lint_trace(path)
+        assert len(problems) == 1
+        assert "unparseable" in problems[0]
+
+    def test_missing_reserved_fields(self, tmp_path):
+        path = self._write(tmp_path, [json.dumps({"event": "merge"})])
+        problems = lint_trace(path)
+        assert any("'wall'" in problem for problem in problems)
+        assert any("'v'" in problem for problem in problems)
+        assert any("'seq'" in problem for problem in problems)
+
+    def test_wrong_version(self, tmp_path):
+        record = {
+            "event": "merge", "wall": 0.0, "v": 1, "seq": 0,
+            "site": "0x10", "cycle": 1,
+        }
+        path = self._write(tmp_path, [json.dumps(record)])
+        assert any("version" in problem for problem in lint_trace(path))
+
+    def test_non_monotonic_sequence(self, tmp_path):
+        def record(seq):
+            return json.dumps(
+                {
+                    "event": "merge", "wall": 0.0,
+                    "v": TRACE_SCHEMA_VERSION, "seq": seq,
+                    "site": "0x10", "cycle": 1,
+                }
+            )
+
+        path = self._write(tmp_path, [record(5), record(5), record(4)])
+        problems = lint_trace(path)
+        assert len([p for p in problems if "seq" in p]) == 2
+
+    def test_unknown_event_type(self, tmp_path):
+        record = {
+            "event": "nonsense", "wall": 0.0,
+            "v": TRACE_SCHEMA_VERSION, "seq": 0,
+        }
+        path = self._write(tmp_path, [json.dumps(record)])
+        assert any("unknown event" in problem for problem in lint_trace(path))
+
+    def test_missing_and_undeclared_fields(self, tmp_path):
+        record = {
+            "event": "merge", "wall": 0.0,
+            "v": TRACE_SCHEMA_VERSION, "seq": 0,
+            "site": "0x10",  # missing: cycle
+            "surprise": True,  # undeclared
+        }
+        path = self._write(tmp_path, [json.dumps(record)])
+        problems = lint_trace(path)
+        assert any("missing field 'cycle'" in problem for problem in problems)
+        assert any(
+            "undeclared field 'surprise'" in problem for problem in problems
+        )
+
+    def test_blank_lines_are_ignored(self, tmp_path):
+        path = self._write(tmp_path, ["", "  ", ""])
+        assert lint_trace(path) == []
+
+    def test_schemas_cover_the_documented_events(self):
+        # The v2 contract: provenance events exist, step declares the
+        # optional provenance_edges field.
+        assert "provenance" in EVENT_SCHEMAS
+        assert "provenance_truncated" in EVENT_SCHEMAS
+        assert "provenance_edges" in EVENT_SCHEMAS["step"]["optional"]
+
+
+class TestTraceLintCli:
+    def test_clean_trace_exits_zero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "trace.jsonl"
+        with TraceRecorder(path) as trace:
+            trace.emit("merge", site="0x10", cycle=1)
+        assert main(["trace-lint", str(path)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_dirty_trace_exits_one(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"event": "nonsense"}\n')
+        assert main(["trace-lint", str(path)]) == 1
+        output = capsys.readouterr().out
+        assert "unknown event" in output
+        assert "problem(s)" in output
+
+    def test_missing_file_is_an_input_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["trace-lint", str(tmp_path / "nope.jsonl")]) == 4
