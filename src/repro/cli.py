@@ -8,6 +8,8 @@ get the verdict, the diagnostics and (optionally) the repaired binary.
     python -m repro.cli analyze  app.s43 --deadline 3600 \\
         --checkpoint run.ckpt --checkpoint-every 16   # resumable
     python -m repro.cli analyze  app.s43 --resume run.ckpt
+    python -m repro.cli analyze  app.s43 --jobs 4   # bit-identical, parallel
+    python -m repro.cli analyze-all --jobs 4 -o results.json  # Table 1 sweep
     python -m repro.cli repair   app.s43 -o app_secure.s43
     python -m repro.cli run      app.s43 --max-cycles 20000
     python -m repro.cli disasm   app.s43
@@ -214,6 +216,7 @@ def cmd_analyze(args) -> int:
         checkpointer=checkpointer,
         obs=observer,
         provenance=recorder,
+        jobs=getattr(args, "jobs", 1),
     )
     if args.resume:
         payload = read_checkpoint(
@@ -263,6 +266,59 @@ def cmd_analyze(args) -> int:
             print()
             print(result.tree.render())
     return VERDICT_EXIT_CODES[result.verdict]
+
+
+def cmd_analyze_all(args) -> int:
+    from repro.parallel.analyze_all import run_analyze_all
+    from repro.workloads.registry import benchmark_names
+
+    if args.workloads:
+        workloads = args.workloads
+    else:
+        workloads = benchmark_names()
+    budget = {
+        "max_paths": getattr(args, "max_paths", None) or 4_096,
+        "deadline_seconds": getattr(args, "deadline", None),
+        "max_merged_states": getattr(args, "max_merged_states", None),
+        "max_rss_mb": getattr(args, "max_rss_mb", None),
+    }
+    document = run_analyze_all(
+        workloads,
+        jobs=args.jobs,
+        policy=args.policy,
+        max_cycles=args.max_cycles,
+        budget=budget,
+    )
+    rendered = format_json(document)
+    if args.output:
+        try:
+            Path(args.output).write_text(rendered + "\n")
+        except OSError as error:
+            raise SystemExit(
+                f"cannot write output file {args.output!r}: {error}"
+            )
+    if args.json or not args.output:
+        print(rendered)
+    if not args.json:
+        summary = document["summary"]
+        for entry in document["workloads"]:
+            line = (
+                f"{entry['workload']}: {entry['verdict']} "
+                f"({entry['wall_seconds']:.2f}s)"
+            )
+            print(line, file=sys.stderr)
+        print(
+            f"analyzed {summary['total']} workload(s) with "
+            f"--jobs {document['jobs']}: "
+            f"{summary['secure']} secure, "
+            f"{summary['insecure']} insecure, "
+            f"{summary['inconclusive']} inconclusive, "
+            f"{summary['errors']} error(s) in "
+            f"{summary['wall_seconds']:.2f}s "
+            f"(serial time {summary['serial_seconds']:.2f}s)",
+            file=sys.stderr,
+        )
+    return document["summary"]["exit_code"]
 
 
 def cmd_repair(args) -> int:
@@ -684,6 +740,15 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("analyze", help="run the gate-level analysis")
     common(p)
     p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for path-level parallel exploration "
+        "(results are bit-identical to --jobs 1; --provenance forces "
+        "serial mode)",
+    )
+    p.add_argument(
         "--tree", action="store_true", help="print the execution tree"
     )
     p.add_argument(
@@ -715,6 +780,51 @@ def build_parser() -> argparse.ArgumentParser:
     obs_flags(p)
     provenance_flags(p)
     p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser(
+        "analyze-all",
+        help="analyze a set of Table 1 workloads in parallel (one "
+        "serial analysis per worker) and aggregate verdicts, exit "
+        "codes and timing into one JSON document",
+    )
+    p.add_argument(
+        "--workloads",
+        nargs="+",
+        metavar="NAME",
+        help="workload names (default: the whole Table 1 registry)",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (one workload per worker)",
+    )
+    p.add_argument(
+        "--policy",
+        default="untrusted",
+        help="taint kind: untrusted (default) or secret",
+    )
+    p.add_argument(
+        "--max-cycles",
+        type=int,
+        default=1_000_000,
+        help="per-workload analysis cycle budget",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the aggregate JSON document to stdout (default "
+        "unless -o is given, which switches stdout to a summary)",
+    )
+    p.add_argument(
+        "-o",
+        "--output",
+        metavar="PATH",
+        help="also write the aggregate JSON document here",
+    )
+    budget_flags(p)
+    p.set_defaults(func=cmd_analyze_all)
 
     p = sub.add_parser("repair", help="analyse, repair, verify")
     common(p)

@@ -303,6 +303,35 @@ def _state_digest(state: SoCState) -> bytes:
     return digest.digest()
 
 
+def build_runner(
+    program: Program, policy: SecurityPolicy, circuit: CompiledCircuit
+) -> GateRunner:
+    """The analysis substrate: a gate-level SoC with the policy's taints
+    applied (input/output port labels, tainted code words, tainted RAM
+    regions).  Shared by :class:`TaintTracker` and the parallel workers,
+    so both simulate the exact same machine."""
+    space = AddressSpace(
+        tainted_input_ports=tuple(policy.tainted_input_ports),
+        tainted_output_ports=tuple(policy.tainted_output_ports),
+    )
+    try:
+        runner = GateRunner(circuit, program, space=space)
+    except ReproError:
+        raise
+    except Exception as error:
+        # The substrate can fail during the power-on reset too (e.g.
+        # an injected gate-eval fault); keep the typed-error contract.
+        raise SimulationError(
+            f"gate-level substrate failed during reset: {error}"
+        ) from error
+    if policy.taint_code_words:
+        untrusted = {t.name for t in program.untrusted_tasks()}
+        program.load_rom_tainted(runner.soc.rom, untrusted)
+    for region in policy.tainted_memory:
+        space.ram.taint_region(region.low, region.high)
+    return runner
+
+
 class TaintTracker:
     """Runs Algorithm 1 for one program under one policy."""
 
@@ -319,6 +348,7 @@ class TaintTracker:
         budget: Optional[AnalysisBudget] = None,
         checkpointer=None,
         provenance: Optional[ProvenanceRecorder] = None,
+        jobs: int = 1,
     ):
         self.program = program
         #: observability sink; defaults to the process-wide current
@@ -348,27 +378,12 @@ class TaintTracker:
         #: this budget simulate precisely (so clean kernels verify clean);
         #: anything longer converges through the conservative merge.
         self.exact_branch_visits = exact_branch_visits
+        #: worker processes for path-level parallel exploration (1 =
+        #: classic serial mode); see :mod:`repro.parallel`
+        self.jobs = max(1, int(jobs))
         self._visit_counts: Dict[object, int] = {}
 
-        space = AddressSpace(
-            tainted_input_ports=tuple(self.policy.tainted_input_ports),
-            tainted_output_ports=tuple(self.policy.tainted_output_ports),
-        )
-        try:
-            self.runner = GateRunner(self.circuit, program, space=space)
-        except ReproError:
-            raise
-        except Exception as error:
-            # The substrate can fail during the power-on reset too (e.g.
-            # an injected gate-eval fault); keep the typed-error contract.
-            raise SimulationError(
-                f"gate-level substrate failed during reset: {error}"
-            ) from error
-        if self.policy.taint_code_words:
-            untrusted = {t.name for t in program.untrusted_tasks()}
-            program.load_rom_tainted(self.runner.soc.rom, untrusted)
-        for region in self.policy.tainted_memory:
-            space.ram.taint_region(region.low, region.high)
+        self.runner = build_runner(program, self.policy, self.circuit)
 
         self.checker = PolicyChecker(program, self.policy)
         self.tree = ExecutionTree()
@@ -443,7 +458,9 @@ class TaintTracker:
         entry.widened = True
         return False, entry.merged
 
-    def _visit_concrete(self, key, state: SoCState) -> Tuple[str, SoCState]:
+    def _visit_concrete(
+        self, key, state: SoCState, digest: Optional[bytes] = None
+    ) -> Tuple[str, SoCState]:
         """Bookkeeping for concrete PC-changing instructions.
 
         Within the exact-visit budget each visited state is fingerprinted;
@@ -459,7 +476,8 @@ class TaintTracker:
         ``"stop"``, ``"exact"``, ``"widened"``.
         """
         entry = self._entry(key)
-        digest = _state_digest(state)
+        if digest is None:
+            digest = _state_digest(state)
         if digest in entry.seen:
             self.stats.terminations_by_merge += 1
             return "stop", state
@@ -541,37 +559,14 @@ class TaintTracker:
         )
         try:
             with obs.span("explore"), recording:
-                while worklist:
-                    if self._interrupt_reason is not None:
-                        self._handle_interrupt()
-                    reasons = budget.exhausted_reasons(
-                        self.stats, self._merged_states
+                if self._parallel_jobs() > 1:
+                    from repro.parallel.coordinator import (
+                        run_worklist_parallel,
                     )
-                    if reasons:
-                        self._drain(worklist, reasons)
-                        break
-                    if (
-                        self.checkpointer is not None
-                        and self.checkpointer.due(self.stats.paths)
-                    ):
-                        self.checkpointer.save(self)
-                    item = worklist.pop()
-                    soc.restore(item.snapshot)
-                    if item.counted:
-                        self.stats.paths += 1
-                    try:
-                        self._explore_path(item.node_id, worklist)
-                    except ReproError:
-                        raise
-                    except Exception as error:
-                        raise SimulationError(
-                            "gate-level exploration failed at cycle "
-                            f"{soc.cycle} (path {self.stats.paths}): "
-                            f"{error}",
-                            cycle=soc.cycle,
-                            paths=self.stats.paths,
-                            node=item.node_id,
-                        ) from error
+
+                    run_worklist_parallel(self)
+                else:
+                    self._run_worklist_serial(worklist, budget)
         finally:
             self.stats.wall_seconds += CLOCK.wall() - start_time
 
@@ -588,6 +583,76 @@ class TaintTracker:
             provenance=self.provenance,
             circuit=self.circuit,
         )
+
+    def _run_worklist_serial(
+        self, worklist: List[_WorkItem], budget: AnalysisBudget
+    ) -> None:
+        """The classic sequential drain of the fork tree."""
+        soc = self.runner.soc
+        while worklist:
+            if self._interrupt_reason is not None:
+                self._handle_interrupt()
+            reasons = budget.exhausted_reasons(
+                self.stats, self._merged_states
+            )
+            if reasons:
+                self._drain(worklist, reasons)
+                break
+            if (
+                self.checkpointer is not None
+                and self.checkpointer.due(self.stats.paths)
+            ):
+                self.checkpointer.save(self)
+            item = worklist.pop()
+            soc.restore(item.snapshot)
+            if item.counted:
+                self.stats.paths += 1
+            try:
+                self._explore_path(item.node_id, worklist)
+            except ReproError:
+                raise
+            except Exception as error:
+                raise SimulationError(
+                    "gate-level exploration failed at cycle "
+                    f"{soc.cycle} (path {self.stats.paths}): "
+                    f"{error}",
+                    cycle=soc.cycle,
+                    paths=self.stats.paths,
+                    node=item.node_id,
+                ) from error
+
+    def _parallel_jobs(self) -> int:
+        """The worker count actually used, after the documented
+        serial-forcing restrictions.
+
+        Provenance recording hooks every gate evaluation process-wide
+        and its edge ring is ordered by global cycle, so it cannot ride
+        along with speculative out-of-order workers: recording forces
+        serial mode (with a warning).  Fault injection likewise arms a
+        process-global seeded hook whose firing schedule *is* the test
+        vector -- replaying it across workers would change it."""
+        if self.jobs <= 1:
+            return 1
+        import warnings
+
+        if self.provenance is not None:
+            warnings.warn(
+                "provenance recording forces serial exploration; "
+                f"ignoring jobs={self.jobs} (see DESIGN.md, "
+                "'Parallel exploration')",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return 1
+        if get_injector() is not None:
+            warnings.warn(
+                "fault injection forces serial exploration; "
+                f"ignoring jobs={self.jobs}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return 1
+        return self.jobs
 
     # ------------------------------------------------------------------
     # Resilience: interrupts, degradation, checkpoint/resume

@@ -35,6 +35,10 @@ class Counter:
             )
         self.value += amount
 
+    def merge(self, other: "Counter") -> None:
+        """Fold another process's counter into this one (monotonic sum)."""
+        self.inc(other.value)
+
 
 class Gauge:
     """A point-in-time value (e.g. a peak watermark)."""
@@ -51,6 +55,11 @@ class Gauge:
     def update_max(self, value) -> None:
         if value > self.value:
             self.value = value
+
+    def merge(self, other: "Gauge") -> None:
+        """Fold another process's gauge into this one.  Gauges in this
+        registry are high-water marks (peaks), so merge keeps the max."""
+        self.update_max(other.value)
 
 
 class Histogram:
@@ -170,6 +179,34 @@ class MetricsRegistry:
                 for name, histogram in sorted(self._histograms.items())
             },
         }
+
+    # ------------------------------------------------------------------
+    # Cross-process merge: fold a worker registry (or its exported
+    # state) into this one.  Counters sum, gauges keep the max (they are
+    # peaks), histograms merge bucket-wise via Histogram.merge.
+    # ------------------------------------------------------------------
+    def merge_from(self, other: "MetricsRegistry") -> None:
+        for name, counter in other._counters.items():
+            self.counter(name).merge(counter)
+        for name, gauge in other._gauges.items():
+            self.gauge(name).merge(gauge)
+        for name, histogram in other._histograms.items():
+            self.histogram(name, histogram.bounds).merge(histogram)
+
+    def merge_state(self, state: dict) -> None:
+        """Merge an :meth:`export_state` payload from another process."""
+        for name, value in state.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in state.get("gauges", {}).items():
+            self.gauge(name).update_max(value)
+        for name, payload in state.get("histograms", {}).items():
+            other = Histogram(name, tuple(payload["bounds"]))
+            other.buckets = list(payload["buckets"])
+            other.count = payload["count"]
+            other.total = payload["total"]
+            other.minimum = payload["minimum"]
+            other.maximum = payload["maximum"]
+            self.histogram(name, other.bounds).merge(other)
 
     # ------------------------------------------------------------------
     # Checkpoint support: a resumed analysis restores the interrupted

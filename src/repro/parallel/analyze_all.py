@@ -1,0 +1,149 @@
+"""Workload-level parallelism: ``repro analyze-all --jobs N``.
+
+The second, coarser layer of :mod:`repro.parallel`: instead of splitting
+one exploration across workers, fan the Table 1 workload registry over a
+process pool -- one workload per worker, each running the classic serial
+analysis -- and aggregate the per-workload verdict documents, exit codes
+and timing into one JSON report.
+
+Per-workload runs are fully independent (own program, own tracker, own
+budget instance built from the same spec), so the aggregate document is
+deterministic regardless of worker count or completion order: results
+are always reported in the requested workload order.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional
+
+from repro.obs import CLOCK, MetricsRegistry, Observer, observe
+from repro.resilience import ReproError, VERDICT_EXIT_CODES
+
+#: Schema tag for the aggregate document (bump on breaking changes).
+ANALYZE_ALL_SCHEMA = 1
+
+#: Exit code reported for a workload whose analysis raised (matches the
+#: single-workload CLI contract: typed errors carry their own code).
+ERROR_EXIT_CODE = 6
+
+
+def _analyze_one(spec: dict) -> dict:
+    """Run one workload's full serial analysis; executed in a worker.
+
+    Returns a JSON-ready document (never raises: errors ship as data so
+    one failing workload cannot take down the sweep).
+    """
+    name = spec["workload"]
+    started = CLOCK.wall()
+    try:
+        from repro.cli import _analysis_document, _policy, _resolve_workload
+        from repro.core import TaintTracker
+        from repro.isa.assembler import assemble
+        from repro.resilience.budget import AnalysisBudget
+
+        source, resolved = _resolve_workload(name)
+        program = assemble(source, name=resolved)
+        budget = AnalysisBudget(**spec["budget"])
+        observer = Observer()
+        with observe(observer):
+            result = TaintTracker(
+                program,
+                policy=_policy(spec["policy"]),
+                max_cycles=spec["max_cycles"],
+                budget=budget,
+            ).run()
+        document = _analysis_document(result)
+        document["workload"] = resolved
+        document["exit_code"] = VERDICT_EXIT_CODES[result.verdict]
+        document["wall_seconds"] = CLOCK.wall() - started
+        document["metrics_state"] = observer.metrics.export_state()
+        return document
+    except ReproError as error:
+        return {
+            "workload": name,
+            "verdict": "error",
+            "exit_code": error.exit_code,
+            "wall_seconds": CLOCK.wall() - started,
+            "error": error.to_document(),
+        }
+    except Exception as error:  # pragma: no cover - defensive
+        return {
+            "workload": name,
+            "verdict": "error",
+            "exit_code": ERROR_EXIT_CODE,
+            "wall_seconds": CLOCK.wall() - started,
+            "error": {"type": type(error).__name__, "message": str(error)},
+        }
+
+
+def run_analyze_all(
+    workloads: List[str],
+    jobs: int = 1,
+    policy: str = "untrusted",
+    max_cycles: int = 1_000_000,
+    budget: Optional[dict] = None,
+) -> dict:
+    """Analyze every workload (one serial analysis per worker process)
+    and return the aggregate document.
+
+    ``budget`` is an :class:`AnalysisBudget` kwargs dict applied *per
+    workload* (each analysis gets its own fresh instance, so a deadline
+    bounds each workload, not the sweep).
+    """
+    jobs = max(1, int(jobs))
+    specs = [
+        {
+            "workload": name,
+            "policy": policy,
+            "max_cycles": max_cycles,
+            "budget": dict(budget or {}),
+        }
+        for name in workloads
+    ]
+    started = CLOCK.wall()
+
+    # Build the compiled circuit once before forking: workers inherit the
+    # process-wide cache and skip their own levelization entirely.
+    from repro.cpu import compiled_cpu
+
+    compiled_cpu()
+
+    if jobs == 1 or len(specs) <= 1:
+        results = [_analyze_one(spec) for spec in specs]
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
+            results = list(pool.map(_analyze_one, specs))
+
+    merged = MetricsRegistry()
+    for document in results:
+        state = document.pop("metrics_state", None)
+        if state is not None:
+            merged.merge_state(state)
+
+    verdicts = [document["verdict"] for document in results]
+    exit_code = max(
+        (document["exit_code"] for document in results), default=0
+    )
+    return {
+        "schema": ANALYZE_ALL_SCHEMA,
+        "tool": "repro analyze-all",
+        "jobs": jobs,
+        "policy": policy,
+        "max_cycles": max_cycles,
+        "budget": dict(budget or {}),
+        "workloads": results,
+        "metrics": merged.snapshot(),
+        "summary": {
+            "total": len(results),
+            "secure": verdicts.count("secure"),
+            "insecure": verdicts.count("insecure"),
+            "inconclusive": verdicts.count("inconclusive"),
+            "errors": verdicts.count("error"),
+            "wall_seconds": CLOCK.wall() - started,
+            "serial_seconds": sum(
+                document["wall_seconds"] for document in results
+            ),
+            "exit_code": exit_code,
+        },
+    }

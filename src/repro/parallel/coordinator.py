@@ -1,0 +1,342 @@
+"""Coordinator side of parallel path exploration.
+
+The coordinator owns *all* shared exploration state -- the worklist, the
+merge table, the execution tree, the stats, the policy checker, the
+observability sinks -- and drains the worklist in exactly the serial
+pop order.  Workers only ever contribute speculative, side-effect-free
+chains of simulation segments (:mod:`repro.parallel.protocol`); every
+merge decision is applied here, single-writer, in canonical order.
+
+Serial equivalence, by construction:
+
+* A work item's snapshot is fixed when it is enqueued, so the *first*
+  segment of every queued item is always valid speculation.
+* Segments between merge boundaries are pure functions of their entry
+  state (the merge table is only read at boundaries), so a chain stays
+  valid exactly as long as every ``_visit_concrete`` verdict along it is
+  ``"exact"`` -- which leaves the continuation state untouched.
+* The coordinator validates each boundary against the real table in
+  consume order.  The moment a verdict is *not* ``"exact"`` (a covering
+  stop, a widened continuation, an uncovered power-on reset, a global
+  cycle-limit crossing, a worker failure), the speculative tail is
+  discarded and the classic serial explorer continues inline from the
+  decision's continuation state.
+
+Discarded speculation costs time, never correctness: with every chain
+discarded this degenerates to the serial algorithm.  Violations are
+replayed from per-segment diffs of the worker's local checker (probe
+calls are pure; see ``PolicyChecker.adopt``), stats deltas are applied
+only for consumed segments, and fork successors are enqueued in the
+exact order serial ``_fork`` uses -- so verdicts, violation records,
+path/fork/merge counts and the rendered report are bit-identical to a
+serial run, regardless of worker count or scheduling.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List
+
+from repro.core.tracker import TaintTracker, _site, _WorkItem
+from repro.parallel import worker as worker_mod
+from repro.parallel.protocol import (
+    ChainResult,
+    MAX_CHAIN_CYCLES,
+    MAX_CHAIN_SEGMENTS,
+    SegmentRecord,
+)
+from repro.resilience.errors import ReproError, SimulationError
+
+
+def run_worklist_parallel(tracker: TaintTracker) -> None:
+    """Drain ``tracker._worklist`` with a worker pool; same contract as
+    the serial loop in :meth:`TaintTracker.run`."""
+    _Coordinator(tracker).run()
+
+
+class _Coordinator:
+    def __init__(self, tracker: TaintTracker):
+        self.tracker = tracker
+        self.jobs = tracker._parallel_jobs()
+        self.worklist: List[_WorkItem] = tracker._worklist
+        self.futures: Dict[int, object] = {}
+        budget = tracker.budget
+        worker_budget = (
+            budget.worker_view()
+            if (budget.deadline_seconds or budget.max_rss_mb)
+            else None
+        )
+        self.pool = ProcessPoolExecutor(
+            max_workers=self.jobs,
+            initializer=worker_mod.worker_init,
+            initargs=(
+                tracker.program,
+                tracker.policy,
+                tracker.circuit,
+                tracker.fork_limit,
+                worker_budget,
+                bool(tracker.obs.enabled),
+                MAX_CHAIN_SEGMENTS,
+                MAX_CHAIN_CYCLES,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    def _submit(self, item: _WorkItem) -> None:
+        self.futures[id(item)] = self.pool.submit(
+            worker_mod.run_chain, item.snapshot
+        )
+
+    def _submit_from(self, start: int) -> None:
+        """Speculate every worklist item appended at or after *start*."""
+        for item in self.worklist[start:]:
+            self._submit(item)
+
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        tracker = self.tracker
+        worklist = self.worklist
+        budget = tracker.budget
+        try:
+            self._submit_from(0)
+            while worklist:
+                if tracker._interrupt_reason is not None:
+                    tracker._handle_interrupt()
+                reasons = budget.exhausted_reasons(
+                    tracker.stats, tracker._merged_states
+                )
+                if reasons:
+                    tracker._drain(worklist, reasons)
+                    break
+                if (
+                    tracker.checkpointer is not None
+                    and tracker.checkpointer.due(tracker.stats.paths)
+                ):
+                    tracker.checkpointer.save(tracker)
+                item = worklist.pop()
+                future = self.futures.pop(id(item), None)
+                if item.counted:
+                    tracker.stats.paths += 1
+                chain = None
+                if future is not None:
+                    try:
+                        chain = future.result()
+                    except ReproError:
+                        raise
+                    except Exception:
+                        # A broken pool / transport failure is not an
+                        # analysis error: re-run this item serially.
+                        chain = None
+                if chain is None or chain.error is not None:
+                    if chain is not None and tracker.obs.enabled:
+                        tracker.obs.emit(
+                            "parallel_fallback",
+                            node=item.node_id,
+                            error=chain.error,
+                        )
+                    self._inline_from(item.snapshot, item.node_id)
+                    continue
+                self._consume(item, chain)
+        finally:
+            self.pool.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    def _consume(self, item: _WorkItem, chain: ChainResult) -> None:
+        tracker = self.tracker
+        stats = tracker.stats
+        obs = tracker.obs
+        soc = tracker.runner.soc
+        worklist = self.worklist
+        node = tracker.tree.nodes[item.node_id]
+        resume_state = item.snapshot
+
+        for rec in chain.records:
+            # The serial explorer pauses at instruction-fetch boundaries
+            # on interrupt or mid-path budget exhaustion; segment entry
+            # points are exactly such boundaries.
+            if (
+                tracker._interrupt_reason is not None
+                or tracker.budget.mid_path_exhausted(stats)
+            ):
+                worklist.append(
+                    _WorkItem(resume_state, node.node_id, counted=False)
+                )
+                return
+            # A global cycle-limit crossing happens *inside* a segment;
+            # only the cycle-accurate serial loop can reproduce where.
+            if stats.cycles_simulated + rec.cycles >= tracker.max_cycles:
+                self._inline_from(resume_state, node.node_id)
+                return
+
+            self._apply_segment(rec)
+
+            if rec.kind == "pc_change":
+                verdict, continuation = tracker._visit_concrete(
+                    rec.key, rec.state, digest=rec.digest
+                )
+                if verdict == "stop":
+                    node.end_reason = "merged"
+                    node.end_cycle = rec.cycle
+                    if obs.enabled:
+                        obs.emit(
+                            "prune",
+                            site=_site(rec.key),
+                            node=node.node_id,
+                            cycle=rec.cycle,
+                        )
+                    return
+                if verdict == "exact":
+                    resume_state = rec.state
+                    continue
+                # "widened": continue from the conservative state,
+                # keeping this path's concrete successor PC -- the
+                # speculative tail (which assumed "exact") is invalid.
+                soc.restore(continuation)
+                merged_pc_taint = soc.pc().tmask
+                soc.force_pc(rec.pc_bits, rec.pc_tmask | merged_pc_taint)
+                if obs.enabled:
+                    obs.emit(
+                        "widen",
+                        site=_site(rec.key),
+                        node=node.node_id,
+                        cycle=soc.cycle,
+                    )
+                self._inline_explore(node.node_id)
+                return
+
+            if rec.kind == "por":
+                covered, merged = tracker._visit_widening("POR", rec.state)
+                if covered:
+                    node.end_reason = "merged"
+                    node.end_cycle = rec.cycle
+                    if obs.enabled:
+                        obs.emit(
+                            "prune",
+                            site="POR",
+                            node=node.node_id,
+                            cycle=rec.cycle,
+                        )
+                    return
+                soc.restore(merged)
+                self._inline_explore(node.node_id)
+                return
+
+            if rec.kind == "fork":
+                covered, merged = tracker._visit_widening(
+                    rec.key, rec.state
+                )
+                node.end_reason = "merged" if covered else "fork"
+                node.end_cycle = rec.cycle
+                node.fork_address = rec.key
+                if covered:
+                    if obs.enabled:
+                        obs.emit(
+                            "prune",
+                            site=_site(rec.key),
+                            node=node.node_id,
+                            cycle=rec.cycle,
+                        )
+                    return
+                stats.forks += 1
+                children = []
+                start = len(worklist)
+                for candidate in rec.candidates:
+                    soc.restore(merged)
+                    soc.force_pc(candidate, rec.pc_tmask)
+                    child = tracker.tree.new_node(
+                        node.node_id,
+                        candidate,
+                        soc.cycle,
+                        pc_taint=rec.pc_tmask,
+                    )
+                    worklist.append(
+                        _WorkItem(soc.snapshot(), child.node_id)
+                    )
+                    children.append(child.node_id)
+                self._submit_from(start)
+                if obs.enabled:
+                    obs.emit(
+                        "fork",
+                        site=_site(rec.key),
+                        node=node.node_id,
+                        children=children,
+                        targets=[f"0x{c:04x}" for c in rec.candidates],
+                        pc_tainted=bool(rec.pc_tmask),
+                        cycle=soc.cycle,
+                    )
+                return
+
+            if rec.kind == "terminal":
+                node.end_reason = rec.end_reason
+                node.end_cycle = rec.cycle
+                if rec.end_reason == "unbounded":
+                    node.fork_address = rec.fork_address
+                    if not rec.pc_tainted:
+                        stats.incomplete_paths += 1
+                return
+
+            if rec.kind == "paused":
+                if rec.pause_reason == "budget":
+                    # The *worker's* deadline/RSS slice tripped.  The
+                    # coordinator's own budget decides what that means;
+                    # continue serially so a healthy parent cannot
+                    # ping-pong the item back to an exhausted worker.
+                    self._inline_from(rec.state, node.node_id)
+                else:
+                    start = len(worklist)
+                    worklist.append(
+                        _WorkItem(rec.state, node.node_id, counted=False)
+                    )
+                    self._submit_from(start)
+                return
+
+        raise SimulationError(
+            "parallel worker returned a chain without a closing record "
+            f"(node {item.node_id})",
+            node=item.node_id,
+        )
+
+    # ------------------------------------------------------------------
+    def _apply_segment(self, rec: SegmentRecord) -> None:
+        tracker = self.tracker
+        stats = tracker.stats
+        stats.cycles_simulated += rec.cycles
+        stats.instructions += rec.instructions
+        stats.fast_forwarded_cycles += rec.fast_forwarded
+        tracker.checker.adopt(rec.violations)
+        obs = tracker.obs
+        if obs.enabled:
+            if rec.densities:
+                histogram = obs.histogram("tracker.taint_density")
+                for value in rec.densities:
+                    histogram.observe(value)
+            if rec.counter_deltas:
+                metrics = obs.metrics
+                for name, delta in rec.counter_deltas.items():
+                    metrics.counter(name).inc(delta)
+
+    # ------------------------------------------------------------------
+    def _inline_from(self, state, node_id: int) -> None:
+        self.tracker.runner.soc.restore(state)
+        self._inline_explore(node_id)
+
+    def _inline_explore(self, node_id: int) -> None:
+        """Continue a path with the serial explorer from the current SoC
+        state; speculate any work it enqueues (fork children, pauses)."""
+        tracker = self.tracker
+        worklist = self.worklist
+        start = len(worklist)
+        try:
+            tracker._explore_path(node_id, worklist)
+        except ReproError:
+            raise
+        except Exception as error:
+            soc = tracker.runner.soc
+            raise SimulationError(
+                "gate-level exploration failed at cycle "
+                f"{soc.cycle} (path {tracker.stats.paths}): {error}",
+                cycle=soc.cycle,
+                paths=tracker.stats.paths,
+                node=node_id,
+            ) from error
+        self._submit_from(start)

@@ -1,0 +1,102 @@
+"""Coordinator/worker wire protocol for parallel path exploration.
+
+A worker receives one :class:`repro.core.tracker._WorkItem` snapshot and
+runs it *speculatively*: segment by segment, from one merge-relevant
+boundary (a concrete PC-changing instruction, an X-PC fork site, a
+watchdog power-on reset, or a terminal) to the next, assuming every
+concrete-PC visit verdict will be ``"exact"`` (the overwhelmingly common
+case, in which the continuation state is exactly the boundary state).
+The chain of :class:`SegmentRecord`\\ s it ships back is therefore a
+*cache* of pure simulation work: each record is a deterministic function
+of the item's snapshot alone, because the merge table is only consulted
+at boundaries -- and only by the coordinator.
+
+The coordinator walks a chain in canonical (serial) order, applying the
+real ``_visit_concrete`` / ``_visit_widening`` bookkeeping at each
+boundary.  A verdict other than ``"exact"`` simply invalidates the
+speculative tail; the coordinator falls back to the serial explorer from
+the decision's continuation state.  Correctness never depends on
+speculation: discarding every chain degenerates to the serial algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.violations import Violation
+from repro.sim.soc import SoCState
+
+#: Chain caps: a worker closes its chain with a ``paused`` record once a
+#: single work item has produced this many segments / simulated cycles.
+#: They bound the size of one result message (each boundary record
+#: carries a full SoC snapshot) and the amount of speculation that a
+#: single invalidation can throw away.
+MAX_CHAIN_SEGMENTS = 64
+MAX_CHAIN_CYCLES = 20_000
+
+
+@dataclass
+class SegmentRecord:
+    """One fetch-boundary-to-boundary slice of speculative simulation.
+
+    ``kind`` is one of:
+
+    ``pc_change``
+        ended at a concrete PC-changing instruction; ``state`` is the
+        post-instruction snapshot the coordinator feeds to
+        ``_visit_concrete`` (with ``digest`` precomputed), ``key`` the
+        instruction address, and ``pc_*`` the concrete successor PC the
+        widened continuation must keep.
+    ``fork``
+        ended at an X-PC fork site; ``candidates`` is the exact successor
+        list the serial ``_fork`` would enumerate (conditional-jump order
+        preserved -- *not* sorted -- because worklist order is part of
+        serial equivalence).
+    ``por``
+        ended at a watchdog power-on reset boundary.
+    ``terminal``
+        the path ended (``end_reason`` in ``illegal`` / ``state_lost`` /
+        ``halt`` / ``unbounded``); no continuation state.
+    ``paused``
+        the chain hit a cap or the worker-side budget slice; ``state``
+        is a fetch-boundary snapshot to requeue.
+
+    Every record also carries the segment's *deltas*: simulated cycles,
+    retired instructions, fast-forwarded cycles, newly recorded
+    ``(dedupe_key, Violation)`` pairs from the worker's local checker,
+    per-instruction taint densities (only when the parent observer is
+    live) and observability counter deltas.  The coordinator applies a
+    record's deltas exactly once, if and only if it consumes the record.
+    """
+
+    kind: str
+    cycles: int = 0
+    instructions: int = 0
+    fast_forwarded: int = 0
+    violations: List[Tuple[tuple, Violation]] = field(default_factory=list)
+    densities: List[float] = field(default_factory=list)
+    counter_deltas: Optional[dict] = None
+    cycle: int = 0
+    state: Optional[SoCState] = None
+    digest: Optional[bytes] = None
+    key: Optional[int] = None
+    pc_bits: int = 0
+    pc_tmask: int = 0
+    candidates: Optional[List[int]] = None
+    end_reason: Optional[str] = None
+    fork_address: Optional[int] = None
+    pc_tainted: bool = False
+    pause_reason: Optional[str] = None
+
+
+@dataclass
+class ChainResult:
+    """Everything a worker learned from one speculative work item."""
+
+    records: List[SegmentRecord] = field(default_factory=list)
+    #: set when the chain died on an exception; the coordinator then
+    #: ignores ``records`` and re-runs the item through the serial
+    #: explorer, which reproduces the same (typed) error exactly where
+    #: serial mode would raise it
+    error: Optional[str] = None

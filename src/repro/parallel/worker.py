@@ -1,0 +1,343 @@
+"""Worker-process side of parallel path exploration.
+
+Each worker process builds its own analysis substrate **once** (compiled
+circuit, gate-level SoC, program image with the policy's taints applied)
+and then serves speculative chain requests: restore a work-item
+snapshot, simulate segment by segment until a fork / power-on reset /
+terminal / chain cap, and ship the boundary states and per-segment
+deltas back (see :mod:`repro.parallel.protocol`).
+
+The segment loop deliberately mirrors
+:meth:`repro.core.tracker.TaintTracker._explore_path` statement for
+statement, minus everything that touches shared exploration state: the
+merge table, the execution tree, the global stats and the process-wide
+checker all stay with the coordinator.  Policy probes run against a
+fresh per-chain :class:`PolicyChecker`, whose per-segment violation
+diffs the coordinator replays in consume order (every probe is pure per
+call, so prefix replay is serial-equivalent -- see ``PolicyChecker.adopt``).
+
+Workers never host a provenance recorder or a fault injector (the
+tracker forces serial mode when either is armed) and they ignore
+SIGINT/SIGTERM: interrupt handling is the coordinator's job, which lets
+a Ctrl-C drain in-flight chains cleanly instead of killing workers
+mid-snapshot.
+"""
+
+from __future__ import annotations
+
+import signal
+from types import SimpleNamespace
+from typing import List, Optional, Tuple
+
+from repro.core.checker import PolicyChecker
+from repro.core.tracker import _state_digest, build_runner
+from repro.isa.encode import DecodedInstruction, EncodeError, decode
+from repro.logic.ternary import ONE
+from repro.logic.words import EnumerationLimitError
+from repro.obs import Observer, set_observer
+from repro.parallel.protocol import ChainResult, SegmentRecord
+from repro.resilience.faults import install_injector
+from repro.sim.runner import PHASE_E, PHASE_F, PHASE_J
+
+#: Per-process worker context, populated by :func:`worker_init`.
+_W: Optional[SimpleNamespace] = None
+
+
+def worker_init(
+    program,
+    policy,
+    circuit,
+    fork_limit: int,
+    budget_view,
+    collect_obs: bool,
+    max_chain_segments: int,
+    max_chain_cycles: int,
+) -> None:
+    """Process-pool initializer: build the substrate once per worker."""
+    # Interrupts belong to the coordinator (terminal Ctrl-C signals the
+    # whole foreground process group; workers must finish their chain).
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(sig, signal.SIG_IGN)
+        except (ValueError, OSError):
+            pass
+    # Under the fork start method the child inherits the parent's
+    # process-global observer (possibly with an open trace file) -- give
+    # this process its own, or none.
+    set_observer(Observer() if collect_obs else None)
+    install_injector(None)
+    runner = build_runner(program, policy, circuit)
+    global _W
+    _W = SimpleNamespace(
+        program=program,
+        policy=policy,
+        circuit=circuit,
+        runner=runner,
+        fork_limit=fork_limit,
+        budget=budget_view,
+        collect_obs=collect_obs,
+        max_chain_segments=max_chain_segments,
+        max_chain_cycles=max_chain_cycles,
+        counter_marks={},
+    )
+    # Latch the counter marks *after* building the substrate, so the
+    # power-on-reset cycles build_runner simulates in this process do
+    # not leak into the first chain's deltas (the coordinator's own
+    # build_runner already accounted for the one reset serial mode runs).
+    _counter_deltas()
+
+
+def _decode_at(address: int) -> Optional[DecodedInstruction]:
+    try:
+        return decode(_W.program.slice_from(address), address)
+    except EncodeError:
+        return None
+
+
+def _task_info(address: int) -> Tuple[str, bool]:
+    task = _W.program.task_of(address)
+    if task is None:
+        return "", True
+    return task.name, task.trusted
+
+
+def _counter_deltas() -> Optional[dict]:
+    """New counter increments in this worker's registry since the last
+    call (gate evals etc. accumulated inside ``soc.step``)."""
+    if not _W.collect_obs:
+        return None
+    from repro.obs import get_observer
+
+    counters = get_observer().metrics._counters
+    marks = _W.counter_marks
+    deltas = {}
+    for name, counter in counters.items():
+        delta = counter.value - marks.get(name, 0)
+        if delta:
+            deltas[name] = delta
+        marks[name] = counter.value
+    return deltas or None
+
+
+def run_chain(snapshot) -> ChainResult:
+    """Speculatively explore one work item from its snapshot.
+
+    Mirrors ``TaintTracker._explore_path`` exactly, with two departures:
+    every ``_visit_concrete`` verdict is *assumed* ``"exact"`` (the
+    chain just keeps simulating from the unchanged boundary state), and
+    anything that needs the merge table (fork children, POR
+    continuations) or global state (cycle limits, path accounting) ends
+    the chain so the coordinator can decide.
+    """
+    try:
+        return _run_chain(snapshot)
+    except Exception as error:  # ships as data; coordinator re-runs serially
+        return ChainResult(error=f"{type(error).__name__}: {error}")
+
+
+def _run_chain(snapshot) -> ChainResult:
+    runner = _W.runner
+    soc = runner.soc
+    circuit = _W.circuit
+    checker = PolicyChecker(_W.program, _W.policy)
+    budget = _W.budget
+    # Worker-side budget slice only checks deadline/RSS; give it the
+    # stats shape it expects with the global-only axes zeroed.
+    budget_stats = SimpleNamespace(cycles_simulated=0)
+
+    soc.restore(snapshot)
+    records: List[SegmentRecord] = []
+    chain_cycles = 0
+
+    # Per-segment delta accumulators, reset by _close().
+    cycles = instructions = fast_forwarded = 0
+    densities: List[float] = []
+    viol_mark = checker.violation_count()
+
+    def _close(kind: str, **fields) -> None:
+        nonlocal cycles, instructions, fast_forwarded, densities, viol_mark
+        records.append(
+            SegmentRecord(
+                kind=kind,
+                cycles=cycles,
+                instructions=instructions,
+                fast_forwarded=fast_forwarded,
+                violations=checker.new_violations_since(viol_mark),
+                densities=densities,
+                counter_deltas=_counter_deltas(),
+                **fields,
+            )
+        )
+        cycles = instructions = fast_forwarded = 0
+        densities = []
+        viol_mark = checker.violation_count()
+
+    current: Optional[DecodedInstruction] = None
+    task_name, task_trusted = "", True
+    baseline_taint = None
+    control_tainted = False
+
+    while True:
+        phase = runner.phase()
+        if phase == PHASE_F and (
+            len(records) >= _W.max_chain_segments
+            or chain_cycles >= _W.max_chain_cycles
+            or (
+                budget is not None
+                and budget.mid_path_exhausted(budget_stats)
+            )
+        ):
+            _close(
+                "paused",
+                state=soc.snapshot(),
+                cycle=soc.cycle,
+                pause_reason="chain_cap"
+                if chain_cycles >= _W.max_chain_cycles
+                or len(records) >= _W.max_chain_segments
+                else "budget",
+            )
+            break
+        if phase < 0:
+            if current is not None:
+                checker.note_unbounded_control(
+                    current, task_name, task_trusted, soc.cycle, tainted=True
+                )
+            _close("terminal", end_reason="state_lost", cycle=soc.cycle)
+            break
+        if phase == PHASE_F:
+            pc_word = soc.pc()
+            if pc_word.xmask:
+                raise RuntimeError(
+                    "PC unknown at a fetch boundary in a worker chain"
+                )
+            address = pc_word.bits
+            current = _decode_at(address)
+            if current is None:
+                _close("terminal", end_reason="illegal", cycle=soc.cycle)
+                break
+            task_name, task_trusted = _task_info(address)
+            control_tainted = bool(pc_word.tmask)
+            baseline_taint = circuit.dff_state(soc.state) & 1
+            if _W.collect_obs:
+                densities.append(float(baseline_taint.mean()))
+            checker.note_instruction_start(
+                current,
+                task_name,
+                task_trusted,
+                soc.cycle,
+                any_state_taint=bool(baseline_taint.any()),
+                pc_taint=pc_word.tmask,
+            )
+            instructions += 1
+
+        events = soc.step()
+        cycles += 1
+        chain_cycles += 1
+        if events.reset[0] != ONE:
+            checker.note_events(
+                current,
+                task_name,
+                task_trusted,
+                events,
+                soc.space.watchdog.corrupted,
+                control_tainted=control_tainted,
+            )
+
+        if events.reset[0] == ONE:
+            current = None
+            _close("por", state=soc.snapshot(), cycle=soc.cycle)
+            break
+
+        if phase in (PHASE_E, PHASE_J) and current is not None:
+            if task_trusted and baseline_taint is not None:
+                taint_now = circuit.dff_state(soc.state) & 1
+                checker.note_instruction_end(
+                    current,
+                    task_name,
+                    task_trusted,
+                    soc.cycle,
+                    taint_grew=bool((taint_now & ~baseline_taint).any()),
+                )
+
+            pc_word = soc.pc()
+            if pc_word.xmask:
+                # Fork site: enumerate the successors exactly as the
+                # serial _fork would, but leave child creation (which
+                # starts from the *merged* state) to the coordinator.
+                if current.is_conditional_jump:
+                    candidates = [
+                        current.jump_target, current.fallthrough
+                    ]
+                else:
+                    try:
+                        candidates = sorted(
+                            pc_word.possible_values(limit=_W.fork_limit)
+                        )
+                    except EnumerationLimitError:
+                        fork_task, fork_trusted = _task_info(
+                            current.address
+                        )
+                        checker.note_unbounded_control(
+                            current,
+                            fork_task,
+                            fork_trusted,
+                            soc.cycle,
+                            tainted=bool(pc_word.tmask),
+                        )
+                        _close(
+                            "terminal",
+                            end_reason="unbounded",
+                            cycle=soc.cycle,
+                            fork_address=current.address,
+                            pc_tainted=bool(pc_word.tmask),
+                        )
+                        break
+                    # Any other ValueError propagates: the coordinator
+                    # re-runs the item serially and raises the typed
+                    # ForkError with full fork-site context.
+                _close(
+                    "fork",
+                    state=soc.snapshot(),
+                    key=current.address,
+                    candidates=candidates,
+                    pc_bits=pc_word.bits,
+                    pc_tmask=pc_word.tmask,
+                    cycle=soc.cycle,
+                )
+                break
+
+            if current.is_self_loop:
+                watchdog = soc.space.watchdog
+                remaining = watchdog.cycles_until_expiry()
+                if remaining is None:
+                    _close("terminal", end_reason="halt", cycle=soc.cycle)
+                    break
+                por = watchdog.fast_forward(remaining)
+                soc.space.timer.fast_forward(remaining)
+                soc.pending_por = por
+                soc.cycle += remaining
+                fast_forwarded += remaining
+                current = None
+                continue
+
+            changes_pc = (
+                current.is_jump
+                or current.writes_pc
+                or current.mnemonic == "call"
+            )
+            if changes_pc:
+                snap = soc.snapshot()
+                _close(
+                    "pc_change",
+                    state=snap,
+                    digest=_state_digest(snap),
+                    key=current.address,
+                    pc_bits=pc_word.bits,
+                    pc_tmask=pc_word.tmask,
+                    cycle=soc.cycle,
+                )
+                # Speculate "exact": the continuation state is the
+                # boundary state itself; keep simulating in place.
+            current = None
+
+    return ChainResult(records=records)

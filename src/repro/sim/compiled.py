@@ -187,6 +187,24 @@ class CompiledCircuit:
         self._outputs = {p.name: p.nets for p in netlist.outputs}
 
     # ------------------------------------------------------------------
+    # Pickling (parallel-worker support)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Drop the id-keyed memo caches: their keys are object ids from
+        *this* process, meaningless (and potentially colliding) after a
+        round-trip into a worker.  Everything else -- levelized groups,
+        LUTs, net arrays -- is plain data and ships as-is, so a worker
+        pays no re-levelization cost."""
+        state = self.__dict__.copy()
+        state["_plan_totals"] = {}
+        state["_counter_cache"] = {}
+        state.pop("_prod_tables", None)  # lazily rebuilt on demand
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+    # ------------------------------------------------------------------
     # State management
     # ------------------------------------------------------------------
     def new_state(self) -> CircuitState:

@@ -140,6 +140,66 @@ def test_concrete_lockstep(source):
         )
 
 
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(source=random_program())
+def test_concrete_lockstep_through_pickled_handoffs(source):
+    """Lockstep oracle through the parallel worker hand-off path: the
+    gate-level run is sliced into segments and the SoC snapshot is
+    round-tripped through pickle between slices -- exactly what the
+    coordinator/worker protocol does to a path state.  Serialization
+    must be invisible to the architectural result."""
+    import pickle
+
+    program = assemble(source, name="fuzz")
+    circuit = compiled_cpu()
+
+    gate = GateRunner(circuit, program)
+    cycles = 0
+    while not gate.at_halt() and cycles < 5_000:
+        # a deliberately odd slice length so hand-offs land at arbitrary
+        # FSM phases, not just instruction boundaries
+        for _ in range(97):
+            if gate.at_halt() or cycles >= 5_000:
+                break
+            gate.soc.step()
+            cycles += 1
+        state = pickle.loads(pickle.dumps(gate.soc.snapshot()))
+        gate.soc.restore(state)
+    assert gate.at_halt(), "gate-level run never halted"
+
+    isa = Executor(program)
+    steps = 0
+    while not isa.halted and steps < 5_000:
+        isa.step()
+        steps += 1
+    assert isa.halted, "golden run never halted"
+
+    for index in list(range(4, 14)) + [1]:
+        gate_word = gate.register(index)
+        isa_word = isa.state.read(index)
+        assert gate_word.is_concrete and isa_word.is_concrete
+        assert gate_word.value == isa_word.value, (
+            f"r{index}: gate 0x{gate_word.value:04x} vs "
+            f"isa 0x{isa_word.value:04x}\n{source}"
+        )
+    from repro.isa.spec import FLAG_MASK
+
+    gate_sr = gate.soc.read_debug("dbg_sr").value & FLAG_MASK
+    isa_sr = isa.state.sr.value & FLAG_MASK
+    assert gate_sr == isa_sr, f"SR: {gate_sr:#x} vs {isa_sr:#x}\n{source}"
+    for offset in range(16):
+        gate_mem = gate.soc.space.ram.get(SCRATCH_BASE + offset)
+        isa_mem = isa.space.ram.get(SCRATCH_BASE + offset)
+        assert gate_mem.value == isa_mem.value, (
+            f"mem[{offset}]: {gate_mem.value:#x} vs {isa_mem.value:#x}"
+            f"\n{source}"
+        )
+
+
 @st.composite
 def symbolic_program(draw):
     """Branch-free programs mixing unknown port data into computation."""

@@ -1,0 +1,174 @@
+"""Differential harness: parallel exploration is bit-identical to serial.
+
+For every forking Table 1 workload (the Table 2 violators -- the
+non-violators are single-path and never enter the coordinator's merge
+machinery), the same analysis runs serially and with 2 and 4 workers.
+Everything the analysis reports must be *identical*: verdicts, the full
+violation list (kind, condition, cycle, address, task, advisory bit,
+order), violated conditions, path/fork/merge/termination counts, the
+full execution tree, and the rendered ``report()`` text (modulo the
+wall-clock line).  This is the acceptance gate for the speculation-as-
+cache design: worker scheduling must never be observable in results.
+"""
+
+import re
+
+import pytest
+
+from repro.core import TaintTracker, default_policy
+from repro.workloads.registry import TABLE2_VIOLATORS, benchmark
+
+#: The forking workloads: exactly the Table 2 violators (every other
+#: Table 1 benchmark explores a single path -- no forks, no merge
+#: decisions, nothing for worker scheduling to perturb).
+FORKING_WORKLOADS = TABLE2_VIOLATORS
+
+JOB_COUNTS = (1, 2, 4)
+
+_cache = {}
+
+
+def _analysis(name, jobs):
+    key = (name, jobs)
+    if key not in _cache:
+        program = benchmark(name).service_program()
+        _cache[key] = TaintTracker(
+            program, policy=default_policy(), jobs=jobs
+        ).run()
+    return _cache[key]
+
+
+def _strip_wall(report):
+    return re.sub(r"wall=\d+\.\d+s", "wall=<wall>", report)
+
+
+def _violation_key(violation):
+    return (
+        violation.kind,
+        violation.condition,
+        violation.severity,
+        violation.cycle,
+        violation.address,
+        violation.task,
+        violation.advisory,
+        violation.detail,
+    )
+
+
+def _tree_key(result):
+    return [
+        (
+            node.node_id,
+            node.parent,
+            node.start_pc,
+            node.start_cycle,
+            node.pc_taint,
+            node.end_reason,
+            node.end_pc,
+            node.end_cycle,
+            node.fork_address,
+            tuple(node.children),
+        )
+        for node in result.tree.nodes.values()
+    ]
+
+
+@pytest.mark.parametrize("name", FORKING_WORKLOADS)
+class TestParallelEqualsSerial:
+    def test_verdict_and_violations(self, name):
+        serial = _analysis(name, 1)
+        for jobs in JOB_COUNTS[1:]:
+            parallel = _analysis(name, jobs)
+            assert parallel.verdict == serial.verdict, f"jobs={jobs}"
+            assert [
+                _violation_key(v) for v in parallel.violations
+            ] == [_violation_key(v) for v in serial.violations], (
+                f"jobs={jobs}"
+            )
+            assert parallel.violated_conditions(
+                include_advisory=True
+            ) == serial.violated_conditions(include_advisory=True)
+
+    def test_exploration_counters(self, name):
+        serial = _analysis(name, 1)
+        for jobs in JOB_COUNTS[1:]:
+            parallel = _analysis(name, jobs)
+            for field in (
+                "paths",
+                "forks",
+                "merges",
+                "terminations_by_merge",
+                "cycles_simulated",
+                "fast_forwarded_cycles",
+                "instructions",
+                "peak_merged_states",
+                "incomplete_paths",
+                "drained_paths",
+            ):
+                assert getattr(parallel.stats, field) == getattr(
+                    serial.stats, field
+                ), f"stats.{field} at jobs={jobs}"
+
+    def test_execution_tree_identical(self, name):
+        serial = _analysis(name, 1)
+        for jobs in JOB_COUNTS[1:]:
+            assert _tree_key(_analysis(name, jobs)) == _tree_key(
+                serial
+            ), f"jobs={jobs}"
+
+    def test_full_report_text_identical(self, name):
+        """The user-facing deliverable, diffed verbatim at two worker
+        counts against serial (only the wall-clock line may differ)."""
+        serial = _strip_wall(_analysis(name, 1).report())
+        for jobs in (2, 4):
+            parallel = _strip_wall(_analysis(name, jobs).report())
+            assert parallel == serial, (
+                f"report text diverged at jobs={jobs}:\n"
+                f"--- serial ---\n{serial}\n"
+                f"--- jobs={jobs} ---\n{parallel}"
+            )
+
+
+def test_single_path_program_tolerates_workers():
+    """A non-forking program never dispatches more than one chain at a
+    time; jobs>1 must still give the serial result (and not hang)."""
+    from repro.isa.assembler import assemble
+
+    source = (
+        ".task sys trusted\n"
+        "start:\n"
+        "    mov #0x0FFE, sp\n"
+        "    call #app\n"
+        "    jmp start\n"
+        ".task app untrusted\n"
+        "app:\n"
+        "    mov &P1IN, r4\n"
+        "    and #0x0003, r4\n"
+        "    mov r4, &P2OUT\n"
+        "    ret\n"
+    )
+    program = assemble(source, name="single_path")
+    parallel = TaintTracker(
+        program, policy=default_policy(), jobs=2
+    ).run()
+    reference = TaintTracker(program, policy=default_policy()).run()
+    assert parallel.verdict == reference.verdict == "secure"
+    assert parallel.stats.paths == reference.stats.paths
+
+
+def test_provenance_forces_serial_with_warning():
+    """Documented restriction: a provenance recorder cannot ride along
+    with out-of-order speculative workers."""
+    from repro.obs import ProvenanceRecorder
+
+    program = benchmark("intAVG").service_program()
+    tracker = TaintTracker(
+        program,
+        policy=default_policy(),
+        provenance=ProvenanceRecorder(capacity=1 << 12),
+        jobs=4,
+    )
+    with pytest.warns(RuntimeWarning, match="forces serial"):
+        assert tracker._parallel_jobs() == 1
+        result = tracker.run()
+    assert result.verdict == _analysis("intAVG", 1).verdict
