@@ -29,7 +29,7 @@ from repro.transform.slicing import PER_SLICE_OVERHEAD, SlicePlan
 from repro.workloads.registry import benchmark
 
 
-def test_ablation_value_aware_taint(once):
+def test_ablation_value_aware_taint(timed, bench_json):
     """Naive DIFT cannot verify any clean application."""
     names = ["mult", "rle", "tea8"]
 
@@ -42,7 +42,18 @@ def test_ablation_value_aware_taint(once):
             outcomes[name] = (glift.secure, naive.secure)
         return outcomes
 
-    outcomes = once(run)
+    outcomes = timed(run)
+    bench_json(
+        "ablation",
+        {
+            "study": "value_aware_taint",
+            "outcomes": {
+                name: {"glift_secure": g, "naive_secure": n}
+                for name, (g, n) in outcomes.items()
+            },
+        },
+        wall_seconds=timed.seconds,
+    )
     for name, (glift_secure, naive_secure) in outcomes.items():
         assert glift_secure, f"{name} must verify under GLIFT"
         assert not naive_secure, (

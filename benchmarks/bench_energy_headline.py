@@ -5,8 +5,8 @@ from repro.eval.energy import energy_rows, render_energy, summarize_energy
 from repro.eval.table3 import build_table3
 
 
-def test_energy_headline(once):
-    table3 = once(build_table3)
+def test_energy_headline(timed, bench_json):
+    table3 = timed(build_table3)
     rows = energy_rows(table3)
     summary = summarize_energy(rows)
 
@@ -23,5 +23,14 @@ def test_energy_headline(once):
             energy_row.with_overhead <= cycle_row.with_overhead + 1e-6
         )
 
+    bench_json(
+        "energy_headline",
+        {
+            "with_avg": summary["with_avg"],
+            "reduction_factor": summary["reduction_factor"],
+            "rows": len(rows),
+        },
+        wall_seconds=timed.seconds,
+    )
     print()
     print(render_energy(table3))

@@ -23,8 +23,13 @@ PAPER_FIGURE1 = [
 ]
 
 
-def test_figure1_glift_nand(once):
-    rows = once(boolean_rows)
+def test_figure1_glift_nand(timed, bench_json):
+    rows = timed(boolean_rows)
     assert rows == PAPER_FIGURE1  # exact, bit for bit
+    bench_json(
+        "fig1_glift_nand",
+        {"rows": len(rows), "exact_match": True},
+        wall_seconds=timed.seconds,
+    )
     print()
     print(render_figure1(include_ternary=True))

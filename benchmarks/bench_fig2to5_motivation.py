@@ -3,8 +3,8 @@
 from repro.eval.motivation import build_motivation, render_motivation
 
 
-def test_figures_2_to_5(once):
-    rows = once(build_motivation)
+def test_figures_2_to_5(timed, bench_json):
+    rows = timed(build_motivation)
     by_figure = {row.figure: row for row in rows}
 
     # Figure 3: clean split between tainted and untainted halves.
@@ -18,5 +18,13 @@ def test_figures_2_to_5(once):
     # Figure 5: the masking repair restores security.
     assert by_figure["Figure 5"].secure
 
+    bench_json(
+        "fig2to5_motivation",
+        {
+            "figures": [row.figure for row in rows],
+            "secure": {row.figure: row.secure for row in rows},
+        },
+        wall_seconds=timed.seconds,
+    )
     print()
     print(render_motivation(rows))

@@ -4,8 +4,8 @@ from repro.eval.figure7 import build_figure7, render_figure7
 from repro.logic.ternary import ONE, UNKNOWN, ZERO
 
 
-def test_figure7_execution_tree(once):
-    prefix, left, right, left_final, right_final = once(build_figure7)
+def test_figure7_execution_tree(timed, bench_json):
+    prefix, left, right, left_final, right_final = timed(build_figure7)
 
     # common prefix: reset lands in S=0; untainted 1 moves to S=1;
     # the tainted 0 taints the next state.
@@ -17,5 +17,14 @@ def test_figure7_execution_tree(once):
     assert left_final == (ZERO, 1)  # tainted reset cannot de-taint
     assert right_final == (ZERO, 0)  # untainted reset de-taints
 
+    bench_json(
+        "fig7_tree",
+        {
+            "prefix_steps": len(prefix),
+            "left_steps": len(left),
+            "right_steps": len(right),
+        },
+        wall_seconds=timed.seconds,
+    )
     print()
     print(render_figure7())

@@ -23,8 +23,8 @@ def analyse_both():
     return unprotected, protected
 
 
-def test_fig8_watchdog_reset(once):
-    unprotected, protected = once(analyse_both)
+def test_fig8_watchdog_reset(timed, bench_json):
+    unprotected, protected = timed(analyse_both)
 
     assert not unprotected.secure
     assert 1 in unprotected.violated_conditions()
@@ -35,6 +35,20 @@ def test_fig8_watchdog_reset(once):
     assert protected.tasks_needing_watchdog() == ["tainted_code"]
     assert protected.stats.fast_forwarded_cycles > 0
 
+    cycles = (
+        unprotected.stats.cycles_simulated
+        + protected.stats.cycles_simulated
+    )
+    bench_json(
+        "fig8_watchdog",
+        {
+            "unprotected_secure": unprotected.secure,
+            "protected_secure": protected.secure,
+            "cycles": cycles,
+        },
+        wall_seconds=timed.seconds,
+        cycles_per_second=cycles / timed.seconds if timed.seconds else None,
+    )
     print()
     print("Figure 8 unprotected:", unprotected.report().splitlines()[2])
     print("Figure 8 protected:  ", protected.report().splitlines()[2])

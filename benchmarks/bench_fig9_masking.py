@@ -46,8 +46,8 @@ def taint_footprints():
     return footprints
 
 
-def test_fig9_memory_masking(once):
-    unmasked, masked = once(analyse_both)
+def test_fig9_memory_masking(timed, bench_json):
+    unmasked, masked = timed(analyse_both)
 
     assert 2 in unmasked.violated_conditions()
     assert 2 not in masked.violated_conditions()
@@ -59,6 +59,15 @@ def test_fig9_memory_masking(once):
     assert below == 0 and above == 0  # confined to 0x0400..0x07FF
     assert inside > 0
 
+    cycles = (
+        unmasked.stats.cycles_simulated + masked.stats.cycles_simulated
+    )
+    bench_json(
+        "fig9_masking",
+        {"footprints": footprints, "cycles": cycles},
+        wall_seconds=timed.seconds,
+        cycles_per_second=cycles / timed.seconds if timed.seconds else None,
+    )
     print()
     print("Figure 9 tainted-word footprint (below / inside / above the "
           "tainted partition):")

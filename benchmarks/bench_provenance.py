@@ -93,6 +93,7 @@ def test_provenance_overhead(circuit, bench_json):
             "violations_explained": explained,
             "rounds": rounds,
         },
+        wall_seconds=recording,
     )
     assert overhead < 1.25, (
         f"provenance overhead {overhead:.3f}x exceeds the 25% target "

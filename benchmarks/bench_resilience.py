@@ -87,6 +87,7 @@ def test_budget_and_checkpoint_overhead(circuit, tmp_path, bench_json):
             "overhead_ratio": overhead,
             "rounds": rounds,
         },
+        wall_seconds=armed,
     )
     assert overhead < 1.05, (
         f"budget/checkpoint overhead {overhead:.3f}x exceeds the 5% "

@@ -3,8 +3,8 @@
 from repro.eval.rtos_case import build_rtos_case
 
 
-def test_rtos_secure_scheduling(once):
-    case = once(build_rtos_case)
+def test_rtos_secure_scheduling(timed, bench_json):
+    case = timed(build_rtos_case)
 
     # the unprotected system is vulnerable through the untrusted task
     assert case.unprotected_conditions == {1, 2}
@@ -18,5 +18,15 @@ def test_rtos_secure_scheduling(once):
     assert case.overhead_percent < 5.0
     assert case.protected_cycles >= case.baseline_cycles
 
+    bench_json(
+        "rtos_usecase",
+        {
+            "overhead_percent": case.overhead_percent,
+            "baseline_cycles": case.baseline_cycles,
+            "protected_cycles": case.protected_cycles,
+            "repaired_secure": case.repaired_secure,
+        },
+        wall_seconds=timed.seconds,
+    )
     print()
     print(case.report())

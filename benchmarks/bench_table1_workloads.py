@@ -3,8 +3,8 @@
 from repro.eval.table1 import build_table1, render_table1
 
 
-def test_table1_workloads(once):
-    rows = once(build_table1)
+def test_table1_workloads(timed, bench_json):
+    rows = timed(build_table1)
     assert len(rows) == 13
     names = {row.name for row in rows}
     assert {"mult", "binSearch", "tea8", "Viterbi"} <= names
@@ -14,5 +14,13 @@ def test_table1_workloads(once):
     for row in rows:
         assert 2.0 <= row.cpi <= 6.0, f"{row.name}: CPI {row.cpi:.2f}"
 
+    bench_json(
+        "table1_workloads",
+        {
+            "workloads": [row.name for row in rows],
+            "cpi": {row.name: row.cpi for row in rows},
+        },
+        wall_seconds=timed.seconds,
+    )
     print()
     print(render_table1(rows))

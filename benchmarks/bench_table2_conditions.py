@@ -10,8 +10,8 @@ from repro.eval.table2 import build_table2, render_table2
 from repro.workloads.registry import TABLE2_VIOLATORS
 
 
-def test_table2_conditions(once):
-    rows = once(build_table2)
+def test_table2_conditions(timed, bench_json):
+    rows = timed(build_table2)
     by_name = {row.name: row for row in rows}
 
     violators = {row.name for row in rows if row.unmodified}
@@ -30,5 +30,13 @@ def test_table2_conditions(once):
         if row.name not in TABLE2_VIOLATORS:
             assert row.unmodified == set()
 
+    bench_json(
+        "table2_conditions",
+        {
+            "violators": sorted(violators),
+            "workloads": [row.name for row in rows],
+        },
+        wall_seconds=timed.seconds,
+    )
     print()
     print(render_table2(rows))

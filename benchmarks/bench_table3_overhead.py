@@ -15,8 +15,8 @@ from repro.eval.table3 import build_table3, render_table3, summarize
 from repro.workloads.registry import BENCHMARKS, TABLE2_VIOLATORS
 
 
-def test_table3_overheads(once):
-    rows = once(build_table3)
+def test_table3_overheads(timed, bench_json):
+    rows = timed(build_table3)
     by_name = {row.name: row for row in rows}
 
     for name, info in BENCHMARKS.items():
@@ -34,5 +34,14 @@ def test_table3_overheads(once):
     assert 5.0 <= summary["with_avg"] <= 30.0  # paper: 15.1%
     assert summary["reduction_factor"] >= 1.5  # paper: 3.3x
 
+    bench_json(
+        "table3_overhead",
+        {
+            "with_avg": summary["with_avg"],
+            "reduction_factor": summary["reduction_factor"],
+            "workloads": [row.name for row in rows],
+        },
+        wall_seconds=timed.seconds,
+    )
     print()
     print(render_table3(rows))

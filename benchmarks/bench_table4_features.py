@@ -3,8 +3,8 @@
 from repro.eval.table4 import TABLE4, render_table4
 
 
-def test_table4_features(once):
-    rows = once(lambda: TABLE4)
+def test_table4_features(timed, bench_json):
+    rows = timed(lambda: TABLE4)
     by_name = {row.processor: row for row in rows}
     # the paper's survey rows
     assert not by_name["TI MSP430"].branch_predictor
@@ -15,5 +15,10 @@ def test_table4_features(once):
     lp430 = by_name["LP430 (this reproduction)"]
     assert not lp430.branch_predictor and not lp430.cache
 
+    bench_json(
+        "table4_features",
+        {"processors": [row.processor for row in rows]},
+        wall_seconds=timed.seconds,
+    )
     print()
     print(render_table4())

@@ -4,16 +4,20 @@ Each module regenerates one of the paper's tables or figures, benchmarks
 the generation (single-round: these are experiments, not microbenchmarks)
 and asserts the paper's qualitative shape.  Run with::
 
-    pytest benchmarks/ --benchmark-only -s
+    pytest benchmarks/ -s
 
-Benchmarks additionally emit machine-readable ``BENCH_<name>.json``
-documents (to ``benchmarks/out/`` by default, or ``$REPRO_BENCH_DIR``)
-so the performance trajectory of the simulator and tracker can be
-tracked across commits.
+Every benchmark module additionally emits one machine-readable
+``BENCH_<name>.json`` document to the repository root (override with
+``$REPRO_BENCH_DIR``) so the performance trajectory lands in version
+control and can be diffed commit over commit.  Schema 2, common keys on
+every document: ``bench`` (name), ``schema``, ``host`` (platform note),
+``wall_seconds`` (headline wall time) and ``cycles_per_second`` (null
+for benches with no cycle notion), plus bench-specific payload fields.
 """
 
 import json
 import os
+import platform
 from pathlib import Path
 
 import pytest
@@ -21,27 +25,49 @@ import pytest
 from repro.eval.formatting import to_jsonable
 
 #: Bump when the emitted BENCH_*.json document shape changes.
-BENCH_SCHEMA = 1
+#: v1 wrote bench-specific payloads to ``benchmarks/out/``; v2 writes to
+#: the repo root and stamps host/wall_seconds/cycles_per_second on every
+#: document.
+BENCH_SCHEMA = 2
 
 
 def bench_output_dir() -> Path:
+    """Where BENCH_*.json lands: the repo root, so artifacts are
+    version-controlled next to the tables they regenerate."""
     return Path(
-        os.environ.get(
-            "REPRO_BENCH_DIR", Path(__file__).parent / "out"
-        )
+        os.environ.get("REPRO_BENCH_DIR", Path(__file__).parent.parent)
     )
 
 
-def emit_bench_json(name: str, payload: dict) -> Path:
+def host_note() -> str:
+    return (
+        f"{platform.platform()} / {platform.python_implementation()} "
+        f"{platform.python_version()}"
+    )
+
+
+def emit_bench_json(
+    name: str,
+    payload: dict,
+    wall_seconds: float = None,
+    cycles_per_second: float = None,
+) -> Path:
     """Write one machine-readable benchmark document.
 
     *payload* is converted with :func:`repro.eval.formatting.to_jsonable`
-    so dataclasses and numpy scalars pass straight through.
+    so dataclasses and numpy scalars pass straight through; it may also
+    override the common ``wall_seconds``/``cycles_per_second`` keys.
     """
     out_dir = bench_output_dir()
     out_dir.mkdir(parents=True, exist_ok=True)
     path = out_dir / f"BENCH_{name}.json"
-    document = {"bench": name, "schema": BENCH_SCHEMA}
+    document = {
+        "bench": name,
+        "schema": BENCH_SCHEMA,
+        "host": host_note(),
+        "wall_seconds": wall_seconds,
+        "cycles_per_second": cycles_per_second,
+    }
     document.update(to_jsonable(payload))
     path.write_text(json.dumps(document, indent=2) + "\n")
     return path
@@ -59,6 +85,22 @@ def once(benchmark):
     def runner(func, *args, **kwargs):
         return run_once(benchmark, func, *args, **kwargs)
 
+    return runner
+
+
+@pytest.fixture
+def timed(benchmark):
+    """Like ``once`` but also keeps the wall time on ``timed.seconds``,
+    so the test can hand it to ``bench_json(..., wall_seconds=...)``."""
+    import time
+
+    def runner(func, *args, **kwargs):
+        start = time.perf_counter()
+        result = run_once(benchmark, func, *args, **kwargs)
+        runner.seconds = time.perf_counter() - start
+        return result
+
+    runner.seconds = None
     return runner
 
 

@@ -17,6 +17,8 @@ get the verdict, the diagnostics and (optionally) the repaired binary.
     python -m repro.cli profile  intavg   # per-phase time/counter table
     python -m repro.cli explain  figure4 --violation 0 --dot flow.dot
     python -m repro.cli report   figure4 -o report.html
+    python -m repro.cli record   figure4 --out t.timeline  # flight recorder
+    python -m repro.cli view     t.timeline --out t.html   # time-travel UI
     python -m repro.cli trace-lint t.jsonl   # validate a JSONL trace
 
 Exit codes (see ``repro.resilience.errors`` and DESIGN.md): 0 secure,
@@ -41,12 +43,16 @@ from repro.isasim.executor import run_concrete
 from repro.obs import (
     Observer,
     ProvenanceRecorder,
+    TimelineRecorder,
     TraceRecorder,
     explain_violation,
     lint_trace,
+    load_timeline,
     observe,
+    save_timeline,
 )
 from repro.obs.report import build_report
+from repro.obs.viewer import build_viewer
 from repro.resilience import (
     AnalysisBudget,
     AnalysisInterrupted,
@@ -627,7 +633,9 @@ def cmd_explain(args) -> int:
 
 def cmd_report(args) -> int:
     result, recorder = _analyze_with_provenance(args)
-    html = build_report(result, recorder)
+    html = build_report(
+        result, recorder, timeline_link=getattr(args, "timeline", None)
+    )
     output = args.output or f"report_{result.program.name}.html"
     try:
         Path(output).write_text(html)
@@ -640,12 +648,91 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_record(args) -> int:
+    """Analyse a workload with the timeline flight recorder armed and
+    write the recording to a ``.timeline`` file."""
+    program, name = _assemble_workload(args.workload)
+    recorder = TimelineRecorder(
+        keyframe_interval=args.keyframe_every, max_frames=args.max_frames
+    )
+    observer = _observer_for(args)
+    try:
+        with observe(observer) if observer else nullcontext():
+            result = TaintTracker(
+                program,
+                policy=_policy(args.policy),
+                max_cycles=args.max_cycles,
+                budget=_budget_from(args),
+                obs=observer,
+                timeline=recorder,
+            ).run()
+            out = save_timeline(
+                args.out,
+                recorder,
+                result.violations,
+                meta={
+                    "workload": name,
+                    "verdict": result.verdict,
+                    "violations": len(result.violations),
+                },
+            )
+            if observer is not None and observer.enabled:
+                observer.emit(
+                    "record",
+                    out=str(out),
+                    frames=recorder.num_frames,
+                    keyframes=recorder.keyframes,
+                    cycles=result.stats.cycles_simulated,
+                    truncated=recorder.truncated,
+                    workload=name,
+                    bytes=Path(out).stat().st_size,
+                )
+    finally:
+        _finish_observer(observer, args)
+    size = Path(out).stat().st_size
+    truncated = " [truncated]" if recorder.truncated else ""
+    print(
+        f"timeline written to {out} ({size} bytes, "
+        f"{recorder.num_frames} frame(s), {recorder.keyframes} "
+        f"keyframe(s), verdict {result.verdict}, "
+        f"{len(result.violations)} violation(s)){truncated}"
+    )
+    return 0
+
+
+def cmd_view(args) -> int:
+    """Render a recorded ``.timeline`` file as a self-contained HTML
+    time-travel viewer."""
+    timeline = load_timeline(args.timeline_file)
+    workload = timeline.meta.get("workload")
+    title = args.title or (
+        f"GLIFT timeline: {workload}" if workload else None
+    )
+    html = build_viewer(timeline, title=title)
+    output = args.out or (Path(args.timeline_file).stem + ".html")
+    try:
+        Path(output).write_text(html)
+    except OSError as error:
+        raise SystemExit(f"cannot write viewer {output!r}: {error}")
+    print(
+        f"viewer written to {output} ({len(html)} bytes, "
+        f"{timeline.num_frames} frame(s), "
+        f"{len(timeline.markers)} marker(s))"
+    )
+    return 0
+
+
 def cmd_trace_lint(args) -> int:
     try:
         problems = lint_trace(args.trace_file)
     except OSError as error:
         raise InputError(
             f"cannot read trace file {args.trace_file!r}: {error}",
+            path=args.trace_file,
+        ) from error
+    except ValueError as error:
+        raise InputError(
+            f"cannot parse trace file {args.trace_file!r}: {error}",
             path=args.trace_file,
         ) from error
     if problems:
@@ -937,12 +1024,62 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="report file (default report_<workload>.html)",
     )
+    p.add_argument(
+        "--timeline",
+        metavar="PATH",
+        help="link to a repro-view HTML page sitting next to the report",
+    )
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "record",
+        help="analyse a workload with the cycle-level flight recorder "
+        "armed and write a .timeline file for repro view",
+    )
+    workload_flags(p)
+    p.add_argument(
+        "--out",
+        default="out.timeline",
+        metavar="PATH",
+        help="timeline file to write (default out.timeline)",
+    )
+    p.add_argument(
+        "--keyframe-every",
+        type=int,
+        default=64,
+        metavar="N",
+        help="frames between full-state keyframes (default 64); "
+        "smaller = faster seeks, bigger files",
+    )
+    p.add_argument(
+        "--max-frames",
+        type=int,
+        default=1 << 20,
+        metavar="N",
+        help="frame bound; recording stops (truncated, not an error) "
+        "when reached",
+    )
+    obs_flags(p)
+    p.set_defaults(func=cmd_record)
+
+    p = sub.add_parser(
+        "view",
+        help="render a .timeline file as a self-contained HTML "
+        "time-travel viewer (scrubber, lanes, taint sparkline)",
+    )
+    p.add_argument("timeline_file", help=".timeline file from repro record")
+    p.add_argument(
+        "--out",
+        metavar="PATH",
+        help="HTML file to write (default <timeline-stem>.html)",
+    )
+    p.add_argument("--title", metavar="TEXT", help="page title override")
+    p.set_defaults(func=cmd_view)
 
     p = sub.add_parser(
         "trace-lint",
         help="validate a JSONL trace file against the documented "
-        "v2 event schema",
+        "v3 event schema",
     )
     p.add_argument("trace_file", help="JSONL trace written by --trace")
     p.set_defaults(func=cmd_trace_lint)

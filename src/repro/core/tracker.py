@@ -29,6 +29,7 @@ from repro.core.tree import ExecutionTree, TreeNode
 from repro.core.violations import Violation, ViolationKind
 from repro.obs import CLOCK, get_observer
 from repro.obs.provenance import ProvenanceRecorder, record_provenance
+from repro.obs.timeline import TimelineRecorder, record_timeline
 from repro.cpu import compiled_cpu
 from repro.isa.encode import DecodedInstruction, EncodeError, decode
 from repro.isa.program import Program
@@ -119,6 +120,9 @@ class AnalysisResult:
     #: the :class:`repro.obs.provenance.ProvenanceRecorder` that rode
     #: along with the exploration, or None (recording is opt-in)
     provenance: Optional[ProvenanceRecorder] = None
+    #: the :class:`repro.obs.timeline.TimelineRecorder` that captured
+    #: per-cycle state frames, or None (recording is opt-in)
+    timeline: Optional[TimelineRecorder] = None
     #: the compiled circuit the analysis ran on (net-id space for
     #: provenance slicing)
     circuit: Optional[CompiledCircuit] = None
@@ -348,6 +352,7 @@ class TaintTracker:
         budget: Optional[AnalysisBudget] = None,
         checkpointer=None,
         provenance: Optional[ProvenanceRecorder] = None,
+        timeline: Optional[TimelineRecorder] = None,
         jobs: int = 1,
     ):
         self.program = program
@@ -371,6 +376,9 @@ class TaintTracker:
         #: optional per-bit taint provenance recorder, installed
         #: process-wide for the duration of :meth:`run`
         self.provenance = provenance
+        #: optional per-cycle timeline flight recorder, installed
+        #: process-wide for the duration of :meth:`run`
+        self.timeline = timeline
         self.fork_limit = fork_limit
         #: how many times a concrete PC-changing instruction is revisited
         #: *exactly* before switching to Algorithm 1's continue-from-the-
@@ -557,8 +565,13 @@ class TaintTracker:
             if self.provenance is not None
             else nullcontext()
         )
+        flight = (
+            record_timeline(self.timeline)
+            if self.timeline is not None
+            else nullcontext()
+        )
         try:
-            with obs.span("explore"), recording:
+            with obs.span("explore"), recording, flight:
                 if self._parallel_jobs() > 1:
                     from repro.parallel.coordinator import (
                         run_worklist_parallel,
@@ -581,6 +594,7 @@ class TaintTracker:
             stats=self.stats,
             exhausted=list(self._exhausted),
             provenance=self.provenance,
+            timeline=self.timeline,
             circuit=self.circuit,
         )
 
@@ -640,6 +654,15 @@ class TaintTracker:
                 "provenance recording forces serial exploration; "
                 f"ignoring jobs={self.jobs} (see DESIGN.md, "
                 "'Parallel exploration')",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return 1
+        if self.timeline is not None:
+            warnings.warn(
+                "timeline recording forces serial exploration; "
+                f"ignoring jobs={self.jobs} (frame order is the "
+                "timeline -- speculative workers would scramble it)",
                 RuntimeWarning,
                 stacklevel=3,
             )
@@ -797,6 +820,11 @@ class TaintTracker:
                 if self.provenance is not None
                 else None
             ),
+            "timeline": (
+                self.timeline.export_state()
+                if self.timeline is not None
+                else None
+            ),
             "obs": self.obs.export_state(),
         }
 
@@ -818,6 +846,9 @@ class TaintTracker:
         provenance_state = payload.get("provenance")
         if provenance_state is not None and self.provenance is not None:
             self.provenance.restore_state(provenance_state)
+        timeline_state = payload.get("timeline")
+        if timeline_state is not None and self.timeline is not None:
+            self.timeline.restore_state(timeline_state)
         obs_state = payload.get("obs")
         if obs_state is not None:
             self.obs.restore_state(obs_state)
@@ -868,6 +899,17 @@ class TaintTracker:
                     edges=summary["edges_recorded"],
                     capacity=summary["capacity"],
                 )
+        if self.timeline is not None:
+            summary = self.timeline.snapshot()
+            metrics.counter("timeline.frames").inc(summary["frames"])
+            metrics.gauge("timeline.keyframes").set(summary["keyframes"])
+            obs.emit(
+                "timeline",
+                frames=summary["frames"],
+                keyframes=summary["keyframes"],
+                truncated=summary["truncated"],
+                max_frames=summary["max_frames"],
+            )
         for violation in violations:
             obs.emit(
                 "violation",

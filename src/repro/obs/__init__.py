@@ -46,6 +46,16 @@ from repro.obs.provenance import (
     install_recorder,
     record_provenance,
 )
+from repro.obs.timeline import (
+    Timeline,
+    TimelineMarker,
+    TimelineRecorder,
+    get_timeline,
+    install_timeline,
+    load_timeline,
+    record_timeline,
+    save_timeline,
+)
 from repro.obs.trace import (
     EVENT_SCHEMAS,
     TRACE_SCHEMA_VERSION,
@@ -247,6 +257,14 @@ __all__ = [
     "get_recorder",
     "install_recorder",
     "record_provenance",
+    "Timeline",
+    "TimelineMarker",
+    "TimelineRecorder",
+    "get_timeline",
+    "install_timeline",
+    "load_timeline",
+    "record_timeline",
+    "save_timeline",
     "Observer",
     "NullObserver",
     "NULL_OBSERVER",

@@ -128,12 +128,15 @@ def build_report(
     recorder: Optional[ProvenanceRecorder] = None,
     title: Optional[str] = None,
     max_explained: int = MAX_EXPLAINED,
+    timeline_link: Optional[str] = None,
 ) -> str:
     """One self-contained HTML document for *result*.
 
     *recorder* defaults to ``result.provenance``; without one the report
     still renders (verdict, stats, violations) but has no heatmap and no
-    provenance chains.
+    provenance chains.  *timeline_link* adds a relative link to a
+    ``repro view`` page sitting next to the report -- a local file
+    reference, so the report itself stays self-contained.
     """
     if recorder is None:
         recorder = getattr(result, "provenance", None)
@@ -185,6 +188,12 @@ def build_report(
         )
         summary_rows.append(
             ("taint labels", escape(", ".join(prov["labels"]) or "none"))
+        )
+    if timeline_link:
+        parts.append(
+            f"<p>time-travel view: <a href='{escape(timeline_link)}'>"
+            f"{escape(timeline_link)}</a> (open next to this report; "
+            "generated by <code>repro view</code>)</p>"
         )
     parts.append("<h2>Summary</h2><table>")
     for key, value in summary_rows:

@@ -24,10 +24,14 @@ the pipeline emits and is what ``repro trace-lint`` validates against:
 ``fault_injected``       the fault injector fired
 ``provenance``           provenance-recording summary for a finished run
 ``provenance_truncated`` the provenance ring wrapped; slices best-effort
+``timeline``             flight-recorder summary for a finished analysis
+``record``               one ``repro record`` run wrote a .timeline file
 =======================  ==================================================
 
 Version history: v1 (unversioned) had no ``v``/``seq`` fields; v2 added
-them plus the provenance events.
+them plus the provenance events; v3 added the timeline events
+(``timeline``, ``record``, the ``step`` event's ``timeline_frames``
+field) and made a trace with zero events a lint problem.
 """
 
 from __future__ import annotations
@@ -40,7 +44,7 @@ from typing import Dict, List, Union
 from repro.obs.clock import CLOCK, Clock
 
 #: Schema version stamped into every event's ``v`` field.
-TRACE_SCHEMA_VERSION = 2
+TRACE_SCHEMA_VERSION = 3
 
 #: Fields present on every event, owned by the recorder itself.
 RESERVED_FIELDS = frozenset({"event", "wall", "v", "seq"})
@@ -76,7 +80,7 @@ EVENT_SCHEMAS: Dict[str, Dict[str, frozenset]] = {
         "required": frozenset(
             {"cycle", "phase", "pc", "reset", "read", "write", "port_events"}
         ),
-        "optional": frozenset({"provenance_edges"}),
+        "optional": frozenset({"provenance_edges", "timeline_frames"}),
     },
     "transform_applied": {
         "required": frozenset({"kind", "iteration"}),
@@ -115,6 +119,16 @@ EVENT_SCHEMAS: Dict[str, Dict[str, frozenset]] = {
     "provenance_truncated": {
         "required": frozenset({"edges", "capacity"}),
         "optional": frozenset(),
+    },
+    "timeline": {
+        "required": frozenset({"frames", "keyframes", "truncated"}),
+        "optional": frozenset({"max_frames"}),
+    },
+    "record": {
+        "required": frozenset(
+            {"out", "frames", "keyframes", "cycles", "truncated"}
+        ),
+        "optional": frozenset({"workload", "bytes"}),
     },
 }
 
@@ -197,16 +211,21 @@ def lint_trace(path: Union[str, Path]) -> List[str]:
 
     Returns a list of human-readable problems (empty for a clean trace):
     unparseable lines, missing reserved fields, wrong schema version,
-    non-monotonic sequence numbers, unknown event types, and missing or
-    undeclared event fields.
+    non-monotonic sequence numbers, unknown event types, missing or
+    undeclared event fields, and a trace with no events at all (an empty
+    or fully-blank file is evidence of a truncated or failed run, not a
+    clean one).  Undecodable bytes are replaced, never raised, so a
+    binary or truncated file lints as problems instead of crashing.
     """
     problems: List[str] = []
     last_sequence = None
-    with open(path, "r", encoding="utf-8") as handle:
+    events_seen = 0
+    with open(path, "r", encoding="utf-8", errors="replace") as handle:
         for line_no, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:
                 continue
+            events_seen += 1
             try:
                 record = json.loads(line)
             except json.JSONDecodeError as error:
@@ -255,4 +274,8 @@ def lint_trace(path: Union[str, Path]) -> List[str]:
                 problems.append(
                     f"line {line_no}: {event}: undeclared field {name!r}"
                 )
+    if events_seen == 0:
+        problems.append(
+            "trace contains no events (empty or truncated file)"
+        )
     return problems

@@ -40,7 +40,10 @@ from repro.resilience.checkpoint import (
     Checkpointer,
     read_checkpoint,
     read_checkpoint_header,
+    read_container,
+    read_container_header,
     write_checkpoint,
+    write_container,
 )
 from repro.resilience.faults import (
     FAULT_KINDS,
@@ -72,6 +75,9 @@ __all__ = [
     "current_rss_mb",
     "CHECKPOINT_VERSION",
     "Checkpointer",
+    "read_container",
+    "read_container_header",
+    "write_container",
     "read_checkpoint",
     "read_checkpoint_header",
     "write_checkpoint",

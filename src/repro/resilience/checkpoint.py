@@ -17,6 +17,14 @@ checkpoints are rejected with a clear :class:`CheckpointError` before any
 state is touched.  The digest covers the program image, the policy and
 the netlist shape: resuming against a different binary or policy is a
 hard error, not a silent wrong answer.
+
+The magic/header/payload container itself is generic: the module-level
+:func:`write_container` / :func:`read_container_header` /
+:func:`read_container` functions are parameterised by magic and version,
+and the checkpoint functions are thin wrappers over them.  The timeline
+flight recorder (``repro.obs.timeline``) reuses the same codec for its
+``.timeline`` files, so both formats share one atomic-write path and one
+corrupt/stale rejection story.
 """
 
 from __future__ import annotations
@@ -35,20 +43,25 @@ MAGIC = b"REPRO-CKPT\n"
 CHECKPOINT_VERSION = 1
 
 
-def write_checkpoint(
-    path, digest: str, payload: dict, meta: Optional[dict] = None
+# ---------------------------------------------------------------------------
+# Generic versioned container codec (shared with repro.obs.timeline)
+# ---------------------------------------------------------------------------
+def write_container(
+    path,
+    magic: bytes,
+    version: int,
+    payload: dict,
+    meta: Optional[dict] = None,
+    kind: str = "checkpoint",
+    code_prefix: str = "CHECKPOINT",
 ) -> Path:
-    """Atomically write one checkpoint file."""
+    """Atomically write one ``magic + json-header + pickle`` container."""
     path = Path(path)
-    header = {
-        "version": CHECKPOINT_VERSION,
-        "digest": digest,
-        "saved_unix": time.time(),
-    }
+    header = {"version": version, "saved_unix": time.time()}
     if meta:
         header.update(meta)
     buffer = io.BytesIO()
-    buffer.write(MAGIC)
+    buffer.write(magic)
     buffer.write(json.dumps(header, sort_keys=True).encode() + b"\n")
     pickle.dump(payload, buffer, protocol=pickle.HIGHEST_PROTOCOL)
     tmp = path.with_name(path.name + ".tmp")
@@ -57,56 +70,106 @@ def write_checkpoint(
         os.replace(tmp, path)
     except OSError as error:
         raise CheckpointError(
-            f"cannot write checkpoint {str(path)!r}: {error}",
-            code="CHECKPOINT_WRITE",
+            f"cannot write {kind} {str(path)!r}: {error}",
+            code=f"{code_prefix}_WRITE",
             path=str(path),
         ) from error
     return path
 
 
-def read_checkpoint_header(path) -> dict:
+def read_container_header(
+    path,
+    magic: bytes,
+    version: int,
+    kind: str = "checkpoint",
+    code_prefix: str = "CHECKPOINT",
+) -> dict:
     """Validate magic/version and return the JSON header."""
     path = Path(path)
     try:
         with path.open("rb") as handle:
-            magic = handle.read(len(MAGIC))
-            if magic != MAGIC:
+            found = handle.read(len(magic))
+            if found != magic:
                 raise CheckpointError(
-                    f"{str(path)!r} is not a repro checkpoint "
-                    "(bad magic)",
-                    code="CHECKPOINT_CORRUPT",
+                    f"{str(path)!r} is not a repro {kind} (bad magic)",
+                    code=f"{code_prefix}_CORRUPT",
                     path=str(path),
                 )
             header_line = handle.readline()
     except OSError as error:
         raise CheckpointError(
-            f"cannot read checkpoint {str(path)!r}: {error}",
-            code="CHECKPOINT_READ",
+            f"cannot read {kind} {str(path)!r}: {error}",
+            code=f"{code_prefix}_READ",
             path=str(path),
         ) from error
     try:
         header = json.loads(header_line)
     except ValueError as error:
         raise CheckpointError(
-            f"checkpoint {str(path)!r} has a corrupt header: {error}",
-            code="CHECKPOINT_CORRUPT",
+            f"{kind} {str(path)!r} has a corrupt header: {error}",
+            code=f"{code_prefix}_CORRUPT",
             path=str(path),
         ) from error
-    if header.get("version") != CHECKPOINT_VERSION:
+    if header.get("version") != version:
         raise CheckpointError(
-            f"checkpoint {str(path)!r} has version "
+            f"{kind} {str(path)!r} has version "
             f"{header.get('version')!r}; this build reads version "
-            f"{CHECKPOINT_VERSION}",
-            code="CHECKPOINT_VERSION",
+            f"{version}",
+            code=f"{code_prefix}_VERSION",
             path=str(path),
         )
     return header
 
 
+def read_container(
+    path,
+    magic: bytes,
+    version: int,
+    kind: str = "checkpoint",
+    code_prefix: str = "CHECKPOINT",
+) -> tuple:
+    """Load ``(header, payload)``, validating magic/version first."""
+    path = Path(path)
+    header = read_container_header(
+        path, magic, version, kind=kind, code_prefix=code_prefix
+    )
+    try:
+        with path.open("rb") as handle:
+            handle.read(len(magic))
+            handle.readline()
+            payload = pickle.load(handle)
+    except CheckpointError:
+        raise
+    except Exception as error:
+        raise CheckpointError(
+            f"{kind} {str(path)!r} payload is corrupt: {error}",
+            code=f"{code_prefix}_CORRUPT",
+            path=str(path),
+        ) from error
+    return header, payload
+
+
+def write_checkpoint(
+    path, digest: str, payload: dict, meta: Optional[dict] = None
+) -> Path:
+    """Atomically write one checkpoint file."""
+    header_meta = {"digest": digest}
+    if meta:
+        header_meta.update(meta)
+    return write_container(
+        path, MAGIC, CHECKPOINT_VERSION, payload, meta=header_meta
+    )
+
+
+def read_checkpoint_header(path) -> dict:
+    """Validate magic/version and return the JSON header."""
+    return read_container_header(path, MAGIC, CHECKPOINT_VERSION)
+
+
 def read_checkpoint(path, expected_digest: Optional[str] = None) -> dict:
     """Load a checkpoint payload, validating header and digest first."""
     path = Path(path)
-    header = read_checkpoint_header(path)
+    header = read_container_header(path, MAGIC, CHECKPOINT_VERSION)
     if expected_digest is not None and header.get("digest") != expected_digest:
         raise CheckpointError(
             f"checkpoint {str(path)!r} is stale: it was taken for a "
@@ -118,19 +181,7 @@ def read_checkpoint(path, expected_digest: Optional[str] = None) -> dict:
             found=header.get("digest"),
             expected=expected_digest,
         )
-    try:
-        with path.open("rb") as handle:
-            handle.read(len(MAGIC))
-            handle.readline()
-            payload = pickle.load(handle)
-    except CheckpointError:
-        raise
-    except Exception as error:
-        raise CheckpointError(
-            f"checkpoint {str(path)!r} payload is corrupt: {error}",
-            code="CHECKPOINT_CORRUPT",
-            path=str(path),
-        ) from error
+    _, payload = read_container(path, MAGIC, CHECKPOINT_VERSION)
     return payload
 
 

@@ -52,6 +52,16 @@ def decode_code(code: int) -> Tuple[int, int]:
     return code >> 1, code & 1
 
 
+def unpack_codes(codes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorised :func:`decode_code`: ``(values, taints)`` arrays.
+
+    Values are ternary (0, 1, or 2 for X); taints are 0/1.  Used by the
+    timeline scrub API and viewer, which reconstruct whole code arrays
+    per frame.
+    """
+    return codes >> 1, codes & 1
+
+
 def _lut_for(cell_type: str, taint_mode: str = "glift") -> np.ndarray:
     """Exhaustive taint lookup table for one cell type, indexed base-6.
 

@@ -15,6 +15,7 @@ from repro.logic.ternary import ONE, UNKNOWN, ZERO
 from repro.logic.words import TWord
 from repro.obs import get_observer
 from repro.obs.provenance import get_recorder
+from repro.obs.timeline import get_timeline
 from repro.sim.compiled import CompiledCircuit
 from repro.sim.soc import AddressSpace, CycleEvents, Rom, SoC
 
@@ -171,6 +172,9 @@ class GateRunner:
         recorder = get_recorder()
         if recorder is not None:
             fields["provenance_edges"] = recorder.edges_this_cycle
+        timeline = get_timeline()
+        if timeline is not None:
+            fields["timeline_frames"] = timeline.num_frames
         obs.emit(
             "step",
             cycle=cycle,

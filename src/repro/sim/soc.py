@@ -44,6 +44,7 @@ from repro.logic.ternary import ONE, UNKNOWN, ZERO
 from repro.logic.words import TWord
 from repro.obs import get_observer
 from repro.obs.provenance import get_recorder
+from repro.obs.timeline import get_timeline
 from repro.resilience.faults import get_injector
 from repro.sim.compiled import CircuitState, CompiledCircuit
 from repro.sim.memory import TaintedMemory
@@ -446,6 +447,13 @@ class SoC:
 
         circuit.clock_edge(state)
         self.cycle += 1
+        timeline = get_timeline()
+        if timeline is not None:
+            # Post-edge codes: combinational nets still hold this
+            # cycle's settled values (what the checker saw), DFF Q nets
+            # hold next-cycle state -- one frame per step.
+            timeline.ensure_bound(circuit)
+            timeline.on_step(events.cycle, state.codes)
         obs = get_observer()
         if obs.enabled:
             obs.metrics.counter("sim.cycles").inc()

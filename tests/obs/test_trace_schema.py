@@ -1,4 +1,4 @@
-"""Trace schema v2: versioned events, sequence numbers, and the linter."""
+"""Trace schema v3: versioned events, sequence numbers, and the linter."""
 
 import io
 import json
@@ -145,8 +145,20 @@ class TestLinter:
         )
 
     def test_blank_lines_are_ignored(self, tmp_path):
-        path = self._write(tmp_path, ["", "  ", ""])
+        record = {
+            "event": "merge", "wall": 0.0,
+            "v": TRACE_SCHEMA_VERSION, "seq": 0,
+            "site": "0x10", "cycle": 1,
+        }
+        path = self._write(tmp_path, ["", json.dumps(record), "  ", ""])
         assert lint_trace(path) == []
+
+    def test_empty_trace_is_a_problem(self, tmp_path):
+        """v3: zero events means a truncated or failed run."""
+        path = self._write(tmp_path, [""])
+        assert any("no events" in problem for problem in lint_trace(path))
+        blank = self._write(tmp_path, ["", "  ", ""])
+        assert any("no events" in problem for problem in lint_trace(blank))
 
     def test_schemas_cover_the_documented_events(self):
         # The v2 contract: provenance events exist, step declares the
@@ -154,6 +166,13 @@ class TestLinter:
         assert "provenance" in EVENT_SCHEMAS
         assert "provenance_truncated" in EVENT_SCHEMAS
         assert "provenance_edges" in EVENT_SCHEMAS["step"]["optional"]
+        # The v3 contract: timeline events exist, step declares the
+        # optional timeline_frames field.
+        assert TRACE_SCHEMA_VERSION == 3
+        assert "timeline" in EVENT_SCHEMAS
+        assert "record" in EVENT_SCHEMAS
+        assert "timeline_frames" in EVENT_SCHEMAS["step"]["optional"]
+        assert "out" in EVENT_SCHEMAS["record"]["required"]
 
 
 class TestTraceLintCli:
@@ -180,3 +199,38 @@ class TestTraceLintCli:
         from repro.cli import main
 
         assert main(["trace-lint", str(tmp_path / "nope.jsonl")]) == 4
+
+    def test_empty_file_exits_one_not_traceback(self, tmp_path, capsys):
+        """Regression: an empty trace used to lint clean; it is the
+        signature of a truncated or failed run and must exit 1."""
+        from repro.cli import main
+
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["trace-lint", str(path)]) == 1
+        output = capsys.readouterr().out
+        assert "no events" in output
+        assert "problem(s)" in output
+
+    def test_truncated_trace_exits_one(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "trace.jsonl"
+        with TraceRecorder(path) as trace:
+            trace.emit("merge", site="0x10", cycle=1)
+            trace.emit("merge", site="0x20", cycle=2)
+        text = path.read_text()
+        path.write_text(text[: len(text) - 10])  # cut mid-record
+        assert main(["trace-lint", str(path)]) == 1
+        assert "unparseable" in capsys.readouterr().out
+
+    def test_binary_file_exits_nonzero_not_traceback(self, tmp_path, capsys):
+        """Regression: undecodable bytes raised UnicodeDecodeError
+        straight through main() instead of the documented exit code."""
+        from repro.cli import main
+
+        path = tmp_path / "binary.jsonl"
+        path.write_bytes(b"\xff\xfe\x00\x01 not json \x80\n")
+        code = main(["trace-lint", str(path)])
+        assert code == 1
+        assert "problem(s)" in capsys.readouterr().out

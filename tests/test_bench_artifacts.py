@@ -1,0 +1,78 @@
+"""Guard the benchmark-artifact contract without running the benches.
+
+The full suite under ``benchmarks/`` is too slow for tier-1, but two
+kinds of drift have bitten before and are cheap to catch statically:
+
+* a bench module stops emitting its ``BENCH_<name>.json`` document, so
+  the perf trajectory silently loses a series;
+* the collection pattern regresses and ``pytest benchmarks/`` collects
+  nothing at all (``bench_*.py`` does not match pytest's default
+  ``test_*.py`` file glob -- the repo must opt in via pyproject).
+"""
+
+import re
+from pathlib import Path
+
+REPO = Path(__file__).parent.parent
+BENCH_DIR = REPO / "benchmarks"
+
+
+def bench_modules():
+    files = sorted(BENCH_DIR.glob("bench_*.py"))
+    assert files, "no bench modules found -- wrong repo layout?"
+    return files
+
+
+def test_every_bench_module_emits_a_json_document():
+    missing = [
+        path.name
+        for path in bench_modules()
+        if "bench_json(" not in path.read_text()
+        and "emit_bench_json(" not in path.read_text()
+    ]
+    assert not missing, (
+        f"bench modules without a BENCH_*.json emission: {missing} "
+        "(every benchmarks/bench_*.py must call the bench_json fixture "
+        "so its document lands in the repo root -- see "
+        "benchmarks/conftest.py)"
+    )
+
+
+def test_bench_documents_use_unique_names():
+    """Two modules writing the same BENCH_<name>.json would clobber
+    each other; names must be distinct across the suite."""
+    names = []
+    for path in bench_modules():
+        names.extend(
+            re.findall(r"bench_json\(\s*[\"']([\w-]+)[\"']", path.read_text())
+        )
+    assert names
+    assert len(names) == len(set(names)), (
+        f"duplicate BENCH document names: "
+        f"{sorted(n for n in set(names) if names.count(n) > 1)}"
+    )
+
+
+def test_bench_files_are_collectable():
+    """pytest only collects ``bench_*.py`` because pyproject opts in;
+    losing that line makes ``pytest benchmarks/`` a silent no-op."""
+    pyproject = (REPO / "pyproject.toml").read_text()
+    assert "bench_*.py" in pyproject, (
+        "pyproject.toml no longer lists bench_*.py in python_files; "
+        "`pytest benchmarks/` would collect zero tests"
+    )
+
+
+def test_bench_output_dir_is_the_repo_root(monkeypatch):
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "bench_conftest", BENCH_DIR / "conftest.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+
+    monkeypatch.delenv("REPRO_BENCH_DIR", raising=False)
+    assert module.bench_output_dir().resolve() == REPO.resolve()
+    monkeypatch.setenv("REPRO_BENCH_DIR", "/tmp/elsewhere")
+    assert module.bench_output_dir() == Path("/tmp/elsewhere")
