@@ -1,0 +1,104 @@
+"""Analysis-service overheads: submission fsync, journal replay, and
+end-to-end supervised turnaround vs a bare in-process analysis.
+
+Three numbers matter for the daemon:
+
+* **submit latency** -- a 202 includes an fsync'd journal append, so
+  acknowledgement throughput is bounded by the disk, not the analyzer;
+* **replay throughput** -- crash recovery replays the full journal
+  before the daemon serves again, so restart time scales with it;
+* **supervision overhead** -- the gap between a supervised job's
+  turnaround (spawn subprocess, heartbeat, reap, classify, journal) and
+  the same analysis run in-process.  The gap is dominated by worker
+  interpreter startup and is the price of crash isolation.
+
+Emits ``BENCH_service.json``.
+"""
+
+import time
+
+from repro.core import TaintTracker, default_policy
+from repro.cpu import compiled_cpu
+from repro.isa.assembler import assemble
+from repro.service import AnalysisService, ServiceConfig
+from repro.service.journal import JobJournal
+
+#: Single-path insecure program: minimal analysis, so the measured
+#: turnaround is almost entirely service machinery.
+TINY = """\
+.task sys trusted
+start:
+    mov &P1IN, r4
+    mov r4, &P4OUT
+    halt
+"""
+
+SUBMISSIONS = 50
+
+
+def test_service_overheads(tmp_path, timed, bench_json):
+    compiled_cpu()  # build the circuit cache outside every timer
+
+    # -- submit latency (fsync per acknowledgement) --------------------
+    queue_root = tmp_path / "queue"
+    queue = AnalysisService(
+        ServiceConfig(root=str(queue_root), queue_capacity=SUBMISSIONS + 1)
+    )
+    queue.start()
+    start = time.perf_counter()
+    for index in range(SUBMISSIONS):
+        queue.submit(source=TINY, name=f"s{index}")
+    submit_seconds = time.perf_counter() - start
+    queue.journal.close()
+
+    # -- journal replay (crash-recovery restart cost) ------------------
+    start = time.perf_counter()
+    replayed = JobJournal(queue_root).replay()
+    replay_seconds = time.perf_counter() - start
+    assert len(replayed) == SUBMISSIONS
+
+    # -- bare in-process analysis (the floor) --------------------------
+    program = assemble(TINY, name="tiny")
+    start = time.perf_counter()
+    result = TaintTracker(program, default_policy()).run()
+    inprocess_seconds = time.perf_counter() - start
+    assert result.verdict == "insecure"
+
+    # -- supervised end-to-end turnaround ------------------------------
+    service = AnalysisService(
+        ServiceConfig(root=str(tmp_path / "svc"), workers=1, poll_interval=0.02)
+    )
+    service.start()
+
+    def turnaround():
+        record = service.submit(source=TINY, name="timed")
+        while not record.terminal:
+            service.tick()
+            time.sleep(service.config.poll_interval)
+        return record
+
+    try:
+        record = timed(turnaround)
+        assert record.verdict == "insecure"
+        assert record.attempts == 1
+    finally:
+        for handle in list(service.supervisor.live.values()):
+            handle.kill("bench cleanup")
+        service.journal.close()
+
+    bench_json(
+        "service",
+        {
+            "submissions": SUBMISSIONS,
+            "submit_seconds_total": submit_seconds,
+            "submits_per_second": SUBMISSIONS / submit_seconds,
+            "replay_seconds": replay_seconds,
+            "replayed_jobs": len(replayed),
+            "inprocess_seconds": inprocess_seconds,
+            "turnaround_seconds": timed.seconds,
+            "supervision_overhead_seconds": (
+                timed.seconds - inprocess_seconds
+            ),
+        },
+        wall_seconds=timed.seconds,
+    )

@@ -20,6 +20,9 @@ get the verdict, the diagnostics and (optionally) the repaired binary.
     python -m repro.cli record   figure4 --out t.timeline  # flight recorder
     python -m repro.cli view     t.timeline --out t.html   # time-travel UI
     python -m repro.cli trace-lint t.jsonl   # validate a JSONL trace
+    python -m repro.cli serve    --root svc --workers 2    # analysis daemon
+    python -m repro.cli submit   app.s43 --wait            # job -> verdict
+    python -m repro.cli jobs     [JOB_ID]                  # queue status
 
 Exit codes (see ``repro.resilience.errors`` and DESIGN.md): 0 secure,
 1 insecure, 2 fundamental violation, 3 inconclusive (budget exhausted),
@@ -744,6 +747,152 @@ def cmd_trace_lint(args) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# serve / submit / jobs (the analysis service)
+# ---------------------------------------------------------------------------
+def cmd_serve(args) -> int:
+    from repro.service import AnalysisService, ServiceConfig
+    from repro.service.retry import RetryPolicy
+
+    observer = _observer_for(args)
+    config = ServiceConfig(
+        root=args.root,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        shed_after=args.shed_after,
+        max_attempts=args.max_attempts,
+        checkpoint_every=args.checkpoint_every,
+        heartbeat_timeout=args.heartbeat_timeout,
+        drain_grace=args.drain_grace,
+        retry=RetryPolicy(
+            max_attempts=args.max_attempts,
+            base_seconds=args.retry_base,
+        ),
+    )
+    service = AnalysisService(config, observer=observer)
+    service.start()
+    url = service.start_server()
+    recovered = (
+        f", recovered {len(service.recovered)} in-flight job(s)"
+        if service.recovered
+        else ""
+    )
+    print(
+        f"analysis service listening on {url} "
+        f"({config.workers} worker(s), queue capacity "
+        f"{config.queue_capacity}, journal {service.root}){recovered}",
+        file=sys.stderr,
+    )
+    try:
+        return service.run()
+    finally:
+        _finish_observer(observer, args)
+
+
+def _submission_body(args) -> dict:
+    source, name = _resolve_workload(args.source)
+    body = {
+        "source": source,
+        "name": name,
+        "policy": args.policy,
+        "max_cycles": args.max_cycles,
+    }
+    budget = {
+        "max_paths": getattr(args, "max_paths", None) or 4_096,
+        "deadline_seconds": getattr(args, "deadline", None),
+        "max_merged_states": getattr(args, "max_merged_states", None),
+        "max_rss_mb": getattr(args, "max_rss_mb", None),
+    }
+    body["budget"] = {k: v for k, v in budget.items() if v is not None}
+    return body
+
+
+def cmd_submit(args) -> int:
+    from repro.service.client import ServiceClient, ServiceClientError
+
+    client = ServiceClient(args.url, timeout=args.timeout)
+    try:
+        accepted = client.submit(**_submission_body(args))
+        job_id = accepted["id"]
+        if not args.wait:
+            if args.json:
+                print(format_json(accepted))
+            else:
+                print(
+                    f"job {job_id} accepted "
+                    f"(poll with: repro jobs {job_id} --url {client.url})"
+                )
+            return 0
+        record = client.wait(job_id, timeout=args.timeout)
+        report = client.report(job_id)
+    except ServiceClientError as error:
+        raise InputError(
+            str(error), code=error.code or "SERVICE", retriable=error.retriable
+        ) from None
+    except (OSError, TimeoutError) as error:
+        raise InputError(
+            f"cannot reach analysis service at {client.url}: {error}"
+        ) from None
+    if args.json:
+        print(format_json({"job": record, "report": report}))
+    else:
+        print(
+            f"job {job_id}: {record['state']} "
+            f"(verdict {record.get('verdict')}, "
+            f"{record.get('attempts')} attempt(s))"
+        )
+    return int(record.get("exit_code") or 0)
+
+
+def cmd_jobs(args) -> int:
+    from repro.service.client import ServiceClient, ServiceClientError
+
+    client = ServiceClient(args.url, timeout=args.timeout)
+    try:
+        if args.job_id:
+            document = client.job(args.job_id)
+            print(
+                format_json(document)
+                if args.json
+                else f"{document['job_id']}: {document['state']} "
+                f"(verdict {document.get('verdict')}, "
+                f"{document.get('attempts')} attempt(s))"
+            )
+            return 0
+        jobs = client.jobs()
+    except ServiceClientError as error:
+        raise InputError(
+            str(error), code=error.code or "SERVICE"
+        ) from None
+    except (OSError, TimeoutError) as error:
+        raise InputError(
+            f"cannot reach analysis service at {client.url}: {error}"
+        ) from None
+    if args.json:
+        print(format_json({"jobs": jobs}))
+    else:
+        rows = [
+            (
+                entry["id"],
+                entry["name"],
+                entry["state"],
+                entry["attempts"],
+                entry.get("verdict") or "-",
+            )
+            for entry in jobs
+        ]
+        print(
+            format_table(
+                ["job", "name", "state", "attempts", "verdict"],
+                rows,
+                title=f"jobs at {client.url}",
+            )
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1075,6 +1224,143 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--title", metavar="TEXT", help="page title override")
     p.set_defaults(func=cmd_view)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the supervised analysis service (durable job "
+        "journal, worker pool, REST API; SIGINT/SIGTERM drains)",
+    )
+    p.add_argument(
+        "--root",
+        default=".repro-service",
+        metavar="DIR",
+        help="service state directory: job journal + per-job artifacts "
+        "(default .repro-service)",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=8437,
+        help="bind port (0 picks a free one; the chosen URL is "
+        "written to <root>/address)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="analysis worker subprocesses (default 2)",
+    )
+    p.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=64,
+        metavar="N",
+        help="max jobs in flight before submissions get 429",
+    )
+    p.add_argument(
+        "--shed-after",
+        type=int,
+        default=None,
+        metavar="N",
+        help="backlog size above which launches get clamped budgets "
+        "(default: 3/4 of the queue capacity)",
+    )
+    p.add_argument(
+        "--max-attempts",
+        type=int,
+        default=4,
+        metavar="N",
+        help="attempts per job before a retriable failure becomes "
+        "terminal (default 4)",
+    )
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=8,
+        metavar="N",
+        help="worker checkpoint cadence in explored paths (default 8)",
+    )
+    p.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=15.0,
+        metavar="SECONDS",
+        help="kill a worker whose heartbeat is older than this",
+    )
+    p.add_argument(
+        "--drain-grace",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="seconds workers get to checkpoint on drain",
+    )
+    p.add_argument(
+        "--retry-base",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="exponential-backoff base delay (default 0.5s)",
+    )
+    obs_flags(p)
+    p.set_defaults(func=cmd_serve)
+
+    def service_client_flags(p):
+        p.add_argument(
+            "--url",
+            default="http://127.0.0.1:8437",
+            help="service base URL (default http://127.0.0.1:8437)",
+        )
+        p.add_argument(
+            "--timeout",
+            type=float,
+            default=600.0,
+            metavar="SECONDS",
+            help="client request/wait timeout",
+        )
+        p.add_argument(
+            "--json", action="store_true", help="machine-readable output"
+        )
+
+    p = sub.add_parser(
+        "submit",
+        help="submit a workload to a running analysis service "
+        "(optionally wait for the verdict)",
+    )
+    p.add_argument(
+        "source",
+        help="LP430 source file or registry benchmark name",
+    )
+    p.add_argument(
+        "--policy",
+        default="untrusted",
+        help="taint kind: untrusted (default) or secret",
+    )
+    p.add_argument(
+        "--max-cycles",
+        type=int,
+        default=1_000_000,
+        help="analysis cycle budget",
+    )
+    p.add_argument(
+        "--wait",
+        action="store_true",
+        help="poll until the verdict and exit with its code",
+    )
+    budget_flags(p)
+    service_client_flags(p)
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser(
+        "jobs",
+        help="list a running service's jobs (or one job's record)",
+    )
+    p.add_argument(
+        "job_id", nargs="?", help="job id (omit to list every job)"
+    )
+    service_client_flags(p)
+    p.set_defaults(func=cmd_jobs)
 
     p = sub.add_parser(
         "trace-lint",

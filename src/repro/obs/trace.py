@@ -130,6 +130,37 @@ EVENT_SCHEMAS: Dict[str, Dict[str, frozenset]] = {
         ),
         "optional": frozenset({"workload", "bytes"}),
     },
+    # -- analysis-service job lifecycle (repro.service) ----------------
+    "service_started": {
+        "required": frozenset({"jobs", "recovered"}),
+        "optional": frozenset(),
+    },
+    "service_drain": {
+        "required": frozenset({"jobs"}),
+        "optional": frozenset(),
+    },
+    "job_submitted": {
+        "required": frozenset({"job", "name"}),
+        "optional": frozenset(),
+    },
+    "job_started": {
+        "required": frozenset({"job", "attempt", "shed"}),
+        "optional": frozenset(),
+    },
+    "job_retrying": {
+        "required": frozenset({"job", "attempt", "delay", "reason"}),
+        "optional": frozenset(),
+    },
+    "job_finished": {
+        "required": frozenset(
+            {"job", "state", "verdict", "exit_code", "attempts"}
+        ),
+        "optional": frozenset(),
+    },
+    "worker_killed": {
+        "required": frozenset({"job", "reason"}),
+        "optional": frozenset(),
+    },
 }
 
 

@@ -14,11 +14,18 @@ are always reported in the requested workload order.
 
 from __future__ import annotations
 
+import concurrent.futures
+import signal
+import threading
 from concurrent.futures import ProcessPoolExecutor
 from typing import List, Optional
 
 from repro.obs import CLOCK, MetricsRegistry, Observer, observe
-from repro.resilience import ReproError, VERDICT_EXIT_CODES
+from repro.resilience import (
+    AnalysisInterrupted,
+    ReproError,
+    VERDICT_EXIT_CODES,
+)
 
 #: Schema tag for the aggregate document (bump on breaking changes).
 ANALYZE_ALL_SCHEMA = 1
@@ -77,6 +84,78 @@ def _analyze_one(spec: dict) -> dict:
         }
 
 
+def _reap_pool_processes(pool: ProcessPoolExecutor) -> None:
+    """Forcefully end a pool's worker processes (SIGTERM, then SIGKILL
+    for any that linger) so an interrupted sweep leaves no orphans
+    holding checkpoints or cache files open.
+
+    ``_processes`` is a private-but-stable attribute (present since
+    3.7); if a future Python renames it we degrade to the old
+    wait-for-completion behaviour instead of crashing.
+    """
+    processes = list(getattr(pool, "_processes", {}).values())
+    for process in processes:
+        process.terminate()
+    for process in processes:
+        process.join(timeout=3.0)
+    for process in processes:
+        if process.is_alive():
+            process.kill()
+            process.join(timeout=3.0)
+
+
+def _run_pool(specs: List[dict], workers: int) -> List[dict]:
+    """Fan the sweep over a process pool, reaping every worker on
+    SIGINT/SIGTERM instead of silently finishing the whole sweep.
+
+    The default executor behaviour on an exception is
+    ``shutdown(wait=True)``: a Ctrl-C'd sweep would keep *all* its
+    workers running to completion.  Here the signal sets a flag, the
+    collection loop notices within 200ms, pending futures are
+    cancelled, live workers are terminated and joined, and a typed
+    :class:`AnalysisInterrupted` (exit 130) propagates to the CLI.
+    """
+    interrupted: List[str] = []
+
+    def _note_signal(signum, frame):
+        interrupted.append(signal.Signals(signum).name)
+
+    previous = {}
+    if threading.current_thread() is threading.main_thread():
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            previous[sig] = signal.signal(sig, _note_signal)
+    pool = ProcessPoolExecutor(max_workers=workers)
+    try:
+        futures = {
+            pool.submit(_analyze_one, spec): index
+            for index, spec in enumerate(specs)
+        }
+        results: List[Optional[dict]] = [None] * len(specs)
+        pending = set(futures)
+        while pending and not interrupted:
+            done, pending = concurrent.futures.wait(pending, timeout=0.2)
+            for future in done:
+                results[futures[future]] = future.result()
+        if interrupted:
+            for future in pending:
+                future.cancel()
+            _reap_pool_processes(pool)
+            finished = sum(1 for r in results if r is not None)
+            raise AnalysisInterrupted(
+                f"analyze-all interrupted ({interrupted[0]}) with "
+                f"{finished}/{len(specs)} workload(s) finished; "
+                "worker processes reaped",
+                reason=interrupted[0],
+                finished=finished,
+                total=len(specs),
+            )
+        return results
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
 def run_analyze_all(
     workloads: List[str],
     jobs: int = 1,
@@ -112,8 +191,7 @@ def run_analyze_all(
     if jobs == 1 or len(specs) <= 1:
         results = [_analyze_one(spec) for spec in specs]
     else:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
-            results = list(pool.map(_analyze_one, specs))
+        results = _run_pool(specs, min(jobs, len(specs)))
 
     merged = MetricsRegistry()
     for document in results:

@@ -33,6 +33,7 @@ from repro.resilience.errors import (
     InputError,
     ReproError,
     SimulationError,
+    taxonomy,
 )
 from repro.resilience.budget import AnalysisBudget, current_rss_mb
 from repro.resilience.checkpoint import (
@@ -71,6 +72,7 @@ __all__ = [
     "CheckpointError",
     "AnalysisInterrupted",
     "InjectedFault",
+    "taxonomy",
     "AnalysisBudget",
     "current_rss_mb",
     "CHECKPOINT_VERSION",

@@ -81,7 +81,13 @@ class ReproError(Exception):
 
 
 class InputError(ReproError):
-    """The user's input (source file, arguments) cannot be used."""
+    """The user's input (source file, arguments) cannot be used.
+
+    Not retriable: the input is deterministic -- a file that does not
+    assemble now will not assemble on the next attempt either.  The
+    service's retry classifier fails such jobs fast, preserving exit
+    code 4.
+    """
 
     code = "INPUT"
     phase = "io"
@@ -89,7 +95,12 @@ class InputError(ReproError):
 
 
 class AnalysisError(ReproError):
-    """The exploration cannot proceed soundly (internal invariant)."""
+    """The exploration cannot proceed soundly (internal invariant).
+
+    Not retriable: exploration is deterministic, so a broken invariant
+    reproduces on every rerun of the same program/policy; retrying only
+    burns cycles on the identical failure.
+    """
 
     code = "ANALYSIS"
     phase = "explore"
@@ -109,13 +120,24 @@ class SimulationError(AnalysisError):
 
 
 class ForkError(AnalysisError):
-    """PC concretisation at a fork site failed unexpectedly."""
+    """PC concretisation at a fork site failed unexpectedly.
+
+    Not retriable (inherited): fork sites are a pure function of the
+    exploration state, so the same snapshot concretises -- or fails to
+    -- identically on every attempt.
+    """
 
     code = "FORK"
 
 
 class CheckpointError(ReproError):
-    """A checkpoint file is corrupt, stale, or version-incompatible."""
+    """A checkpoint file is corrupt, stale, or version-incompatible.
+
+    Not retriable: the file's bytes do not change between attempts.
+    The *job* may still be rerunnable from scratch, which is a caller
+    decision (the service worker ignores unusable checkpoints and
+    starts fresh rather than failing the attempt).
+    """
 
     code = "CHECKPOINT"
     phase = "checkpoint"
@@ -127,6 +149,11 @@ class AnalysisInterrupted(ReproError):
 
     ``context["checkpoint"]`` names the saved checkpoint file when the run
     was started with one, so the caller can resume.
+
+    Retriable: the interrupt says nothing about the job itself, and the
+    checkpoint written on the way out makes the retry cheap -- the
+    service treats a drained worker's 130 exactly like any other
+    retriable end and resumes from that checkpoint.
     """
 
     code = "INTERRUPTED"
@@ -140,6 +167,41 @@ class AnalysisInterrupted(ReproError):
 
 
 class InjectedFault(SimulationError):
-    """A deliberately injected fault reached the resilience boundary."""
+    """A deliberately injected fault reached the resilience boundary.
+
+    Retriable (inherited from :class:`SimulationError`): injected
+    faults model transients, and the chaos suites rely on retries
+    clearing them once the injector's budget is spent.
+    """
 
     code = "FAULT_INJECTED"
+
+
+def taxonomy() -> tuple:
+    """The full error taxonomy as ``(class, code, phase, retriable,
+    exit_code)`` rows, including the leaves that live outside this
+    module (``TrackerError``, ``FundamentalViolation``).
+
+    This is the table the analysis service's retry classifier keys on:
+    a test pins it verbatim so a changed ``retriable`` flag or exit
+    code is a reviewed decision, never silent drift.
+    """
+    from repro.core.tracker import TrackerError
+    from repro.transform import FundamentalViolation
+
+    classes = (
+        ReproError,
+        InputError,
+        AnalysisError,
+        SimulationError,
+        ForkError,
+        TrackerError,
+        CheckpointError,
+        AnalysisInterrupted,
+        InjectedFault,
+        FundamentalViolation,
+    )
+    return tuple(
+        (cls, cls.code, cls.phase, cls.retriable, cls.exit_code)
+        for cls in classes
+    )

@@ -1,0 +1,68 @@
+"""``repro.service`` -- the supervised analysis daemon.
+
+Analysis-as-a-service on nothing but the stdlib: a durable job journal
+(:mod:`~repro.service.journal`), a typed job state machine
+(:mod:`~repro.service.jobs`), taxonomy-driven retry with deterministic
+backoff (:mod:`~repro.service.retry`), subprocess workers with
+heartbeats and checkpoint-resumed attempts
+(:mod:`~repro.service.worker`), pool supervision
+(:mod:`~repro.service.supervisor`), the composed daemon lifecycle
+(:mod:`~repro.service.daemon`), a REST front end over ``http.server``
+(:mod:`~repro.service.server`), a urllib client
+(:mod:`~repro.service.client`) and a chaos harness
+(:mod:`~repro.service.chaos`).  See DESIGN.md section 11.
+"""
+
+from repro.service.chaos import ChaosMonkey, ChaosPlan, SoakReport, soak
+from repro.service.client import (
+    DEFAULT_URL,
+    ServiceClient,
+    ServiceClientError,
+)
+from repro.service.daemon import (
+    AnalysisService,
+    Draining,
+    QueueFull,
+    ServiceConfig,
+)
+from repro.service.jobs import (
+    JOB_STATES,
+    TERMINAL_STATES,
+    TRANSITIONS,
+    InvalidTransition,
+    JobRecord,
+    new_job,
+    transition,
+)
+from repro.service.journal import JOURNAL_MAGIC, JOURNAL_VERSION, JobJournal
+from repro.service.retry import Outcome, RetryPolicy
+from repro.service.supervisor import Supervisor, WorkerEnd, WorkerHandle
+
+__all__ = [
+    "AnalysisService",
+    "ServiceConfig",
+    "QueueFull",
+    "Draining",
+    "JobJournal",
+    "JOURNAL_MAGIC",
+    "JOURNAL_VERSION",
+    "JobRecord",
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "TRANSITIONS",
+    "InvalidTransition",
+    "new_job",
+    "transition",
+    "RetryPolicy",
+    "Outcome",
+    "Supervisor",
+    "WorkerHandle",
+    "WorkerEnd",
+    "ServiceClient",
+    "ServiceClientError",
+    "DEFAULT_URL",
+    "ChaosMonkey",
+    "ChaosPlan",
+    "SoakReport",
+    "soak",
+]

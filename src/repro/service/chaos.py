@@ -1,0 +1,140 @@
+"""Chaos harness: compose fault injection with process-kill injection.
+
+The resilience layer already proves two things in isolation: seeded
+:class:`~repro.resilience.FaultInjector` faults surface as typed,
+retriable errors, and checkpoints resume bit-identically.  The chaos
+harness closes the loop at the *service* level: a
+:class:`ChaosMonkey` rides the daemon's tick hook and SIGKILLs live
+workers on a seeded schedule (optionally only once a checkpoint exists,
+so the retry genuinely exercises checkpoint resume rather than a cold
+rerun), while job specs can carry ``fault_injection`` so the workers'
+own substrate misbehaves too.  The invariant under all of it: every
+accepted job reaches a terminal state, and a job whose workload is
+deterministic reaches the *same* verdict document an undisturbed run
+produces.
+"""
+
+from __future__ import annotations
+
+import random
+import signal
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class ChaosPlan:
+    """A seeded worker-killing schedule."""
+
+    seed: int = 0
+    #: per-tick kill probability once a worker is eligible.
+    rate: float = 1.0
+    #: total kills across the soak (None = unlimited).
+    max_kills: Optional[int] = 1
+    #: only kill a worker whose job checkpoint file already exists, so
+    #: the retry is a genuine checkpoint resume.
+    require_checkpoint: bool = True
+    #: at most one kill per job attempt per this many ticks (rate gate).
+    kill_signal: int = signal.SIGKILL
+
+
+class ChaosMonkey:
+    """Tick hook that kills service workers per a :class:`ChaosPlan`."""
+
+    def __init__(self, plan: ChaosPlan):
+        self.plan = plan
+        self._rng = random.Random(plan.seed)
+        #: every kill as ``(job_id, attempt)`` in order.
+        self.kills: List[Tuple[str, int]] = []
+        #: attempts already killed (kill each attempt at most once).
+        self._killed_attempts = set()
+
+    # ------------------------------------------------------------------
+    def exhausted(self) -> bool:
+        return (
+            self.plan.max_kills is not None
+            and len(self.kills) >= self.plan.max_kills
+        )
+
+    def __call__(self, service) -> None:
+        """The ``service.on_tick`` hook."""
+        if self.exhausted():
+            return
+        for job_id, handle in list(service.supervisor.live.items()):
+            if self.exhausted():
+                return
+            record = service.jobs.get(job_id)
+            attempt = record.attempts if record is not None else 0
+            if (job_id, attempt) in self._killed_attempts:
+                continue
+            if self.plan.require_checkpoint and not Path(
+                handle.spec["checkpoint"]
+            ).exists():
+                continue
+            if not handle.alive():
+                continue
+            if self._rng.random() >= self.plan.rate:
+                continue
+            try:
+                handle.process.send_signal(self.plan.kill_signal)
+            except OSError:
+                continue
+            # Mark so the supervisor classifies it as a crash even when
+            # the signal is catchable.
+            handle.killed_reason = (
+                f"chaos {signal.Signals(self.plan.kill_signal).name}"
+            )
+            self._killed_attempts.add((job_id, attempt))
+            self.kills.append((job_id, attempt))
+
+
+@dataclass
+class SoakReport:
+    """What a :func:`soak` run observed."""
+
+    submitted: int = 0
+    kills: int = 0
+    verdicts: dict = field(default_factory=dict)
+    recovered_retries: int = 0
+    wall_seconds: float = 0.0
+
+
+def soak(
+    service,
+    submissions: List[dict],
+    plan: Optional[ChaosPlan] = None,
+    timeout: float = 600.0,
+) -> SoakReport:
+    """Drive *service* (already started, no run loop) through
+    *submissions* under chaos until every job is terminal."""
+    import time
+
+    monkey = ChaosMonkey(plan or ChaosPlan())
+    service.on_tick.append(monkey)
+    started = time.monotonic()
+    records = [service.submit(**submission) for submission in submissions]
+    deadline = started + timeout
+    try:
+        while any(not r.terminal for r in records):
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    "soak timed out with states "
+                    f"{[r.state for r in records]}"
+                )
+            service.tick()
+            time.sleep(service.config.poll_interval)
+    finally:
+        service.on_tick.remove(monkey)
+    report = SoakReport(
+        submitted=len(records),
+        kills=len(monkey.kills),
+        wall_seconds=time.monotonic() - started,
+    )
+    for record in records:
+        key = record.verdict or record.state
+        report.verdicts[key] = report.verdicts.get(key, 0) + 1
+        report.recovered_retries += sum(
+            1 for entry in record.history if entry["state"] == "retrying"
+        )
+    return report

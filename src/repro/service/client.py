@@ -1,0 +1,118 @@
+"""Tiny stdlib HTTP client for the analysis service.
+
+Used by ``repro submit`` / ``repro jobs`` and by the smoke/chaos suites;
+deliberately nothing but :mod:`urllib.request` plus JSON.  Server-side
+rejections (429 queue-full, 503 draining, 4xx input problems) surface as
+:class:`ServiceClientError` carrying the decoded error document, so
+callers branch on ``error.code`` instead of parsing messages.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional
+
+from repro.service.jobs import TERMINAL_STATES
+
+DEFAULT_URL = "http://127.0.0.1:8437"
+
+
+class ServiceClientError(RuntimeError):
+    """An HTTP-level rejection from the service."""
+
+    def __init__(self, status: int, document: Dict[str, Any]):
+        error = document.get("error") or {}
+        super().__init__(
+            f"HTTP {status}: {error.get('code', '?')} "
+            f"{error.get('message', '')}".rstrip()
+        )
+        self.status = status
+        self.document = document
+        self.code = error.get("code")
+        self.retriable = bool(error.get("retriable", False))
+
+
+def _request(
+    url: str, method: str = "GET", body: Optional[dict] = None, timeout=10.0
+):
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(
+        url,
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read() or b"{}")
+    except urllib.error.HTTPError as error:
+        try:
+            document = json.loads(error.read() or b"{}")
+        except ValueError:
+            document = {}
+        raise ServiceClientError(error.code, document) from None
+
+
+class ServiceClient:
+    """One service endpoint, addressed by base URL."""
+
+    def __init__(self, url: str = DEFAULT_URL, timeout: float = 10.0):
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    def submit(self, **request) -> Dict[str, Any]:
+        """POST /jobs; returns ``{"id": ..., "state": "queued"}``."""
+        _, document = _request(
+            f"{self.url}/jobs", "POST", request, self.timeout
+        )
+        return document
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        _, document = _request(
+            f"{self.url}/jobs/{job_id}", timeout=self.timeout
+        )
+        return document
+
+    def jobs(self) -> list:
+        _, document = _request(f"{self.url}/jobs", timeout=self.timeout)
+        return document["jobs"]
+
+    def report(self, job_id: str) -> Dict[str, Any]:
+        _, document = _request(
+            f"{self.url}/jobs/{job_id}/report", timeout=self.timeout
+        )
+        return document
+
+    def health(self) -> Dict[str, Any]:
+        _, document = _request(f"{self.url}/healthz", timeout=self.timeout)
+        return document
+
+    def ready(self) -> bool:
+        try:
+            _request(f"{self.url}/readyz", timeout=self.timeout)
+            return True
+        except ServiceClientError:
+            return False
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 300.0,
+        poll_seconds: float = 0.2,
+    ) -> Dict[str, Any]:
+        """Poll until *job_id* reaches a terminal state; returns the
+        final record document.  Raises TimeoutError otherwise."""
+        deadline = time.monotonic() + timeout
+        while True:
+            document = self.job(job_id)
+            if document.get("state") in TERMINAL_STATES:
+                return document
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {document.get('state')!r} after "
+                    f"{timeout:.0f}s"
+                )
+            time.sleep(poll_seconds)

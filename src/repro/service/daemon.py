@@ -1,0 +1,477 @@
+"""The supervised analysis daemon: journal + supervisor + REST glue.
+
+:class:`AnalysisService` composes the durable :class:`JobJournal`, the
+process :class:`Supervisor` and the HTTP front end into one lifecycle:
+
+* **submit** journals the job (fsync) *before* acknowledging, so an
+  accepted job survives ``kill -9`` of the daemon;
+* **tick** reaps worker ends, classifies them through the
+  :class:`RetryPolicy` (verdict / retry-with-backoff / fail-fast) and
+  launches eligible work into free slots;
+* **recovery** replays the journal on start and moves jobs that were
+  ``running`` when the daemon died to ``retrying`` -- their next attempt
+  resumes from the per-job checkpoint, and exploration determinism makes
+  the eventual verdict identical to an uninterrupted run;
+* **backpressure and shedding**: the queue is bounded (submit raises
+  :class:`QueueFull` -> HTTP 429); above the shed threshold newly
+  *launched* jobs get clamped budgets, trading ``inconclusive`` verdicts
+  for queue survival -- degradation is sound (over-taint only adds
+  violations), collapse is not;
+* **drain** (SIGINT/SIGTERM): stop accepting, SIGTERM workers (they
+  checkpoint and exit 130), journal everything, compact, exit 130.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.obs import Observer, get_observer
+from repro.resilience.errors import EXIT_INTERRUPTED
+from repro.service.jobs import (
+    JobRecord,
+    TERMINAL_STATES,
+    VERDICT_STATES,
+    new_job,
+    transition,
+)
+from repro.service.journal import JobJournal
+from repro.service.retry import RetryPolicy
+from repro.service.supervisor import Supervisor, WorkerEnd
+
+
+class QueueFull(RuntimeError):
+    """The bounded queue rejected a submission (HTTP 429)."""
+
+
+class Draining(RuntimeError):
+    """The daemon is shutting down and no longer accepts work (503)."""
+
+
+@dataclass
+class ServiceConfig:
+    root: str = ".repro-service"
+    host: str = "127.0.0.1"
+    port: int = 8437
+    workers: int = 2
+    queue_capacity: int = 64
+    #: backlog size above which launches get shed budgets (default:
+    #: three quarters of capacity).
+    shed_after: Optional[int] = None
+    max_attempts: int = 4
+    checkpoint_every: int = 8
+    heartbeat_timeout: float = 15.0
+    heartbeat_interval: float = 0.5
+    drain_grace: float = 10.0
+    poll_interval: float = 0.05
+    compact_every: int = 256
+    default_budget: Dict[str, Any] = field(
+        default_factory=lambda: {"max_paths": 4096}
+    )
+    #: budget clamps applied to launches while shedding.
+    shed_budget: Dict[str, Any] = field(
+        default_factory=lambda: {"max_paths": 64, "deadline_seconds": 10.0}
+    )
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    @property
+    def shed_threshold(self) -> int:
+        if self.shed_after is not None:
+            return self.shed_after
+        return max(1, (self.queue_capacity * 3) // 4)
+
+
+class AnalysisService:
+    """Thread-safe facade over jobs, journal, supervisor and server."""
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        observer: Optional[Observer] = None,
+        spawn_command: Optional[Callable[[str], List[str]]] = None,
+    ):
+        self.config = config or ServiceConfig()
+        self.obs = observer if observer is not None else get_observer()
+        self.root = Path(self.config.root)
+        self.journal = JobJournal(self.root)
+        self.supervisor = Supervisor(
+            workers=self.config.workers,
+            heartbeat_timeout=self.config.heartbeat_timeout,
+        )
+        if spawn_command is not None:
+            self.supervisor.spawn_command = spawn_command
+        self.jobs: Dict[str, JobRecord] = {}
+        self.lock = threading.RLock()
+        self.draining = False
+        self.recovered: List[str] = []
+        self.started_unix = time.time()
+        self._stop = threading.Event()
+        self._server = None
+        self._server_thread = None
+        #: per-tick hooks (the chaos harness registers here)
+        self.on_tick: List[Callable[["AnalysisService"], None]] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Replay the journal, run crash recovery, open for appends."""
+        with self.lock:
+            self.jobs = self.journal.replay()
+            for record in sorted(self.jobs.values(), key=lambda r: r.seq):
+                if record.state == "running":
+                    # In flight when the daemon died: resume from the
+                    # job's checkpoint on the next launch.  The crash is
+                    # the daemon's fault, so it costs no attempt.
+                    transition(
+                        record,
+                        "retrying",
+                        note="daemon restart recovery",
+                        not_before=0.0,
+                    )
+                    self.journal.append(record)
+                    self.recovered.append(record.job_id)
+            self.journal.open_log()
+        self._emit(
+            "service_started",
+            jobs=len(self.jobs),
+            recovered=len(self.recovered),
+        )
+
+    def start_server(self) -> str:
+        """Bind the REST server (port 0 picks a free port) and publish
+        the address in ``<root>/address``."""
+        from repro.service.server import ServiceHTTPServer
+
+        self._server = ServiceHTTPServer(
+            (self.config.host, self.config.port), self
+        )
+        host, port = self._server.server_address[:2]
+        url = f"http://{host}:{port}"
+        self._server_thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            daemon=True,
+        )
+        self._server_thread.start()
+        (self.root / "address").write_text(url + "\n")
+        return url
+
+    def stop_server(self) -> None:
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+
+    def request_stop(self, reason: str = "stop") -> None:
+        """Signal-handler safe: ask the run loop to drain and exit."""
+        self.draining = True
+        self._stop.set()
+
+    def run(self, install_signals: bool = True) -> int:
+        """Serve until SIGINT/SIGTERM, then drain.  Returns 130."""
+        if install_signals:
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    signal.signal(
+                        sig,
+                        lambda signum, frame: self.request_stop(
+                            signal.Signals(signum).name
+                        ),
+                    )
+                except ValueError:
+                    pass  # not the main thread
+        while not self._stop.is_set():
+            self.tick()
+            self._stop.wait(self.config.poll_interval)
+        self.shutdown()
+        return EXIT_INTERRUPTED
+
+    def shutdown(self) -> None:
+        """Cooperative drain: refuse new work, checkpoint the running
+        jobs, journal every outcome, compact, close."""
+        self.draining = True
+        self._emit("service_drain", jobs=len(self.supervisor.live))
+        for end in self.supervisor.drain(self.config.drain_grace):
+            self._on_worker_end(end)
+        self.stop_server()
+        with self.lock:
+            self.journal.compact(self.jobs)
+            self.journal.close()
+
+    # ------------------------------------------------------------------
+    # Submission / queries (called from HTTP handler threads)
+    # ------------------------------------------------------------------
+    def backlog(self) -> int:
+        return sum(
+            1 for r in self.jobs.values() if r.state not in TERMINAL_STATES
+        )
+
+    def submit(
+        self,
+        *,
+        source: str,
+        name: str = "submission",
+        policy: str = "untrusted",
+        max_cycles: int = 1_000_000,
+        budget: Optional[Dict[str, Any]] = None,
+        fault_injection: Optional[Dict[str, Any]] = None,
+    ) -> JobRecord:
+        if policy not in ("untrusted", "secret"):
+            raise ValueError(f"unknown policy {policy!r} (untrusted|secret)")
+        with self.lock:
+            if self.draining:
+                raise Draining("service is draining; resubmit elsewhere")
+            if self.backlog() >= self.config.queue_capacity:
+                raise QueueFull(
+                    f"queue full ({self.config.queue_capacity} jobs in "
+                    "flight); retry after a verdict frees a slot"
+                )
+            record = new_job(
+                seq=self.journal.next_seq,
+                name=name,
+                source=source,
+                policy=policy,
+                max_cycles=max_cycles,
+                budget=dict(
+                    budget
+                    if budget is not None
+                    else self.config.default_budget
+                ),
+                max_attempts=self.config.max_attempts,
+                fault_injection=fault_injection,
+            )
+            self.jobs[record.job_id] = record
+            self.journal.append(record)  # fsync: the 202 is now durable
+        self._emit("job_submitted", job=record.job_id, name=record.name)
+        self._counter("service.jobs_submitted")
+        return record
+
+    def get(self, job_id: str) -> Optional[JobRecord]:
+        with self.lock:
+            return self.jobs.get(job_id)
+
+    def list_jobs(self) -> List[Dict[str, Any]]:
+        with self.lock:
+            ordered = sorted(self.jobs.values(), key=lambda r: r.seq)
+            return [record.summary() for record in ordered]
+
+    def report(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """The verdict document a finished worker wrote, if any."""
+        record = self.get(job_id)
+        if record is None:
+            return None
+        result = record.artifacts.get("result")
+        if not result or not Path(result).exists():
+            return None
+        if not record.terminal:
+            return None
+        import json
+
+        try:
+            return json.loads(Path(result).read_text())
+        except ValueError:
+            return None
+
+    def health(self) -> Dict[str, Any]:
+        with self.lock:
+            counts: Dict[str, int] = {}
+            for record in self.jobs.values():
+                counts[record.state] = counts.get(record.state, 0) + 1
+            return {
+                "status": "ok",
+                "uptime_seconds": time.time() - self.started_unix,
+                "draining": self.draining,
+                "workers": self.config.workers,
+                "workers_live": len(self.supervisor.live),
+                "backlog": self.backlog(),
+                "queue_capacity": self.config.queue_capacity,
+                "shedding": self.backlog() > self.config.shed_threshold,
+                "jobs": counts,
+            }
+
+    def readiness(self):
+        with self.lock:
+            if self.draining:
+                return False, {"ready": False, "reason": "draining"}
+            if self.backlog() >= self.config.queue_capacity:
+                return False, {"ready": False, "reason": "queue full"}
+        return True, {"ready": True}
+
+    # ------------------------------------------------------------------
+    # The supervision loop
+    # ------------------------------------------------------------------
+    def tick(self) -> None:
+        """One supervision round: reap, classify, launch."""
+        for end in self.supervisor.poll():
+            self._on_worker_end(end)
+        if not self.draining:
+            self._launch_eligible()
+        for hook in list(self.on_tick):
+            hook(self)
+
+    def _eligible(self, now: float) -> List[JobRecord]:
+        runnable = [
+            record
+            for record in self.jobs.values()
+            if record.job_id not in self.supervisor.live
+            and (
+                record.state == "queued"
+                or (record.state == "retrying" and now >= record.not_before)
+            )
+        ]
+        return sorted(runnable, key=lambda r: r.seq)
+
+    def _launch_eligible(self) -> None:
+        now = time.time()
+        with self.lock:
+            for record in self._eligible(now)[: self.supervisor.free_slots]:
+                self._launch(record, now)
+
+    def _launch(self, record: JobRecord, now: float) -> None:
+        art = self.root / "artifacts" / record.job_id
+        art.mkdir(parents=True, exist_ok=True)
+        budget = dict(record.budget)
+        shed = self.backlog() > self.config.shed_threshold
+        if shed:
+            # Overload: clamp toward fast inconclusive degradation.
+            for axis, clamp in self.config.shed_budget.items():
+                current = budget.get(axis)
+                budget[axis] = (
+                    clamp if current is None else min(current, clamp)
+                )
+        spec = {
+            "job_id": record.job_id,
+            "name": record.name,
+            "source": record.source,
+            "policy": record.policy,
+            "max_cycles": record.max_cycles,
+            "budget": budget,
+            "checkpoint": str(art / "checkpoint.ckpt"),
+            "checkpoint_every": self.config.checkpoint_every,
+            "heartbeat": str(art / "heartbeat"),
+            "heartbeat_interval": self.config.heartbeat_interval,
+            "result": str(art / "result.json"),
+            "fault_injection": record.fault_injection,
+            "spec_path": str(art / "spec.json"),
+        }
+        transition(
+            record,
+            "running",
+            note="shed launch" if shed else "launch",
+            now=now,
+            attempts=record.attempts + 1,
+            shed=record.shed or shed,
+            artifacts={
+                "dir": str(art),
+                "checkpoint": spec["checkpoint"],
+                "result": spec["result"],
+                "heartbeat": spec["heartbeat"],
+            },
+        )
+        self.journal.append(record)
+        self.supervisor.spawn(spec)
+        self._emit(
+            "job_started",
+            job=record.job_id,
+            attempt=record.attempts,
+            shed=shed,
+        )
+        self._counter("service.jobs_started")
+        if shed:
+            self._counter("service.jobs_shed")
+
+    # ------------------------------------------------------------------
+    def _on_worker_end(self, end: WorkerEnd) -> None:
+        import json
+
+        with self.lock:
+            record = self.jobs.get(end.handle.job_id)
+            if record is None or record.state != "running":
+                return
+            error = None
+            result_path = Path(end.handle.spec["result"])
+            if result_path.exists():
+                try:
+                    document = json.loads(result_path.read_text())
+                    error = document.get("error")
+                except ValueError:
+                    pass  # torn write cannot happen (atomic rename)
+            outcome = self.config.retry.classify(
+                attempts=record.attempts,
+                exit_code=end.exit_code,
+                error=error,
+                crashed=end.crashed,
+                reason=end.reason,
+            )
+            if end.crashed:
+                self._counter("service.workers_crashed")
+                self._emit(
+                    "worker_killed", job=record.job_id, reason=end.reason
+                )
+            if outcome.kind == "verdict":
+                transition(
+                    record,
+                    VERDICT_STATES[outcome.verdict],
+                    note=outcome.reason,
+                    verdict=outcome.verdict,
+                    exit_code=outcome.exit_code,
+                    error=None,
+                )
+                self._counter("service.jobs_finished")
+            elif outcome.kind == "retry":
+                delay = self.config.retry.backoff_seconds(
+                    record.job_id, record.attempts
+                )
+                transition(
+                    record,
+                    "retrying",
+                    note=f"{outcome.reason}; backoff {delay:.2f}s",
+                    not_before=time.time() + delay,
+                    error=error,
+                    exit_code=outcome.exit_code,
+                )
+                self._counter("service.jobs_retried")
+                self._emit(
+                    "job_retrying",
+                    job=record.job_id,
+                    attempt=record.attempts,
+                    delay=round(delay, 3),
+                    reason=outcome.reason,
+                )
+            else:
+                transition(
+                    record,
+                    "failed",
+                    note=outcome.reason,
+                    error=error,
+                    exit_code=outcome.exit_code,
+                )
+                self._counter("service.jobs_failed")
+            self.journal.append(record)
+            if record.terminal:
+                self._emit(
+                    "job_finished",
+                    job=record.job_id,
+                    state=record.state,
+                    verdict=record.verdict,
+                    exit_code=record.exit_code,
+                    attempts=record.attempts,
+                )
+            if self.journal.appended >= self.config.compact_every:
+                self.journal.compact(self.jobs)
+                self.journal.appended = 0
+                self.journal.open_log()
+
+    # ------------------------------------------------------------------
+    def _emit(self, event: str, **fields) -> None:
+        if self.obs.enabled:
+            self.obs.emit(event, **fields)
+
+    def _counter(self, name: str) -> None:
+        if self.obs.enabled:
+            self.obs.metrics.counter(name).inc()

@@ -1,0 +1,153 @@
+"""Durable job store: snapshot container + append-only log.
+
+The journal is a directory with two files::
+
+    jobs.snapshot    REPRO-JOBS container (magic + JSON header + pickle
+                     payload, written atomically via the checkpoint
+                     codec's rename path) holding the full job table at
+                     the last compaction
+    jobs.log         JSONL appends since that snapshot, one full job
+                     record per line, fsync'd before the submission is
+                     acknowledged
+
+Appends carry the *entire* record (not a delta) plus its monotonically
+increasing ``seq``, so replay is a trivial last-writer-wins fold:
+records from the log override snapshot entries with a lower ``seq`` and
+stale log lines left behind by an interrupted compaction are ignored.
+A ``kill -9`` can at worst tear the final log line; every fsync'd line
+before it replays intact, which is exactly the durability contract --
+an *acknowledged* submission is never lost.
+
+Compaction rewrites the snapshot through the atomic-rename codec first
+and only then truncates the log (same rename trick), so a crash between
+the two steps leaves a journal that replays to the identical job table.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.resilience.checkpoint import read_container, write_container
+from repro.resilience.errors import CheckpointError
+from repro.service.jobs import JobRecord
+
+#: The journal snapshot's own container identity (the codec is shared
+#: with ``.ckpt`` / ``.timeline`` files; the magic is not).
+JOURNAL_MAGIC = b"REPRO-JOBS\n"
+JOURNAL_VERSION = 1
+
+SNAPSHOT_NAME = "jobs.snapshot"
+LOG_NAME = "jobs.log"
+
+
+class JobJournal:
+    """Append-only durable store for :class:`JobRecord` tables."""
+
+    def __init__(self, root):
+        self.root = Path(root)
+        self.snapshot_path = self.root / SNAPSHOT_NAME
+        self.log_path = self.root / LOG_NAME
+        self._log_file = None
+        #: next journal sequence number (continues across restarts)
+        self.next_seq = 1
+        self.appended = 0
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def replay(self) -> Dict[str, JobRecord]:
+        """Fold snapshot + log into the current job table and position
+        ``next_seq`` after the highest sequence seen."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        jobs: Dict[str, JobRecord] = {}
+        if self.snapshot_path.exists():
+            _, payload = read_container(
+                self.snapshot_path,
+                JOURNAL_MAGIC,
+                JOURNAL_VERSION,
+                kind="job journal snapshot",
+                code_prefix="JOURNAL",
+            )
+            for document in payload["jobs"]:
+                record = JobRecord.from_dict(document)
+                jobs[record.job_id] = record
+        if self.log_path.exists():
+            for document in self._log_documents():
+                record = JobRecord.from_dict(document)
+                existing = jobs.get(record.job_id)
+                if existing is None or record.seq >= existing.seq:
+                    jobs[record.job_id] = record
+        highest = max((r.seq for r in jobs.values()), default=0)
+        self.next_seq = highest + 1
+        return jobs
+
+    def _log_documents(self):
+        """Parse the JSONL log, tolerating a torn final line (the only
+        kind of corruption an append-crash can produce)."""
+        with self.log_path.open("rb") as handle:
+            lines = handle.read().split(b"\n")
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                yield json.loads(line)
+            except ValueError as error:
+                if index >= len(lines) - 2:  # torn tail: expected
+                    break
+                raise CheckpointError(
+                    f"job journal log {str(self.log_path)!r} has a "
+                    f"corrupt record at line {index + 1}: {error}",
+                    code="JOURNAL_CORRUPT",
+                    path=str(self.log_path),
+                ) from error
+
+    # ------------------------------------------------------------------
+    # Append
+    # ------------------------------------------------------------------
+    def open_log(self) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        if self._log_file is None:
+            self._log_file = self.log_path.open("ab")
+
+    def append(self, record: JobRecord) -> None:
+        """Durably journal *record*'s current state (fsync before
+        returning: once this returns, a ``kill -9`` cannot lose it)."""
+        record.seq = self.next_seq
+        self.next_seq += 1
+        self.open_log()
+        line = json.dumps(record.to_dict(), sort_keys=True) + "\n"
+        self._log_file.write(line.encode())
+        self._log_file.flush()
+        os.fsync(self._log_file.fileno())
+        self.appended += 1
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    def compact(self, jobs: Dict[str, JobRecord]) -> None:
+        """Snapshot the full table and truncate the log (both atomic;
+        crash between them only leaves stale log lines that replay as
+        no-ops thanks to last-writer-wins)."""
+        write_container(
+            self.snapshot_path,
+            JOURNAL_MAGIC,
+            JOURNAL_VERSION,
+            {"jobs": [record.to_dict() for record in jobs.values()]},
+            meta={"jobs": len(jobs), "next_seq": self.next_seq},
+            kind="job journal snapshot",
+            code_prefix="JOURNAL",
+        )
+        if self._log_file is not None:
+            self._log_file.close()
+            self._log_file = None
+        tmp = self.log_path.with_name(self.log_path.name + ".tmp")
+        tmp.write_bytes(b"")
+        os.replace(tmp, self.log_path)
+
+    def close(self) -> None:
+        if self._log_file is not None:
+            self._log_file.close()
+            self._log_file = None

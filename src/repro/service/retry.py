@@ -1,0 +1,107 @@
+"""Retry classification and deterministic exponential backoff.
+
+Classification is driven by the :class:`~repro.resilience.errors`
+taxonomy, not by pattern-matching messages: a worker that exits with a
+verdict code terminates the job; one that ships a typed error document
+is retried exactly when that error's ``retriable`` flag says so (the
+taxonomy's exit code is preserved on the job record either way); and a
+worker that *crashes* -- nonzero unexpected exit, death by signal,
+heartbeat loss, or a blown hard deadline -- is always retriable, because
+the crash says nothing about the job itself.
+
+Backoff is exponential with *deterministic* jitter: the jitter fraction
+is a hash of ``(job_id, attempt)``, so two runs of the same failing
+workload produce the identical retry schedule (the chaos suite depends
+on this) while distinct jobs still decorrelate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.resilience.errors import (
+    EXIT_INTERRUPTED,
+    VERDICT_EXIT_CODES,
+)
+
+#: Exit codes that are analysis verdicts (the job is *finished*).
+_VERDICT_CODES = {code: v for v, code in VERDICT_EXIT_CODES.items()}
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """What the supervisor should do with a finished worker."""
+
+    kind: str  # "verdict" | "retry" | "fail"
+    verdict: Optional[str] = None
+    exit_code: Optional[int] = None
+    reason: str = ""
+
+
+@dataclass
+class RetryPolicy:
+    """Exponential backoff with deterministic jitter, capped attempts."""
+
+    max_attempts: int = 4
+    base_seconds: float = 0.5
+    cap_seconds: float = 30.0
+    jitter: float = 0.25  # +/- fraction of the nominal delay
+
+    # ------------------------------------------------------------------
+    def backoff_seconds(self, job_id: str, attempt: int) -> float:
+        """Delay before retry *attempt* (1-based) of *job_id*."""
+        nominal = min(
+            self.cap_seconds, self.base_seconds * (2 ** max(0, attempt - 1))
+        )
+        digest = hashlib.sha256(f"{job_id}:{attempt}".encode()).digest()
+        fraction = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        # Deterministic jitter in [nominal*(1-j), nominal*(1+j)].
+        return nominal * (1.0 - self.jitter + 2.0 * self.jitter * fraction)
+
+    # ------------------------------------------------------------------
+    def classify(
+        self,
+        *,
+        attempts: int,
+        exit_code: Optional[int],
+        error: Optional[Dict[str, Any]] = None,
+        crashed: bool = False,
+        reason: str = "",
+    ) -> Outcome:
+        """Map a worker's end to verdict / retry / fail.
+
+        *attempts* counts the attempt that just finished (1-based);
+        *error* is the worker's typed error document when it wrote one;
+        *crashed* marks ends with no trustworthy exit status (signal
+        death, heartbeat loss, hard-deadline kill).
+        """
+        if not crashed and exit_code in _VERDICT_CODES:
+            verdict = _VERDICT_CODES[exit_code]
+            return Outcome(
+                "verdict", verdict=verdict, exit_code=exit_code,
+                reason=reason or f"verdict {verdict}",
+            )
+        if crashed:
+            retriable, code = True, exit_code
+            reason = reason or "worker crashed"
+        elif error is not None:
+            # The taxonomy decides; its exit code is preserved verbatim.
+            retriable = bool(error.get("retriable", False))
+            code = error.get("exit_code", exit_code)
+            reason = reason or f"error[{error.get('code', '?')}]"
+        elif exit_code == EXIT_INTERRUPTED:
+            # Cooperative interrupt (drain SIGTERM): state checkpointed.
+            retriable, code = True, exit_code
+            reason = reason or "interrupted"
+        else:
+            # Unknown nonzero exit with no error document: treat like a
+            # crash -- something died before it could explain itself.
+            retriable, code = True, exit_code
+            reason = reason or f"unexplained exit {exit_code}"
+        if retriable and attempts < self.max_attempts:
+            return Outcome("retry", exit_code=code, reason=reason)
+        if retriable:
+            reason = f"{reason}; {attempts} attempt(s) exhausted"
+        return Outcome("fail", exit_code=code, reason=reason)

@@ -1,0 +1,191 @@
+"""Minimal REST surface over :mod:`http.server`.
+
+Endpoints (JSON in, JSON out)::
+
+    POST /jobs              submit {"source": ..., "name", "policy",
+                            "max_cycles", "budget"} -> 202 {"id": ...}
+                            (or {"workload": "intAVG"} for a registry
+                            name); 429 when the queue is full, 503 when
+                            draining, 400/413 for bad input
+    GET  /jobs              every job's summary, newest last
+    GET  /jobs/<id>         the full job record (minus the source body)
+    GET  /jobs/<id>/report  the verdict document once terminal
+                            (202 + state while still in flight)
+    GET  /healthz           liveness: 200 while the daemon runs
+    GET  /readyz            readiness: 503 while draining or saturated
+
+The handler threads only ever call the thread-safe
+:class:`~repro.service.daemon.AnalysisService` facade; all job state
+mutation happens under the service lock, and durability (the journal
+fsync) is part of ``submit`` -- a 202 means the job survives ``kill
+-9``.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+#: Submissions above this are rejected 413 before being parsed.
+MAX_BODY_BYTES = 2 << 20
+
+#: How much of an oversized body the server drains so the client can
+#: read the 413 instead of dying on EPIPE mid-upload (urllib writes the
+#: whole request before reading the response).  Bodies beyond this are
+#: abandoned and the connection closed.
+MAX_DRAIN_BYTES = 64 << 20
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, service):
+        super().__init__(address, ServiceRequestHandler)
+        self.service = service
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-service"
+
+    # ------------------------------------------------------------------
+    def _send(self, status: int, document: dict) -> None:
+        body = json.dumps(document, sort_keys=True).encode() + b"\n"
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # request logging goes through the service observer instead
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        service = self.server.service
+        path = self.path.rstrip("/") or "/"
+        if path == "/healthz":
+            self._send(200, service.health())
+            return
+        if path == "/readyz":
+            ready, document = service.readiness()
+            self._send(200 if ready else 503, document)
+            return
+        if path == "/jobs":
+            self._send(200, {"jobs": service.list_jobs()})
+            return
+        if path.startswith("/jobs/"):
+            parts = path.split("/")[2:]
+            record = service.get(parts[0]) if parts else None
+            if record is None:
+                self._send(404, {"error": {"code": "NO_SUCH_JOB"}})
+                return
+            if len(parts) == 1:
+                document = record.to_dict()
+                document.pop("source", None)  # bodies stay in the journal
+                self._send(200, document)
+                return
+            if len(parts) == 2 and parts[1] == "report":
+                report = service.report(record.job_id)
+                if report is not None:
+                    self._send(200, report)
+                elif record.terminal:
+                    self._send(
+                        200,
+                        {
+                            "job_id": record.job_id,
+                            "state": record.state,
+                            "error": record.error,
+                            "exit_code": record.exit_code,
+                        },
+                    )
+                else:
+                    self._send(
+                        202,
+                        {"job_id": record.job_id, "state": record.state},
+                    )
+                return
+        self._send(404, {"error": {"code": "NO_SUCH_ROUTE"}})
+
+    # ------------------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        from repro.service.daemon import Draining, QueueFull
+
+        service = self.server.service
+        if self.path.rstrip("/") != "/jobs":
+            self._send(404, {"error": {"code": "NO_SUCH_ROUTE"}})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = -1
+        if length < 0 or length > MAX_BODY_BYTES:
+            remaining = min(max(length, 0), MAX_DRAIN_BYTES)
+            while remaining > 0:
+                chunk = self.rfile.read(min(remaining, 64 << 10))
+                if not chunk:
+                    break
+                remaining -= len(chunk)
+            self.close_connection = True
+            self._send(
+                413, {"error": {"code": "BODY_TOO_LARGE", "max": MAX_BODY_BYTES}}
+            )
+            return
+        try:
+            request = json.loads(self.rfile.read(length) or b"{}")
+        except ValueError as error:
+            self._send(
+                400, {"error": {"code": "BAD_JSON", "message": str(error)}}
+            )
+            return
+        source, name = request.get("source"), request.get("name")
+        workload = request.get("workload")
+        if source is None and workload:
+            try:
+                from repro.cli import _resolve_workload
+
+                source, name = _resolve_workload(workload)
+            except SystemExit as error:
+                self._send(
+                    400,
+                    {"error": {"code": "NO_SUCH_WORKLOAD", "message": str(error)}},
+                )
+                return
+        if not source:
+            self._send(
+                400,
+                {"error": {"code": "NO_SOURCE", "message": "submit a "
+                           '"source" body or a registry "workload" name'}},
+            )
+            return
+        try:
+            record = service.submit(
+                source=source,
+                name=name or "submission",
+                policy=request.get("policy", "untrusted"),
+                max_cycles=int(request.get("max_cycles", 1_000_000)),
+                budget=request.get("budget"),
+                fault_injection=request.get("fault_injection"),
+            )
+        except QueueFull as error:
+            # 429: the backpressure verdict -- retriable by contract.
+            self._send(
+                429,
+                {"error": {"code": "QUEUE_FULL", "retriable": True,
+                           "message": str(error)}},
+            )
+            return
+        except Draining as error:
+            self._send(
+                503,
+                {"error": {"code": "DRAINING", "retriable": True,
+                           "message": str(error)}},
+            )
+            return
+        except ValueError as error:
+            self._send(
+                400, {"error": {"code": "BAD_REQUEST", "message": str(error)}}
+            )
+            return
+        self._send(202, {"id": record.job_id, "state": record.state})

@@ -1,0 +1,214 @@
+"""Worker-pool supervision: spawn, heartbeat, deadline, reap.
+
+The supervisor owns the *processes*; what their ends mean for the job
+(retry vs fail vs verdict) is the retry policy's decision
+(:mod:`repro.service.retry`) made by the daemon.  This module reports
+facts: a worker exited with a code, went silent past the heartbeat
+timeout, or outlived its hard deadline and was killed.
+
+Deadlines are two-layered by design: the *soft* deadline travels inside
+the job's :class:`~repro.resilience.AnalysisBudget` (the worker degrades
+to an ``inconclusive`` verdict on its own), while the supervisor's
+*hard* deadline -- soft deadline plus a grace factor -- catches workers
+too wedged to honour the budget.  Heartbeat loss catches the rest: a
+worker whose beat thread stopped is dead weight no matter what its
+process state claims.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+#: Multiplier applied to a job's soft (budget) deadline to get the
+#: supervisor's hard kill deadline.
+HARD_DEADLINE_FACTOR = 3.0
+#: Hard floor added on top so tiny soft deadlines keep a startup margin.
+HARD_DEADLINE_SLACK = 20.0
+
+
+def default_worker_command(spec_path: str) -> List[str]:
+    return [sys.executable, "-m", "repro.service.worker", "--spec", spec_path]
+
+
+def worker_environment() -> Dict[str, str]:
+    """Child environment with ``repro`` importable even when the repo is
+    used from a source tree rather than an installed package."""
+    env = dict(os.environ)
+    package_root = str(Path(__file__).resolve().parent.parent.parent)
+    existing = env.get("PYTHONPATH")
+    if package_root not in (existing or "").split(os.pathsep):
+        env["PYTHONPATH"] = (
+            package_root + (os.pathsep + existing if existing else "")
+        )
+    return env
+
+
+@dataclass
+class WorkerHandle:
+    """One live worker subprocess and the job attempt it runs."""
+
+    job_id: str
+    process: subprocess.Popen
+    spec: dict
+    heartbeat_path: Path
+    started_at: float
+    hard_deadline: Optional[float] = None  # absolute monotonic time
+    killed_reason: Optional[str] = None
+
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+    def heartbeat_age(self, now: float) -> float:
+        try:
+            return now - self.heartbeat_path.stat().st_mtime
+        except OSError:
+            return now - self.started_at
+
+    def terminate(self) -> None:
+        if self.alive():
+            try:
+                self.process.terminate()
+            except OSError:
+                pass
+
+    def kill(self, reason: str) -> None:
+        self.killed_reason = reason
+        if self.alive():
+            try:
+                self.process.kill()
+            except OSError:
+                pass
+
+
+@dataclass
+class WorkerEnd:
+    """A reaped worker: the handle plus how it ended."""
+
+    handle: WorkerHandle
+    exit_code: Optional[int]
+    crashed: bool
+    reason: str
+
+
+@dataclass
+class Supervisor:
+    """Bounded pool of analysis subprocesses with health monitoring."""
+
+    workers: int = 2
+    heartbeat_timeout: float = 15.0
+    spawn_command: Callable[[str], List[str]] = field(
+        default=default_worker_command
+    )
+    live: Dict[str, WorkerHandle] = field(default_factory=dict)
+
+    @property
+    def free_slots(self) -> int:
+        return max(0, self.workers - len(self.live))
+
+    # ------------------------------------------------------------------
+    def spawn(self, spec: dict) -> WorkerHandle:
+        """Write the spec file and launch one worker for it."""
+        spec_path = Path(spec["spec_path"])
+        spec_path.write_text(json.dumps(spec, sort_keys=True))
+        process = subprocess.Popen(
+            self.spawn_command(str(spec_path)),
+            env=worker_environment(),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        soft = (spec.get("budget") or {}).get("deadline_seconds")
+        now = time.monotonic()
+        handle = WorkerHandle(
+            job_id=spec["job_id"],
+            process=process,
+            spec=spec,
+            heartbeat_path=Path(spec["heartbeat"]),
+            started_at=now,
+            hard_deadline=(
+                now + HARD_DEADLINE_FACTOR * soft + HARD_DEADLINE_SLACK
+                if soft
+                else None
+            ),
+        )
+        self.live[spec["job_id"]] = handle
+        return handle
+
+    # ------------------------------------------------------------------
+    def poll(self, now: Optional[float] = None) -> List[WorkerEnd]:
+        """Reap exited workers and kill hung/overdue ones.
+
+        Killed workers are *not* reported until their process has
+        actually exited (usually the next poll), so an end is always a
+        reaped process -- no zombie races.
+        """
+        now = time.monotonic() if now is None else now
+        ends: List[WorkerEnd] = []
+        for job_id, handle in list(self.live.items()):
+            code = handle.process.poll()
+            if code is not None:
+                del self.live[job_id]
+                if handle.killed_reason is not None:
+                    ends.append(
+                        WorkerEnd(handle, None, True, handle.killed_reason)
+                    )
+                elif code < 0:
+                    try:
+                        name = signal.Signals(-code).name
+                    except ValueError:
+                        name = str(-code)
+                    ends.append(
+                        WorkerEnd(handle, None, True, f"killed by {name}")
+                    )
+                else:
+                    ends.append(WorkerEnd(handle, code, False, "exited"))
+                continue
+            if handle.killed_reason is not None:
+                continue  # kill signalled; waiting for the exit
+            if (
+                handle.hard_deadline is not None
+                and now >= handle.hard_deadline
+            ):
+                handle.kill("hard deadline exceeded")
+            elif handle.heartbeat_age(now) > self.heartbeat_timeout:
+                handle.kill(
+                    f"heartbeat lost (> {self.heartbeat_timeout:.0f}s)"
+                )
+        return ends
+
+    # ------------------------------------------------------------------
+    def terminate_all(self) -> None:
+        """Cooperative stop: SIGTERM every live worker (they checkpoint
+        and exit 130 on their own)."""
+        for handle in self.live.values():
+            handle.terminate()
+
+    def kill_all(self, reason: str = "shutdown") -> None:
+        for handle in self.live.values():
+            handle.kill(reason)
+
+    def drain(self, grace_seconds: float) -> List[WorkerEnd]:
+        """Terminate everyone, give them *grace_seconds* to checkpoint
+        and exit, then hard-kill the stragglers.  Returns every end."""
+        self.terminate_all()
+        deadline = time.monotonic() + grace_seconds
+        ends: List[WorkerEnd] = []
+        while self.live and time.monotonic() < deadline:
+            ends.extend(self.poll())
+            if self.live:
+                time.sleep(0.05)
+        if self.live:
+            self.kill_all("drain grace expired")
+            killed_deadline = time.monotonic() + 5.0
+            while self.live and time.monotonic() < killed_deadline:
+                ends.extend(self.poll())
+                if self.live:
+                    time.sleep(0.05)
+        return ends

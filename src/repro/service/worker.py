@@ -1,0 +1,202 @@
+"""Analysis worker subprocess (``python -m repro.service.worker``).
+
+One worker runs one job attempt: assemble the journaled source, build a
+:class:`~repro.core.TaintTracker` with the job's budget and a
+:class:`~repro.resilience.Checkpointer` keyed by job id, resume from the
+job's checkpoint when a valid one exists, and write the verdict document
+atomically before exiting with the taxonomy exit code.  The contract
+with the supervisor:
+
+* ``--spec`` names a JSON job spec (see :func:`run_worker`);
+* the heartbeat file is touched every ``heartbeat_interval`` seconds
+  from a daemon thread -- a stale heartbeat means the worker is hung
+  (not merely slow: the thread beats even while numpy holds the GIL);
+* SIGTERM/SIGINT are cooperative: the tracker checkpoints at the next
+  safe boundary and the worker exits 130 with an ``interrupted`` error
+  document, so a drained job resumes bit-identically later;
+* the result file appears atomically (tmp + rename) -- the supervisor
+  never observes a torn document;
+* a checkpoint that is stale or corrupt is *ignored* (fresh start), not
+  fatal: worst case the attempt redoes work it already did.
+
+Exit code: the verdict's code (0/1/3) on completion, otherwise the typed
+error's ``exit_code`` (130 for interrupts).  Fault injection, when the
+spec asks for it, is seeded -- the chaos harness composes it with
+process kills to soak the whole retry loop deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import sys
+import threading
+import time
+from contextlib import nullcontext
+from pathlib import Path
+
+from repro.core import TaintTracker
+from repro.isa.assembler import AssemblyError, assemble
+from repro.resilience import (
+    AnalysisBudget,
+    AnalysisInterrupted,
+    CheckpointError,
+    Checkpointer,
+    FaultInjector,
+    InputError,
+    ReproError,
+    VERDICT_EXIT_CODES,
+    inject_faults,
+    read_checkpoint,
+)
+from repro.resilience.errors import EXIT_ANALYSIS
+
+#: Default seconds between heartbeat touches.
+HEARTBEAT_INTERVAL = 0.5
+
+
+def _policy(name: str):
+    from repro.core import default_policy, secret_policy
+
+    if name == "secret":
+        return secret_policy()
+    return default_policy()
+
+
+def _touch_forever(path: Path, interval: float, stop: threading.Event):
+    while not stop.wait(interval):
+        try:
+            path.touch()
+        except OSError:
+            return  # artifact dir vanished: the supervisor gave up on us
+
+
+def _write_result(path, document: dict) -> None:
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(document, sort_keys=True, indent=1) + "\n")
+    os.replace(tmp, path)
+
+
+def run_worker(spec: dict) -> int:
+    """Execute one job attempt described by *spec*; returns the exit
+    code (and writes the result document as a side effect)."""
+    result_path = spec["result"]
+    heartbeat_path = Path(spec["heartbeat"])
+    heartbeat_path.touch()
+    stop_beating = threading.Event()
+    beat = threading.Thread(
+        target=_touch_forever,
+        args=(
+            heartbeat_path,
+            float(spec.get("heartbeat_interval", HEARTBEAT_INTERVAL)),
+            stop_beating,
+        ),
+        daemon=True,
+    )
+    beat.start()
+
+    try:
+        try:
+            program = assemble(spec["source"], name=spec["name"])
+        except AssemblyError as error:
+            raise InputError(
+                f"cannot assemble job source: {error}", job=spec["job_id"]
+            ) from error
+        budget = AnalysisBudget(**dict(spec.get("budget") or {}))
+        checkpointer = Checkpointer(
+            spec["checkpoint"],
+            every_paths=int(spec.get("checkpoint_every", 8)),
+        )
+        tracker = TaintTracker(
+            program,
+            policy=_policy(spec.get("policy", "untrusted")),
+            max_cycles=int(spec.get("max_cycles", 1_000_000)),
+            budget=budget,
+            checkpointer=checkpointer,
+        )
+
+        resumed = False
+        checkpoint = Path(spec["checkpoint"])
+        if checkpoint.exists():
+            try:
+                payload = read_checkpoint(
+                    checkpoint, expected_digest=tracker.config_digest()
+                )
+                tracker.restore_checkpoint(payload)
+                resumed = True
+            except CheckpointError as error:
+                print(
+                    f"ignoring unusable checkpoint: {error.render()}",
+                    file=sys.stderr,
+                )
+
+        def _interrupt(signum, frame):
+            tracker.request_interrupt(signal.Signals(signum).name)
+
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                signal.signal(sig, _interrupt)
+            except ValueError:
+                pass  # not the main thread (in-process tests)
+
+        injection = spec.get("fault_injection")
+        injecting = (
+            inject_faults(FaultInjector(**injection))
+            if injection
+            else nullcontext()
+        )
+        with injecting:
+            result = tracker.run()
+
+        from repro.cli import _analysis_document
+
+        document = _analysis_document(result)
+        document["resumed"] = resumed
+        document["job_id"] = spec["job_id"]
+        document["attempt_unix"] = time.time()
+        _write_result(result_path, document)
+        return VERDICT_EXIT_CODES[result.verdict]
+    except AnalysisInterrupted as error:
+        _write_result(
+            result_path,
+            {"job_id": spec["job_id"], "error": error.to_document()},
+        )
+        return error.exit_code
+    except ReproError as error:
+        _write_result(
+            result_path,
+            {"job_id": spec["job_id"], "error": error.to_document()},
+        )
+        return error.exit_code
+    except Exception as error:  # pragma: no cover - defensive
+        _write_result(
+            result_path,
+            {
+                "job_id": spec["job_id"],
+                "error": {
+                    "code": "WORKER_CRASH",
+                    "retriable": True,
+                    "exit_code": EXIT_ANALYSIS,
+                    "message": f"{type(error).__name__}: {error}",
+                },
+            },
+        )
+        return EXIT_ANALYSIS
+    finally:
+        stop_beating.set()
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(prog="repro-service-worker")
+    parser.add_argument("--spec", required=True, help="job spec JSON file")
+    args = parser.parse_args(argv)
+    spec = json.loads(Path(args.spec).read_text())
+    return run_worker(spec)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -67,6 +67,51 @@ class TestExitCodes:
         assert codes.isdisjoint({4, 5, 6, 2, 130})
 
 
+class TestTaxonomyTable:
+    """Pin the full (code, phase, retriable, exit_code) table.
+
+    The analysis service's retry classifier keys on ``retriable`` and
+    preserves ``exit_code`` verbatim, so any change here must be a
+    reviewed decision -- this test turns silent drift into a diff.
+    """
+
+    EXPECTED = {
+        "REPRO_ERROR": ("unknown", False, 6),
+        "INPUT": ("io", False, 4),
+        "ANALYSIS": ("explore", False, 6),
+        "SIMULATION": ("simulate", True, 6),
+        "FORK": ("explore", False, 6),
+        "TRACKER": ("explore", False, 6),
+        "CHECKPOINT": ("checkpoint", False, 5),
+        "INTERRUPTED": ("explore", True, 130),
+        "FAULT_INJECTED": ("simulate", True, 6),
+        "FUNDAMENTAL_VIOLATION": ("repair", False, 2),
+    }
+
+    def test_full_table_matches(self):
+        from repro.resilience import taxonomy
+
+        rows = {
+            code: (phase, retriable, exit_code)
+            for _, code, phase, retriable, exit_code in taxonomy()
+        }
+        assert rows == self.EXPECTED
+
+    def test_taxonomy_covers_every_leaf_once(self):
+        from repro.resilience import taxonomy
+
+        codes = [code for _, code, *_ in taxonomy()]
+        assert len(codes) == len(set(codes))
+
+    def test_retriable_set_is_exactly_the_transient_failures(self):
+        """Only interrupts and simulation transients retry; everything
+        deterministic (input, invariants, corrupt files) fails fast."""
+        from repro.resilience import taxonomy
+
+        retriable = {code for _, code, _, r, _ in taxonomy() if r}
+        assert retriable == {"SIMULATION", "INTERRUPTED", "FAULT_INJECTED"}
+
+
 class TestDocuments:
     def test_to_document_shape(self):
         error = SimulationError("boom at cycle 7", cycle=7, paths=2)

@@ -1,0 +1,125 @@
+"""Shared fixtures for the analysis-service suite.
+
+The suite spawns *real* worker subprocesses (the whole point is process
+supervision), so the workload sources are chosen for speed: TINY is a
+single-path secure program, MANYPATHS forks 21 paths -- long enough that
+a checkpoint exists before the verdict, which the kill/resume tests
+depend on, while still finishing in a few seconds.
+"""
+
+import time
+
+import pytest
+
+from repro.service import AnalysisService, ServiceConfig
+
+#: Single path, no tainted reads: verdict ``secure`` almost instantly.
+TINY_SECURE = """\
+.task sys trusted
+start:
+    mov #1, r4
+    mov r4, &P2OUT
+    halt
+"""
+
+#: Tainted input (P1IN) reaches a sink that must stay clean (P4OUT):
+#: verdict ``insecure``, single path.
+TINY_INSECURE = """\
+.task sys trusted
+start:
+    mov &P1IN, r4
+    mov r4, &P4OUT
+    halt
+"""
+
+#: Four tainted branches -> 21 explored paths (a few seconds of work,
+#: many checkpoint boundaries), with the taint scrubbed before output:
+#: verdict ``secure``.
+MANYPATHS = """\
+.task sys trusted
+start:
+    mov &P3IN, r4
+    mov #0, r7
+    bit #1, r4
+    jz b1
+    add #1, r7
+b1:
+    bit #2, r4
+    jz b2
+    add #2, r7
+b2:
+    bit #4, r4
+    jz b3
+    add #4, r7
+b3:
+    bit #8, r4
+    jz b4
+    add #8, r7
+b4:
+    mov #20, r5
+spin:
+    dec r5
+    jnz spin
+    mov r7, &P2OUT
+    halt
+"""
+
+
+def make_service(root, **overrides) -> AnalysisService:
+    """A started service rooted in a temp dir with test-fast timings."""
+    defaults = dict(
+        root=str(root),
+        workers=2,
+        poll_interval=0.02,
+        checkpoint_every=4,
+        heartbeat_timeout=15.0,
+        drain_grace=15.0,
+    )
+    defaults.update(overrides)
+    service = AnalysisService(ServiceConfig(**defaults))
+    service.start()
+    return service
+
+
+def drive(service, records, timeout=180.0):
+    """Tick *service* until every record is terminal (no run loop)."""
+    deadline = time.monotonic() + timeout
+    while any(not r.terminal for r in records):
+        if time.monotonic() > deadline:
+            states = {r.job_id: r.state for r in records}
+            raise TimeoutError(f"jobs never finished: {states}")
+        service.tick()
+        time.sleep(service.config.poll_interval)
+
+
+def reap(service):
+    """Hard-stop a service's workers without the cooperative drain
+    (used to model daemon death and in cleanup paths)."""
+    for handle in list(service.supervisor.live.values()):
+        handle.kill("test cleanup")
+        try:
+            handle.process.wait(timeout=10.0)
+        except Exception:
+            pass
+    service.supervisor.live.clear()
+    service.stop_server()
+    service.journal.close()
+
+
+def canon(document: dict) -> dict:
+    """A verdict document with the run-specific fields stripped, for
+    bit-identical comparison across interrupted/uninterrupted runs."""
+    document = dict(document)
+    for key in ("resumed", "job_id", "attempt_unix"):
+        document.pop(key, None)
+    stats = dict(document.get("stats") or {})
+    stats.pop("wall_seconds", None)
+    document["stats"] = stats
+    return document
+
+
+@pytest.fixture
+def service(tmp_path):
+    instance = make_service(tmp_path / "svc")
+    yield instance
+    reap(instance)

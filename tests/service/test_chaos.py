@@ -1,0 +1,110 @@
+"""The chaos acceptance soak: seeded substrate faults + process kills
++ daemon death, and every accepted job still reaches the right verdict.
+
+Three layers of injected failure, composed:
+
+* **substrate faults** -- a job submitted with ``fault_injection``
+  raises typed retriable :class:`SimulationError`\\ s inside the worker;
+* **process kills** -- the :class:`ChaosMonkey` SIGKILLs workers on a
+  seeded schedule;
+* **daemon death** -- the daemon itself is dropped without a drain
+  (``kill -9`` model) and restarted on the same journal.
+
+The invariants: no accepted job is ever lost, deterministic workloads
+reach the same verdict they reach undisturbed, and a job whose faults
+never clear fails *typed* with its attempt budget spent.
+"""
+
+from repro.service import ChaosPlan, soak
+from repro.service.retry import RetryPolicy
+
+from tests.service.conftest import (
+    MANYPATHS,
+    TINY_INSECURE,
+    drive,
+    make_service,
+    reap,
+)
+
+
+def test_soak_with_kills_reaches_reference_verdicts(tmp_path):
+    service = make_service(tmp_path, workers=2, checkpoint_every=4)
+    try:
+        plan = ChaosPlan(
+            seed=2, rate=1.0, max_kills=2, require_checkpoint=False
+        )
+        report = soak(
+            service,
+            [
+                {"source": MANYPATHS, "name": "forky"},
+                {"source": TINY_INSECURE, "name": "leaky"},
+            ],
+            plan=plan,
+            timeout=300.0,
+        )
+        assert report.submitted == 2
+        assert report.kills >= 1
+        # Chaos changed the schedule, never the verdicts.
+        assert report.verdicts == {"secure": 1, "insecure": 1}
+        assert report.recovered_retries >= 1
+        by_name = {r.name: r for r in service.jobs.values()}
+        assert by_name["forky"].exit_code == 0
+        assert by_name["leaky"].exit_code == 1
+    finally:
+        reap(service)
+
+
+def test_persistent_substrate_faults_fail_typed_after_attempts(tmp_path):
+    """A job whose fault injection fires on every attempt retries the
+    configured number of times, then fails with the taxonomy intact."""
+    service = make_service(
+        tmp_path,
+        workers=1,
+        max_attempts=2,
+        retry=RetryPolicy(max_attempts=2, base_seconds=0.1, cap_seconds=0.5),
+    )
+    try:
+        record = service.submit(
+            source=MANYPATHS,
+            name="doomed",
+            fault_injection={
+                "seed": 3,
+                "rate": 1.0,
+                "kinds": ["gate_eval"],
+                "max_faults": 1,
+            },
+        )
+        drive(service, [record])
+        assert record.state == "failed"
+        assert record.attempts == 2
+        # The typed error and its taxonomy exit code survive retries.
+        assert record.error["retriable"] is True
+        assert record.error["code"] in ("SIMULATION", "FAULT_INJECTED")
+        assert record.exit_code == 6
+    finally:
+        reap(service)
+
+
+def test_daemon_death_mid_chaos_loses_nothing(tmp_path):
+    """kill -9 of the daemon between submissions and verdicts: the
+    restarted daemon replays the journal and finishes every job."""
+    first = make_service(tmp_path, workers=1, checkpoint_every=4)
+    slow = first.submit(source=MANYPATHS, name="slow")
+    fast = first.submit(source=TINY_INSECURE, name="fast")
+    # Launch the first job, then model the machine rebooting under it.
+    first.tick()
+    assert slow.state == "running"
+    reap(first)
+
+    second = make_service(tmp_path, workers=2, checkpoint_every=4)
+    try:
+        recovered_slow = second.get(slow.job_id)
+        recovered_fast = second.get(fast.job_id)
+        assert recovered_slow.state == "retrying"
+        assert slow.job_id in second.recovered
+        assert recovered_fast.state == "queued"
+        drive(second, [recovered_slow, recovered_fast])
+        assert recovered_slow.verdict == "secure"
+        assert recovered_fast.verdict == "insecure"
+    finally:
+        reap(second)

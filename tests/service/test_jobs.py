@@ -1,0 +1,135 @@
+"""Job records: state machine, digests, ids, history."""
+
+import pytest
+
+from repro.service.jobs import (
+    InvalidTransition,
+    JOB_STATES,
+    JobRecord,
+    TERMINAL_STATES,
+    TRANSITIONS,
+    VERDICT_STATES,
+    job_id_for,
+    new_job,
+    submission_digest,
+    transition,
+)
+
+
+def _job(**overrides):
+    base = dict(
+        seq=7,
+        name="t",
+        source="halt",
+        policy="untrusted",
+        max_cycles=1000,
+        budget={"max_paths": 4},
+        max_attempts=3,
+        now=100.0,
+    )
+    base.update(overrides)
+    return new_job(**base)
+
+
+class TestDigestsAndIds:
+    def test_digest_depends_on_content_not_name_or_time(self):
+        a = submission_digest("halt", "untrusted", 10, {"max_paths": 1})
+        b = submission_digest("halt", "untrusted", 10, {"max_paths": 1})
+        assert a == b
+        assert a != submission_digest("nop", "untrusted", 10, {"max_paths": 1})
+        assert a != submission_digest("halt", "secret", 10, {"max_paths": 1})
+        assert a != submission_digest("halt", "untrusted", 11, {"max_paths": 1})
+        assert a != submission_digest("halt", "untrusted", 10, {"max_paths": 2})
+
+    def test_budget_order_does_not_change_digest(self):
+        a = submission_digest("x", "untrusted", 1, {"a": 1, "b": 2})
+        b = submission_digest("x", "untrusted", 1, {"b": 2, "a": 1})
+        assert a == b
+
+    def test_job_id_embeds_seq_and_digest_prefix(self):
+        assert job_id_for(42, "abcdef" * 12) == "j000042-abcdefabcd"
+
+    def test_new_job_starts_queued_with_stamp(self):
+        record = _job()
+        assert record.state == "queued"
+        assert record.attempts == 0
+        assert record.submitted_unix == 100.0
+        assert record.job_id.startswith("j000007-")
+        assert not record.terminal
+
+
+class TestStateMachine:
+    def test_transition_table_covers_every_state(self):
+        assert set(TRANSITIONS) == set(JOB_STATES)
+        for state in TERMINAL_STATES:
+            assert TRANSITIONS[state] == frozenset()
+
+    def test_happy_path_to_done(self):
+        record = _job()
+        transition(record, "running", now=101.0, attempts=1)
+        transition(
+            record, "done", now=102.0, verdict="secure", exit_code=0
+        )
+        assert record.terminal
+        assert [h["state"] for h in record.history] == ["running", "done"]
+        assert record.history[-1]["unix"] == 102.0
+
+    def test_retry_loop(self):
+        record = _job()
+        transition(record, "running", attempts=1)
+        transition(record, "retrying", not_before=123.0)
+        transition(record, "running", attempts=2)
+        transition(record, "failed", exit_code=6)
+        assert record.attempts == 2
+        assert record.terminal
+
+    @pytest.mark.parametrize(
+        "start, bad",
+        [
+            ("queued", "done"),
+            ("queued", "retrying"),
+            ("queued", "inconclusive"),
+            ("retrying", "done"),
+            ("done", "running"),
+            ("failed", "running"),
+            ("inconclusive", "retrying"),
+        ],
+    )
+    def test_illegal_edges_raise(self, start, bad):
+        record = _job()
+        record.state = start
+        with pytest.raises(InvalidTransition):
+            transition(record, bad)
+
+    def test_unknown_state_and_field_raise(self):
+        record = _job()
+        with pytest.raises(InvalidTransition):
+            transition(record, "exploded")
+        with pytest.raises(InvalidTransition):
+            transition(record, "running", bogus_field=1)
+
+    def test_verdict_states_map_into_terminals(self):
+        assert set(VERDICT_STATES.values()) <= TERMINAL_STATES
+        assert VERDICT_STATES["secure"] == "done"
+        assert VERDICT_STATES["insecure"] == "done"
+        assert VERDICT_STATES["inconclusive"] == "inconclusive"
+
+
+class TestSerialisation:
+    def test_dict_roundtrip(self):
+        record = _job()
+        transition(record, "running", attempts=1, note="launch")
+        clone = JobRecord.from_dict(record.to_dict())
+        assert clone == record
+
+    def test_from_dict_ignores_unknown_fields(self):
+        document = _job().to_dict()
+        document["from_the_future"] = True
+        record = JobRecord.from_dict(document)
+        assert record.job_id == document["job_id"]
+
+    def test_summary_omits_source(self):
+        summary = _job().summary()
+        assert "source" not in summary
+        assert summary["state"] == "queued"
+        assert summary["id"].startswith("j000007-")

@@ -1,0 +1,139 @@
+"""Satellite acceptance: a SIGKILLed worker's retry resumes from the
+job checkpoint and produces a *bit-identical* verdict document.
+
+The reference run executes the same worker entry point, undisturbed, in
+its own subprocess.  The chaos run lets the service launch the job, has
+the :class:`ChaosMonkey` SIGKILL the worker once a checkpoint exists,
+and compares the retried job's report against the reference with only
+the run-identity fields (wall clock, job id, resumed flag) stripped.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.service import ChaosPlan, soak
+
+from tests.service.conftest import MANYPATHS, canon, make_service, reap
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def reference_document(tmp_path, source, budget, checkpoint_every, name):
+    """The undisturbed verdict document for *source*, produced by the
+    same worker module the service spawns."""
+    art = tmp_path / "reference"
+    art.mkdir()
+    spec = {
+        "job_id": "reference",
+        "name": name,
+        "source": source,
+        "policy": "untrusted",
+        "max_cycles": 1_000_000,
+        "budget": budget,
+        "checkpoint": str(art / "checkpoint.ckpt"),
+        "checkpoint_every": checkpoint_every,
+        "heartbeat": str(art / "heartbeat"),
+        "heartbeat_interval": 0.5,
+        "result": str(art / "result.json"),
+        "fault_injection": None,
+        "spec_path": str(art / "spec.json"),
+    }
+    (art / "spec.json").write_text(json.dumps(spec))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    completed = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.service.worker",
+            "--spec",
+            str(art / "spec.json"),
+        ],
+        env=env,
+        capture_output=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr.decode()
+    return json.loads((art / "result.json").read_text())
+
+
+def test_sigkilled_attempt_resumes_bit_identically(tmp_path):
+    service = make_service(
+        tmp_path / "svc", workers=1, checkpoint_every=4
+    )
+    try:
+        reference = reference_document(
+            tmp_path,
+            MANYPATHS,
+            dict(service.config.default_budget),
+            service.config.checkpoint_every,
+            name="kill-me",
+        )
+        assert reference["verdict"] == "secure"
+        assert not reference["resumed"]
+
+        plan = ChaosPlan(
+            seed=0, rate=1.0, max_kills=1, require_checkpoint=True
+        )
+        report = soak(
+            service,
+            [{"source": MANYPATHS, "name": "kill-me"}],
+            plan=plan,
+            timeout=300.0,
+        )
+        assert report.kills == 1
+        assert report.verdicts == {"secure": 1}
+
+        (record,) = service.jobs.values()
+        # One crash, one successful retry -- and the crash cost an
+        # attempt (unlike daemon-restart recovery, the worker was lost).
+        assert record.attempts == 2
+        retry_notes = [
+            h["note"]
+            for h in record.history
+            if h["state"] == "retrying"
+        ]
+        assert len(retry_notes) == 1
+        assert "chaos SIGKILL" in retry_notes[0]
+
+        document = service.report(record.job_id)
+        # The retried attempt genuinely resumed from the checkpoint...
+        assert document["resumed"] is True
+        # ...and the verdict document is bit-identical to the
+        # undisturbed run once run-identity fields are stripped.
+        assert canon(document) == canon(reference)
+    finally:
+        reap(service)
+
+
+def test_chaos_kill_without_checkpoint_still_converges(tmp_path):
+    """A worker killed *before* its first checkpoint retries from
+    scratch -- slower, but the verdict is the same."""
+    service = make_service(
+        tmp_path / "svc",
+        workers=1,
+        # Checkpoint far beyond the path count: no checkpoint ever
+        # exists, so the kill hits a cold job.
+        checkpoint_every=10_000,
+    )
+    try:
+        plan = ChaosPlan(
+            seed=1, rate=1.0, max_kills=1, require_checkpoint=False
+        )
+        report = soak(
+            service,
+            [{"source": MANYPATHS, "name": "cold-kill"}],
+            plan=plan,
+            timeout=300.0,
+        )
+        assert report.kills == 1
+        assert report.verdicts == {"secure": 1}
+        (record,) = service.jobs.values()
+        document = service.report(record.job_id)
+        assert document["resumed"] is False
+        assert record.attempts == 2
+    finally:
+        reap(service)

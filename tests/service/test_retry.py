@@ -1,0 +1,103 @@
+"""Retry classification and deterministic backoff."""
+
+from repro.service.retry import Outcome, RetryPolicy
+
+
+class TestBackoff:
+    def test_deterministic_per_job_and_attempt(self):
+        policy = RetryPolicy()
+        assert policy.backoff_seconds("job-a", 1) == policy.backoff_seconds(
+            "job-a", 1
+        )
+        # Distinct jobs / attempts decorrelate.
+        assert policy.backoff_seconds("job-a", 1) != policy.backoff_seconds(
+            "job-b", 1
+        )
+        assert policy.backoff_seconds("job-a", 1) != policy.backoff_seconds(
+            "job-a", 2
+        )
+
+    def test_exponential_with_jitter_bounds(self):
+        policy = RetryPolicy(base_seconds=1.0, cap_seconds=60.0, jitter=0.25)
+        for attempt in range(1, 6):
+            nominal = 1.0 * 2 ** (attempt - 1)
+            delay = policy.backoff_seconds("j", attempt)
+            assert nominal * 0.75 <= delay <= nominal * 1.25
+
+    def test_cap_bounds_the_nominal_delay(self):
+        policy = RetryPolicy(base_seconds=1.0, cap_seconds=4.0, jitter=0.0)
+        assert policy.backoff_seconds("j", 10) == 4.0
+
+    def test_zero_jitter_is_exactly_exponential(self):
+        policy = RetryPolicy(base_seconds=0.5, cap_seconds=100.0, jitter=0.0)
+        assert [policy.backoff_seconds("j", a) for a in (1, 2, 3, 4)] == [
+            0.5,
+            1.0,
+            2.0,
+            4.0,
+        ]
+
+
+class TestClassify:
+    def setup_method(self):
+        self.policy = RetryPolicy(max_attempts=3)
+
+    def test_verdict_exit_codes_finish_the_job(self):
+        for code, verdict in ((0, "secure"), (1, "insecure"), (3, "inconclusive")):
+            outcome = self.policy.classify(attempts=1, exit_code=code)
+            assert outcome == Outcome(
+                "verdict",
+                verdict=verdict,
+                exit_code=code,
+                reason=f"verdict {verdict}",
+            )
+
+    def test_crash_is_always_retriable(self):
+        outcome = self.policy.classify(
+            attempts=1, exit_code=None, crashed=True, reason="killed by SIGKILL"
+        )
+        assert outcome.kind == "retry"
+        assert outcome.reason == "killed by SIGKILL"
+
+    def test_crash_with_verdict_like_code_still_retries(self):
+        # A killed worker's status is untrustworthy even if it looks
+        # like a verdict code.
+        outcome = self.policy.classify(attempts=1, exit_code=0, crashed=True)
+        assert outcome.kind == "retry"
+
+    def test_typed_error_follows_taxonomy_retriable_flag(self):
+        retriable_doc = {"code": "SIMULATION", "retriable": True, "exit_code": 6}
+        fatal_doc = {"code": "INPUT", "retriable": False, "exit_code": 4}
+        assert (
+            self.policy.classify(
+                attempts=1, exit_code=6, error=retriable_doc
+            ).kind
+            == "retry"
+        )
+        outcome = self.policy.classify(attempts=1, exit_code=6, error=fatal_doc)
+        assert outcome.kind == "fail"
+        # The taxonomy exit code is preserved verbatim.
+        assert outcome.exit_code == 4
+        assert "INPUT" in outcome.reason
+
+    def test_interrupt_exit_is_retriable(self):
+        outcome = self.policy.classify(attempts=1, exit_code=130)
+        assert outcome.kind == "retry"
+        assert outcome.exit_code == 130
+
+    def test_unexplained_exit_is_retriable(self):
+        outcome = self.policy.classify(attempts=1, exit_code=7)
+        assert outcome.kind == "retry"
+        assert "unexplained exit 7" in outcome.reason
+
+    def test_attempt_cap_turns_retry_into_fail(self):
+        outcome = self.policy.classify(
+            attempts=3, exit_code=None, crashed=True
+        )
+        assert outcome.kind == "fail"
+        assert "3 attempt(s) exhausted" in outcome.reason
+
+    def test_verdict_wins_even_at_attempt_cap(self):
+        outcome = self.policy.classify(attempts=3, exit_code=1)
+        assert outcome.kind == "verdict"
+        assert outcome.verdict == "insecure"

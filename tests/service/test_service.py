@@ -1,0 +1,153 @@
+"""End-to-end daemon behaviour with real worker subprocesses:
+verdicts, fail-fast, backpressure, shedding, crash recovery."""
+
+import pytest
+
+from repro.service import Draining, QueueFull
+from repro.service.jobs import TERMINAL_STATES
+
+from tests.service.conftest import (
+    TINY_INSECURE,
+    TINY_SECURE,
+    drive,
+    make_service,
+    reap,
+)
+
+
+class TestVerdicts:
+    def test_secure_and_insecure_jobs_complete(self, service):
+        secure = service.submit(source=TINY_SECURE, name="tiny-secure")
+        insecure = service.submit(source=TINY_INSECURE, name="tiny-insecure")
+        drive(service, [secure, insecure])
+
+        assert secure.state == "done"
+        assert secure.verdict == "secure"
+        assert secure.exit_code == 0
+        assert secure.attempts == 1
+
+        assert insecure.state == "done"
+        assert insecure.verdict == "insecure"
+        assert insecure.exit_code == 1
+        report = service.report(insecure.job_id)
+        assert report["verdict"] == "insecure"
+        assert report["violations"]
+
+    def test_unassemblable_source_fails_fast_with_input_code(self, service):
+        record = service.submit(source="this is not assembly\n", name="bad")
+        drive(service, [record])
+        assert record.state == "failed"
+        # Fail fast: InputError is not retriable, one attempt only.
+        assert record.attempts == 1
+        assert record.exit_code == 4
+        assert record.error["code"] == "INPUT"
+
+
+class TestBackpressure:
+    def test_queue_full_raises(self, tmp_path):
+        service = make_service(tmp_path, workers=1, queue_capacity=2)
+        try:
+            service.submit(source=TINY_SECURE, name="a")
+            service.submit(source=TINY_SECURE, name="b")
+            with pytest.raises(QueueFull):
+                service.submit(source=TINY_SECURE, name="c")
+            ready, document = service.readiness()
+            assert not ready
+            assert document["reason"] == "queue full"
+        finally:
+            reap(service)
+
+    def test_draining_rejects_submissions(self, service):
+        service.draining = True
+        with pytest.raises(Draining):
+            service.submit(source=TINY_SECURE)
+
+    def test_overload_sheds_launch_budgets(self, tmp_path):
+        service = make_service(
+            tmp_path, workers=1, queue_capacity=8, shed_after=1
+        )
+        try:
+            records = [
+                service.submit(source=TINY_SECURE, name=f"s{i}")
+                for i in range(3)
+            ]
+            drive(service, records)
+            assert all(r.state == "done" for r in records)
+            # Backlog was above the shed threshold while the later jobs
+            # launched, so at least one ran with clamped budgets.
+            assert any(r.shed for r in records)
+            shed_record = next(r for r in records if r.shed)
+            assert "shed launch" in {h["note"] for h in shed_record.history}
+        finally:
+            reap(service)
+
+
+class TestCrashRecovery:
+    def test_accepted_queued_job_survives_daemon_death(self, tmp_path):
+        first = make_service(tmp_path)
+        record = first.submit(source=TINY_SECURE, name="survivor")
+        job_id = record.job_id
+        # kill -9 model: no drain, no compaction, no close.
+        reap(first)
+
+        second = make_service(tmp_path)
+        try:
+            recovered = second.get(job_id)
+            assert recovered is not None
+            assert recovered.state == "queued"
+            drive(second, [recovered])
+            assert recovered.verdict == "secure"
+        finally:
+            reap(second)
+
+    def test_running_job_moves_to_retrying_on_restart(self, tmp_path):
+        first = make_service(tmp_path, workers=1)
+        record = first.submit(source=TINY_SECURE, name="inflight")
+        # Launch it, then model the daemon (and its worker) dying.
+        first.tick()
+        assert record.state == "running"
+        reap(first)
+
+        second = make_service(tmp_path)
+        try:
+            recovered = second.get(record.job_id)
+            assert record.job_id in second.recovered
+            assert recovered.state == "retrying"
+            # Recovery is the daemon's fault: no attempt consumed.
+            assert recovered.attempts == 1
+            drive(second, [recovered])
+            assert recovered.verdict == "secure"
+            assert recovered.attempts == 2
+        finally:
+            reap(second)
+
+    def test_restart_after_shutdown_replays_terminal_states(self, tmp_path):
+        first = make_service(tmp_path)
+        record = first.submit(source=TINY_INSECURE, name="done-job")
+        drive(first, [record])
+        first.shutdown()
+
+        second = make_service(tmp_path)
+        try:
+            replayed = second.get(record.job_id)
+            assert replayed.state in TERMINAL_STATES
+            assert replayed.verdict == "insecure"
+            assert replayed.exit_code == 1
+            assert second.recovered == []
+        finally:
+            reap(second)
+
+
+class TestDrain:
+    def test_shutdown_journals_and_compacts(self, tmp_path):
+        service = make_service(tmp_path)
+        record = service.submit(source=TINY_SECURE, name="drained")
+        service.shutdown()
+        # The queued job is still journaled (snapshot, since shutdown
+        # compacts) and a restart picks it up.
+        assert (tmp_path / "jobs.snapshot").exists()
+        restarted = make_service(tmp_path)
+        try:
+            assert restarted.get(record.job_id) is not None
+        finally:
+            reap(restarted)
