@@ -359,6 +359,13 @@ class AnalysisService:
             "fault_injection": record.fault_injection,
             "spec_path": str(art / "spec.json"),
         }
+        # A stale result document from a previous attempt must not be
+        # read as this attempt's verdict: the worker rewrites it, but
+        # only if it gets far enough to run at all.
+        try:
+            Path(spec["result"]).unlink()
+        except OSError:
+            pass
         transition(
             record,
             "running",
@@ -394,11 +401,13 @@ class AnalysisService:
             if record is None or record.state != "running":
                 return
             error = None
+            result_verdict = None
             result_path = Path(end.handle.spec["result"])
             if result_path.exists():
                 try:
                     document = json.loads(result_path.read_text())
                     error = document.get("error")
+                    result_verdict = document.get("verdict")
                 except ValueError:
                     pass  # torn write cannot happen (atomic rename)
             outcome = self.config.retry.classify(
@@ -407,6 +416,8 @@ class AnalysisService:
                 error=error,
                 crashed=end.crashed,
                 reason=end.reason,
+                result_verdict=result_verdict,
+                max_attempts=record.max_attempts,
             )
             if end.crashed:
                 self._counter("service.workers_crashed")

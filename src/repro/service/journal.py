@@ -89,13 +89,16 @@ class JobJournal:
         kind of corruption an append-crash can produce)."""
         with self.log_path.open("rb") as handle:
             lines = handle.read().split(b"\n")
+        last = max(
+            (i for i, line in enumerate(lines) if line.strip()), default=-1
+        )
         for index, line in enumerate(lines):
             if not line.strip():
                 continue
             try:
                 yield json.loads(line)
             except ValueError as error:
-                if index >= len(lines) - 2:  # torn tail: expected
+                if index == last:  # torn tail: expected
                     break
                 raise CheckpointError(
                     f"job journal log {str(self.log_path)!r} has a "

@@ -2,12 +2,15 @@
 
 Classification is driven by the :class:`~repro.resilience.errors`
 taxonomy, not by pattern-matching messages: a worker that exits with a
-verdict code terminates the job; one that ships a typed error document
-is retried exactly when that error's ``retriable`` flag says so (the
-taxonomy's exit code is preserved on the job record either way); and a
-worker that *crashes* -- nonzero unexpected exit, death by signal,
-heartbeat loss, or a blown hard deadline -- is always retriable, because
-the crash says nothing about the job itself.
+verdict code *and* wrote a result document carrying the matching verdict
+terminates the job (an exit status alone is not a verdict -- an
+interpreter that dies before analysis starts can exit 1, and recording
+that as ``insecure`` would be a false safety verdict); one that ships a
+typed error document is retried exactly when that error's ``retriable``
+flag says so (the taxonomy's exit code is preserved on the job record
+either way); and a worker that *crashes* -- nonzero unexpected exit,
+death by signal, heartbeat loss, or a blown hard deadline -- is always
+retriable, because the crash says nothing about the job itself.
 
 Backoff is exponential with *deterministic* jitter: the jitter fraction
 is a hash of ``(job_id, attempt)``, so two runs of the same failing
@@ -69,15 +72,27 @@ class RetryPolicy:
         error: Optional[Dict[str, Any]] = None,
         crashed: bool = False,
         reason: str = "",
+        result_verdict: Optional[str] = None,
+        max_attempts: Optional[int] = None,
     ) -> Outcome:
         """Map a worker's end to verdict / retry / fail.
 
         *attempts* counts the attempt that just finished (1-based);
         *error* is the worker's typed error document when it wrote one;
         *crashed* marks ends with no trustworthy exit status (signal
-        death, heartbeat loss, hard-deadline kill).
+        death, heartbeat loss, hard-deadline kill); *result_verdict* is
+        the verdict the worker's result document carries, when one
+        exists -- a verdict exit code with no corroborating document is
+        an infrastructure failure, not a verdict; *max_attempts*, when
+        given, overrides the policy default (the journaled per-job cap
+        is authoritative).
         """
-        if not crashed and exit_code in _VERDICT_CODES:
+        cap = self.max_attempts if max_attempts is None else max_attempts
+        if (
+            not crashed
+            and exit_code in _VERDICT_CODES
+            and result_verdict == _VERDICT_CODES[exit_code]
+        ):
             verdict = _VERDICT_CODES[exit_code]
             return Outcome(
                 "verdict", verdict=verdict, exit_code=exit_code,
@@ -96,11 +111,13 @@ class RetryPolicy:
             retriable, code = True, exit_code
             reason = reason or "interrupted"
         else:
-            # Unknown nonzero exit with no error document: treat like a
-            # crash -- something died before it could explain itself.
+            # Unknown exit with no explaining document (this includes a
+            # verdict-looking code whose result document is missing or
+            # disagrees): treat like a crash -- something died before it
+            # could explain itself.
             retriable, code = True, exit_code
             reason = reason or f"unexplained exit {exit_code}"
-        if retriable and attempts < self.max_attempts:
+        if retriable and attempts < cap:
             return Outcome("retry", exit_code=code, reason=reason)
         if retriable:
             reason = f"{reason}; {attempts} attempt(s) exhausted"

@@ -59,18 +59,27 @@ class WorkerHandle:
     process: subprocess.Popen
     spec: dict
     heartbeat_path: Path
-    started_at: float
+    started_at: float  # monotonic (hard-deadline clock domain)
+    started_wall: float = 0.0  # wall clock (heartbeat st_mtime domain)
     hard_deadline: Optional[float] = None  # absolute monotonic time
     killed_reason: Optional[str] = None
 
     def alive(self) -> bool:
         return self.process.poll() is None
 
-    def heartbeat_age(self, now: float) -> float:
+    def heartbeat_age(self, wall_now: Optional[float] = None) -> float:
+        """Seconds since the worker last touched its heartbeat file.
+
+        Heartbeat freshness comes from the file's ``st_mtime``, which is
+        wall-clock: the comparison must stay in ``time.time()``'s domain
+        (a monotonic *now* would make the age wildly negative and the
+        timeout unreachable).
+        """
+        wall_now = time.time() if wall_now is None else wall_now
         try:
-            return now - self.heartbeat_path.stat().st_mtime
+            return wall_now - self.heartbeat_path.stat().st_mtime
         except OSError:
-            return now - self.started_at
+            return wall_now - self.started_wall
 
     def terminate(self) -> None:
         if self.alive():
@@ -132,6 +141,7 @@ class Supervisor:
             spec=spec,
             heartbeat_path=Path(spec["heartbeat"]),
             started_at=now,
+            started_wall=time.time(),
             hard_deadline=(
                 now + HARD_DEADLINE_FACTOR * soft + HARD_DEADLINE_SLACK
                 if soft
@@ -150,6 +160,7 @@ class Supervisor:
         reaped process -- no zombie races.
         """
         now = time.monotonic() if now is None else now
+        wall_now = time.time()
         ends: List[WorkerEnd] = []
         for job_id, handle in list(self.live.items()):
             code = handle.process.poll()
@@ -177,7 +188,7 @@ class Supervisor:
                 and now >= handle.hard_deadline
             ):
                 handle.kill("hard deadline exceeded")
-            elif handle.heartbeat_age(now) > self.heartbeat_timeout:
+            elif handle.heartbeat_age(wall_now) > self.heartbeat_timeout:
                 handle.kill(
                     f"heartbeat lost (> {self.heartbeat_timeout:.0f}s)"
                 )

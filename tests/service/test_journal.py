@@ -68,6 +68,24 @@ class TestAppendReplay:
         jobs = JobJournal(tmp_path).replay()
         assert set(jobs) == {record.job_id}
 
+    def test_corruption_before_valid_final_record_is_fatal(self, tmp_path):
+        """Only the *final* non-blank line may be torn: a corrupt line
+        followed by a valid fsync'd record is real corruption, and
+        tolerating it would silently drop that acknowledged record."""
+        journal = JobJournal(tmp_path)
+        journal.replay()
+        record = _job(journal.next_seq)
+        journal.append(record)
+        journal.close()
+        log = tmp_path / "jobs.log"
+        valid_line = log.read_bytes().rstrip(b"\n")
+        # Corrupt line at len-2 with a valid, newline-less final line.
+        log.write_bytes(b'{"torn mid-append\n' + valid_line)
+
+        with pytest.raises(CheckpointError) as excinfo:
+            JobJournal(tmp_path).replay()
+        assert excinfo.value.code == "JOURNAL_CORRUPT"
+
     def test_mid_file_corruption_is_typed_fatal(self, tmp_path):
         journal = JobJournal(tmp_path)
         journal.replay()

@@ -44,13 +44,29 @@ class TestClassify:
 
     def test_verdict_exit_codes_finish_the_job(self):
         for code, verdict in ((0, "secure"), (1, "insecure"), (3, "inconclusive")):
-            outcome = self.policy.classify(attempts=1, exit_code=code)
+            outcome = self.policy.classify(
+                attempts=1, exit_code=code, result_verdict=verdict
+            )
             assert outcome == Outcome(
                 "verdict",
                 verdict=verdict,
                 exit_code=code,
                 reason=f"verdict {verdict}",
             )
+
+    def test_verdict_exit_without_result_document_retries(self):
+        # A worker interpreter that dies before analysis starts (e.g.
+        # ImportError) exits 1 with no result document; recording that
+        # as "insecure" would be a false safety verdict.
+        outcome = self.policy.classify(attempts=1, exit_code=1)
+        assert outcome.kind == "retry"
+        assert "unexplained exit 1" in outcome.reason
+
+    def test_verdict_exit_with_mismatched_document_retries(self):
+        outcome = self.policy.classify(
+            attempts=1, exit_code=0, result_verdict="insecure"
+        )
+        assert outcome.kind == "retry"
 
     def test_crash_is_always_retriable(self):
         outcome = self.policy.classify(
@@ -98,6 +114,19 @@ class TestClassify:
         assert "3 attempt(s) exhausted" in outcome.reason
 
     def test_verdict_wins_even_at_attempt_cap(self):
-        outcome = self.policy.classify(attempts=3, exit_code=1)
+        outcome = self.policy.classify(
+            attempts=3, exit_code=1, result_verdict="insecure"
+        )
         assert outcome.kind == "verdict"
         assert outcome.verdict == "insecure"
+
+    def test_per_job_max_attempts_overrides_policy_default(self):
+        # The journaled per-job cap is authoritative over the policy's.
+        tighter = self.policy.classify(
+            attempts=2, exit_code=None, crashed=True, max_attempts=2
+        )
+        assert tighter.kind == "fail"
+        looser = self.policy.classify(
+            attempts=3, exit_code=None, crashed=True, max_attempts=5
+        )
+        assert looser.kind == "retry"

@@ -1,10 +1,13 @@
 """End-to-end daemon behaviour with real worker subprocesses:
 verdicts, fail-fast, backpressure, shedding, crash recovery."""
 
+import sys
+
 import pytest
 
-from repro.service import Draining, QueueFull
+from repro.service import AnalysisService, Draining, QueueFull, ServiceConfig
 from repro.service.jobs import TERMINAL_STATES
+from repro.service.retry import RetryPolicy
 
 from tests.service.conftest import (
     TINY_INSECURE,
@@ -41,6 +44,40 @@ class TestVerdicts:
         assert record.attempts == 1
         assert record.exit_code == 4
         assert record.error["code"] == "INPUT"
+
+
+class TestFalseVerdictGuard:
+    def test_worker_dying_before_analysis_is_not_a_verdict(self, tmp_path):
+        """A worker that exits 1 without writing a result document (an
+        interpreter-level death) must be retried as an infrastructure
+        failure, never recorded as verdict ``insecure``; and the
+        journaled per-job max_attempts (from ServiceConfig) bounds the
+        retries, not the RetryPolicy default of 4."""
+        config = ServiceConfig(
+            root=str(tmp_path / "svc"),
+            workers=1,
+            poll_interval=0.02,
+            max_attempts=2,
+            retry=RetryPolicy(base_seconds=0.05, cap_seconds=0.1),
+        )
+        service = AnalysisService(
+            config,
+            spawn_command=lambda spec_path: [
+                sys.executable,
+                "-c",
+                "import sys; sys.exit(1)",
+            ],
+        )
+        service.start()
+        try:
+            record = service.submit(source=TINY_INSECURE, name="dies-early")
+            drive(service, [record], timeout=60.0)
+            assert record.state == "failed"
+            assert record.verdict is None
+            assert record.max_attempts == 2
+            assert record.attempts == 2
+        finally:
+            reap(service)
 
 
 class TestBackpressure:

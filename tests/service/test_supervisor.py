@@ -1,0 +1,70 @@
+"""Worker supervision: heartbeat staleness lives in the wall-clock
+domain (the heartbeat file's st_mtime), not the monotonic one."""
+
+import json
+import sys
+import time
+
+from repro.service.supervisor import Supervisor
+
+
+def _sleep_command(spec_path):
+    """A worker that never beats: reads its spec, then hangs."""
+    spec = json.loads(open(spec_path).read())
+    assert spec["job_id"]
+    return [sys.executable, "-c", "import time; time.sleep(60)"]
+
+
+def _spec(tmp_path, job_id="j1"):
+    return {
+        "job_id": job_id,
+        "spec_path": str(tmp_path / "spec.json"),
+        "heartbeat": str(tmp_path / "heartbeat"),
+        "budget": {},
+    }
+
+
+def test_heartbeat_loss_kills_hung_worker(tmp_path):
+    """A worker whose heartbeat file goes stale is killed even with no
+    hard deadline set (regression: comparing the file's wall-clock
+    st_mtime against time.monotonic() made the age hugely negative, so
+    heartbeat loss never fired and a hung worker lived forever)."""
+    supervisor = Supervisor(
+        workers=1, heartbeat_timeout=0.2, spawn_command=_sleep_command
+    )
+    spec = _spec(tmp_path)
+    # A real wall-clock mtime, as the worker's beat thread would leave.
+    (tmp_path / "heartbeat").touch()
+    handle = supervisor.spawn(spec)
+    assert handle.hard_deadline is None  # heartbeat is the only guard
+    try:
+        ends = []
+        deadline = time.monotonic() + 10.0
+        while not ends and time.monotonic() < deadline:
+            time.sleep(0.05)
+            ends = supervisor.poll()
+        assert ends, "heartbeat loss was never detected"
+        assert ends[0].crashed
+        assert "heartbeat lost" in ends[0].reason
+    finally:
+        supervisor.kill_all("test cleanup")
+        for live in supervisor.live.values():
+            live.process.wait(timeout=10.0)
+
+
+def test_fresh_heartbeat_keeps_worker_alive(tmp_path):
+    supervisor = Supervisor(
+        workers=1, heartbeat_timeout=30.0, spawn_command=_sleep_command
+    )
+    spec = _spec(tmp_path)
+    (tmp_path / "heartbeat").touch()
+    supervisor.spawn(spec)
+    try:
+        assert supervisor.poll() == []
+        assert spec["job_id"] in supervisor.live
+        age = supervisor.live[spec["job_id"]].heartbeat_age()
+        assert 0.0 <= age < 30.0
+    finally:
+        supervisor.kill_all("test cleanup")
+        for live in supervisor.live.values():
+            live.process.wait(timeout=10.0)
