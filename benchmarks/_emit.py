@@ -1,0 +1,107 @@
+"""Shared BENCH_*.json artifact emission for every benchmark module.
+
+One helper, one schema.  Every ``benchmarks/bench_*.py`` emits its
+machine-readable document through :func:`emit_bench_json` (via the
+``bench_json`` fixture in ``conftest.py``), so the common keys are
+enforced in exactly one place and ``repro bench`` / the regression
+detector can rely on them:
+
+* ``bench``   -- the document name (``BENCH_<bench>.json``);
+* ``schema``  -- :data:`BENCH_SCHEMA`;
+* ``host``    -- platform note (OS / interpreter / version);
+* ``git_rev`` -- the commit the numbers were measured at (falls back to
+  ``$REPRO_GIT_REV``, then ``"unknown"`` outside a git checkout);
+* ``utc``     -- ISO-8601 UTC emission timestamp;
+* ``wall_seconds``      -- the headline wall time;
+* ``cycles_per_second`` -- present **only** for cycle-based benches;
+  benches with no cycle notion omit the key instead of writing a
+  meaningless ``null``.
+
+Version history: v1 wrote bench-specific payloads to
+``benchmarks/out/``; v2 moved to the repo root and stamped
+host/wall_seconds/cycles_per_second on every document; v3 added
+``git_rev``/``utc`` and dropped the null ``cycles_per_second``.
+"""
+
+import json
+import os
+import platform
+import subprocess
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.eval.formatting import to_jsonable
+
+#: Bump when the emitted BENCH_*.json document shape changes.
+BENCH_SCHEMA = 3
+
+_REPO_ROOT = Path(__file__).parent.parent
+
+
+def bench_output_dir() -> Path:
+    """Where BENCH_*.json lands: the repo root, so artifacts are
+    version-controlled next to the tables they regenerate."""
+    return Path(os.environ.get("REPRO_BENCH_DIR", _REPO_ROOT))
+
+
+def host_note() -> str:
+    return (
+        f"{platform.platform()} / {platform.python_implementation()} "
+        f"{platform.python_version()}"
+    )
+
+
+def git_rev() -> str:
+    """The HEAD commit hash, so every artifact names the code it
+    measured.  ``$REPRO_GIT_REV`` overrides (CI detached worktrees);
+    outside a checkout the stamp degrades to ``"unknown"``."""
+    override = os.environ.get("REPRO_GIT_REV")
+    if override:
+        return override
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=_REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    rev = proc.stdout.strip()
+    return rev if proc.returncode == 0 and rev else "unknown"
+
+
+def utc_now() -> str:
+    return datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
+def emit_bench_json(
+    name: str,
+    payload: dict,
+    wall_seconds: float = None,
+    cycles_per_second: float = None,
+) -> Path:
+    """Write one machine-readable benchmark document.
+
+    *payload* is converted with :func:`repro.eval.formatting.to_jsonable`
+    so dataclasses and numpy scalars pass straight through; it may also
+    override the common keys.  ``cycles_per_second`` is omitted (not
+    nulled) when the bench has no cycle notion.
+    """
+    out_dir = bench_output_dir()
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{name}.json"
+    document = {
+        "bench": name,
+        "schema": BENCH_SCHEMA,
+        "host": host_note(),
+        "git_rev": git_rev(),
+        "utc": utc_now(),
+        "wall_seconds": wall_seconds,
+    }
+    if cycles_per_second is not None:
+        document["cycles_per_second"] = cycles_per_second
+    document.update(to_jsonable(payload))
+    path.write_text(json.dumps(document, indent=2) + "\n")
+    return path

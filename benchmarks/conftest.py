@@ -9,68 +9,30 @@ and asserts the paper's qualitative shape.  Run with::
 Every benchmark module additionally emits one machine-readable
 ``BENCH_<name>.json`` document to the repository root (override with
 ``$REPRO_BENCH_DIR``) so the performance trajectory lands in version
-control and can be diffed commit over commit.  Schema 2, common keys on
-every document: ``bench`` (name), ``schema``, ``host`` (platform note),
-``wall_seconds`` (headline wall time) and ``cycles_per_second`` (null
-for benches with no cycle notion), plus bench-specific payload fields.
+control and can be diffed commit over commit.  The document schema and
+common keys (``bench``/``schema``/``host``/``git_rev``/``utc``/
+``wall_seconds``, plus ``cycles_per_second`` for cycle-based benches)
+live in :mod:`_emit`, shared with the ``repro bench`` regression
+tracker.
 """
 
-import json
-import os
-import platform
+import importlib.util
 from pathlib import Path
 
 import pytest
 
-from repro.eval.formatting import to_jsonable
+_spec = importlib.util.spec_from_file_location(
+    "repro_bench_emit", Path(__file__).parent / "_emit.py"
+)
+_emit = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(_emit)
 
-#: Bump when the emitted BENCH_*.json document shape changes.
-#: v1 wrote bench-specific payloads to ``benchmarks/out/``; v2 writes to
-#: the repo root and stamps host/wall_seconds/cycles_per_second on every
-#: document.
-BENCH_SCHEMA = 2
-
-
-def bench_output_dir() -> Path:
-    """Where BENCH_*.json lands: the repo root, so artifacts are
-    version-controlled next to the tables they regenerate."""
-    return Path(
-        os.environ.get("REPRO_BENCH_DIR", Path(__file__).parent.parent)
-    )
-
-
-def host_note() -> str:
-    return (
-        f"{platform.platform()} / {platform.python_implementation()} "
-        f"{platform.python_version()}"
-    )
-
-
-def emit_bench_json(
-    name: str,
-    payload: dict,
-    wall_seconds: float = None,
-    cycles_per_second: float = None,
-) -> Path:
-    """Write one machine-readable benchmark document.
-
-    *payload* is converted with :func:`repro.eval.formatting.to_jsonable`
-    so dataclasses and numpy scalars pass straight through; it may also
-    override the common ``wall_seconds``/``cycles_per_second`` keys.
-    """
-    out_dir = bench_output_dir()
-    out_dir.mkdir(parents=True, exist_ok=True)
-    path = out_dir / f"BENCH_{name}.json"
-    document = {
-        "bench": name,
-        "schema": BENCH_SCHEMA,
-        "host": host_note(),
-        "wall_seconds": wall_seconds,
-        "cycles_per_second": cycles_per_second,
-    }
-    document.update(to_jsonable(payload))
-    path.write_text(json.dumps(document, indent=2) + "\n")
-    return path
+#: Re-exported so existing callers (and tests loading this conftest
+#: standalone) keep one import point.
+BENCH_SCHEMA = _emit.BENCH_SCHEMA
+bench_output_dir = _emit.bench_output_dir
+host_note = _emit.host_note
+emit_bench_json = _emit.emit_bench_json
 
 
 def run_once(benchmark, func, *args, **kwargs):

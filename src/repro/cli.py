@@ -565,6 +565,187 @@ def cmd_profile(args) -> int:
 
 
 # ---------------------------------------------------------------------------
+# perf (simulator hot-path attribution)
+# ---------------------------------------------------------------------------
+def cmd_perf(args) -> int:
+    """Run a workload on the gate-level SoC with the attribution
+    profiler armed; write the typed JSON document and the HTML
+    treemap/quiescence report."""
+    from repro.cpu import compiled_cpu
+    from repro.obs.perf import PerfAttribution, PerfHarness
+    from repro.obs.perfview import build_perf_report
+    from repro.sim.runner import GateRunner
+
+    source, name = _resolve_workload(args.workload)
+    try:
+        program = assemble(source, name=name)
+    except AssemblyError as error:
+        raise InputError(
+            f"cannot assemble workload {args.workload!r}: {error}",
+            path=args.workload,
+        ) from error
+    circuit = compiled_cpu()
+    runner = GateRunner(circuit, program)
+    recorder = PerfAttribution(sample_every=args.sample_every)
+    harness = PerfHarness(runner, recorder)
+    harness.run(max_cycles=args.max_cycles)
+    document = harness.to_document(name)
+
+    json_out = Path(args.out or f"PERF_{name}.json")
+    html_out = Path(args.html or f"perf_{name}.html")
+    try:
+        json_out.write_text(format_json(document) + "\n")
+        html_out.write_text(build_perf_report(document))
+    except OSError as error:
+        raise SystemExit(f"cannot write perf artifacts: {error}")
+
+    if args.json:
+        print(format_json(document))
+        return 0
+    ranks = sorted(
+        document["ranks"], key=lambda rank: -rank["seconds"]
+    )[:8]
+    rows = [
+        (
+            f"{rank['kind']}:{rank['rank']}",
+            rank["gates_per_pass"],
+            f"{rank['seconds'] * 1e3:.2f}",
+            f"{100 * rank['seconds'] / max(document['attributed_group_seconds'], 1e-12):.1f}%",
+        )
+        for rank in ranks
+    ]
+    print(
+        format_table(
+            ["rank", "gates/pass", "wall (ms)", "share"],
+            rows,
+            title=f"hottest ranks of {name!r} "
+            f"({document['cycles']} cycles, "
+            f"{document['cycles_per_second']:.0f} cyc/s)",
+        )
+    )
+    print()
+    cones = sorted(
+        document["cones"],
+        key=lambda cone: -(cone["quiescent_fraction"] or 0.0),
+    )
+    cone_rows = [
+        (
+            cone["port"],
+            cone["member_nets"],
+            f"{100 * cone['quiescent_fraction']:.1f}%"
+            if cone["quiescent_fraction"] is not None
+            else "-",
+            f"{100 * cone['toggle_rate']:.2f}%"
+            if cone["toggle_rate"] is not None
+            else "-",
+        )
+        for cone in cones
+    ]
+    print(
+        format_table(
+            ["port cone", "nets", "quiescent", "toggle rate"],
+            cone_rows,
+            title="cone quiescence map "
+            f"({document['activity']['samples']} samples)",
+        )
+    )
+    print()
+    fraction = document["attributed_fraction"]
+    print(
+        f"attributed {document['attributed_seconds']:.3f}s of "
+        f"{document['wall_seconds']:.3f}s wall "
+        f"({100 * fraction:.1f}%); documents: {json_out}, {html_out}"
+    )
+    return 0
+
+
+def cmd_bench(args) -> int:
+    """Run benchmark modules, extend the BENCH_history.jsonl ledger,
+    check the new points against the series' own history, render the
+    trend dashboard.  ``--check`` makes a confirmed regression exit 1
+    (the CI perf-smoke gate)."""
+    from repro.obs import benchtrack
+
+    repo_root = Path(args.repo_root) if args.repo_root else Path.cwd()
+    modules = benchtrack.select_benches(
+        repo_root, quick=args.quick, only=args.only or ()
+    )
+    if not modules and not args.no_run:
+        raise InputError(
+            "no bench modules selected "
+            f"(looked in {benchtrack.bench_dir(repo_root)})",
+            code="NO_BENCHES",
+        )
+    ledger = Path(args.history or benchtrack.history_path(repo_root))
+
+    exit_code, documents = (0, [])
+    if not args.no_run:
+        print(
+            f"running {len(modules)} bench module(s): "
+            + ", ".join(m.name for m in modules),
+            file=sys.stderr,
+        )
+        exit_code, documents = benchtrack.run_benches(modules)
+        appended = benchtrack.append_history(ledger, documents)
+        print(f"appended {appended} entries to {ledger}", file=sys.stderr)
+
+    history = benchtrack.load_history(ledger)
+    findings = benchtrack.detect_regressions(
+        history,
+        threshold=args.threshold,
+        mad_factor=args.mad_factor,
+    )
+    dashboard = Path(args.dashboard or repo_root / "bench_trends.html")
+    dashboard.write_text(benchtrack.render_dashboard(history, findings))
+
+    if args.json:
+        print(
+            format_json(
+                {
+                    "ran": [m.name for m in modules],
+                    "pytest_exit": exit_code,
+                    "appended": len(documents),
+                    "ledger": str(ledger),
+                    "history_entries": len(history),
+                    "regressions": findings,
+                    "dashboard": str(dashboard),
+                }
+            )
+        )
+    else:
+        if findings:
+            rows = [
+                (
+                    f["bench"],
+                    f["metric"],
+                    f"{f['latest']:.4g}",
+                    f"{f['baseline_median']:.4g}",
+                    f"{f['ratio']:.2f}x",
+                )
+                for f in findings
+            ]
+            print(
+                format_table(
+                    ["bench", "metric", "latest", "baseline", "ratio"],
+                    rows,
+                    title="CONFIRMED REGRESSIONS",
+                )
+            )
+        else:
+            print(
+                f"no confirmed regressions across "
+                f"{len(history)} ledger entries"
+            )
+        print(f"dashboard: {dashboard}")
+    if exit_code:
+        print("warning: pytest exited non-zero; artifacts may be partial")
+        return 1
+    if args.check and findings:
+        return 1
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # explain / report / trace-lint
 # ---------------------------------------------------------------------------
 def _assemble_workload(spec: str):
@@ -851,6 +1032,8 @@ def cmd_jobs(args) -> int:
 
     client = ServiceClient(args.url, timeout=args.timeout)
     try:
+        if args.stats:
+            return _print_service_stats(client, args)
         if args.job_id:
             document = client.job(args.job_id)
             print(
@@ -888,6 +1071,60 @@ def cmd_jobs(args) -> int:
                 ["job", "name", "state", "attempts", "verdict"],
                 rows,
                 title=f"jobs at {client.url}",
+            )
+        )
+    return 0
+
+
+def _print_service_stats(client, args) -> int:
+    """``repro jobs --stats``: the daemon's live telemetry snapshot --
+    the same numbers ``GET /metrics`` exposes, human-readably."""
+    document = client.stats()
+    if args.json:
+        print(format_json(document))
+        return 0
+    health = document["health"]
+    metrics = document["metrics"]
+    print(
+        f"service at {client.url}: "
+        f"up {health['uptime_seconds']:.0f}s, "
+        f"backlog {health['backlog']}/{health['queue_capacity']}, "
+        f"workers {health['workers_live']}/{health['workers']} live"
+        + (", DRAINING" if health["draining"] else "")
+        + (", SHEDDING" if health["shedding"] else "")
+    )
+    if health["jobs"]:
+        rows = sorted(health["jobs"].items())
+        print(format_table(["state", "jobs"], rows, title="jobs by state"))
+    counters = metrics.get("counters", {})
+    if counters:
+        rows = [(name, value) for name, value in sorted(counters.items())]
+        print(format_table(["counter", "value"], rows, title="counters"))
+    gauges = metrics.get("gauges", {})
+    if gauges:
+        rows = [(name, value) for name, value in sorted(gauges.items())]
+        print(format_table(["gauge", "value"], rows, title="gauges"))
+    histograms = metrics.get("histograms", {})
+    if histograms:
+        rows = []
+        for name, payload in sorted(histograms.items()):
+            if payload["count"]:
+                rows.append(
+                    (
+                        name,
+                        payload["count"],
+                        f"{payload['mean']:.4f}",
+                        f"{payload['min']:.4f}",
+                        f"{payload['max']:.4f}",
+                    )
+                )
+            else:
+                rows.append((name, 0, "-", "-", "-"))
+        print(
+            format_table(
+                ["histogram", "n", "mean_s", "min_s", "max_s"],
+                rows,
+                title="latency histograms",
             )
         )
     return 0
@@ -1115,6 +1352,114 @@ def build_parser() -> argparse.ArgumentParser:
     budget_flags(p)
     obs_flags(p)
     p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser(
+        "perf",
+        help="run a workload on the gate-level SoC with the "
+        "attribution profiler armed: per-rank/per-cell-type timing, "
+        "cone quiescence map, JSON + self-contained HTML report",
+    )
+    p.add_argument(
+        "workload",
+        help="a benchmark name (e.g. viterbi, intavg; case-insensitive) "
+        "or an LP430 source file",
+    )
+    p.add_argument(
+        "--max-cycles",
+        type=int,
+        default=4_000,
+        help="gate-level cycles to simulate (default 4000)",
+    )
+    p.add_argument(
+        "--sample-every",
+        type=int,
+        default=16,
+        metavar="N",
+        help="cone-activity sampling period in full evaluation passes "
+        "(default 16; smaller = finer quiescence map, more overhead)",
+    )
+    p.add_argument(
+        "-o",
+        "--out",
+        metavar="PATH",
+        help="attribution JSON document (default PERF_<workload>.json)",
+    )
+    p.add_argument(
+        "--html",
+        metavar="PATH",
+        help="HTML report (default perf_<workload>.html)",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the attribution document to stdout instead of the "
+        "summary tables",
+    )
+    p.set_defaults(func=cmd_perf)
+
+    p = sub.add_parser(
+        "bench",
+        help="run benchmarks/bench_*.py, append the results to the "
+        "BENCH_history.jsonl ledger, detect perf regressions and "
+        "render the trend dashboard",
+    )
+    p.add_argument(
+        "--quick",
+        action="store_true",
+        help="only the two fast smoke benches (the CI perf-smoke set)",
+    )
+    p.add_argument(
+        "--only",
+        action="append",
+        metavar="FRAGMENT",
+        help="run modules whose filename contains FRAGMENT (repeatable)",
+    )
+    p.add_argument(
+        "--no-run",
+        action="store_true",
+        help="skip execution; re-check the existing ledger and re-render "
+        "the dashboard",
+    )
+    p.add_argument(
+        "--history",
+        metavar="PATH",
+        help="ledger path (default BENCH_history.jsonl in the repo root)",
+    )
+    p.add_argument(
+        "--dashboard",
+        metavar="PATH",
+        help="trend dashboard path (default bench_trends.html)",
+    )
+    p.add_argument(
+        "--repo-root",
+        metavar="PATH",
+        help="repository root holding benchmarks/ (default: cwd)",
+    )
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 when the detector confirms a regression",
+    )
+    p.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="relative degradation that counts as a regression "
+        "(default 0.30 = 30%%)",
+    )
+    p.add_argument(
+        "--mad-factor",
+        type=float,
+        default=4.0,
+        help="noise bar: the degradation must also exceed this many "
+        "median absolute deviations of the series (default 4)",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the run/regression summary as JSON",
+    )
+    p.set_defaults(func=cmd_bench)
 
     def workload_flags(p):
         p.add_argument(
@@ -1358,6 +1703,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "job_id", nargs="?", help="job id (omit to list every job)"
+    )
+    p.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the daemon's live counter/gauge/histogram snapshot "
+        "(the same data GET /metrics exposes) instead of the job list",
     )
     service_client_flags(p)
     p.set_defaults(func=cmd_jobs)

@@ -35,6 +35,21 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.perf import (
+    PERF_SCHEMA,
+    PerfAttribution,
+    PerfHarness,
+    get_perf,
+    install_perf,
+    record_perf,
+)
+from repro.obs.exposition import (
+    CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE,
+    escape_label_value,
+    render_prometheus,
+    sanitize_metric_name,
+)
+from repro.obs.perfview import build_perf_report
 from repro.obs.profiler import Profiler
 from repro.obs.provenance import (
     FlowEdge,
@@ -249,6 +264,17 @@ __all__ = [
     "lint_trace",
     "EVENT_SCHEMAS",
     "TRACE_SCHEMA_VERSION",
+    "PERF_SCHEMA",
+    "PerfAttribution",
+    "PerfHarness",
+    "get_perf",
+    "install_perf",
+    "record_perf",
+    "build_perf_report",
+    "PROMETHEUS_CONTENT_TYPE",
+    "escape_label_value",
+    "render_prometheus",
+    "sanitize_metric_name",
     "ProvenanceRecorder",
     "FlowEdge",
     "FlowLeaf",

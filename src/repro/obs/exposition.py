@@ -1,0 +1,162 @@
+"""Prometheus text exposition for the metrics registry.
+
+Renders a :class:`~repro.obs.metrics.MetricsRegistry` (or its
+``export_state()`` dict) in the Prometheus *text exposition format
+0.0.4* -- the ``GET /metrics`` wire format every scraper understands::
+
+    # TYPE repro_service_jobs_submitted_total counter
+    repro_service_jobs_submitted_total 42
+    # TYPE repro_service_turnaround_seconds histogram
+    repro_service_turnaround_seconds_bucket{le="0.1"} 3
+    ...
+    repro_service_turnaround_seconds_bucket{le="+Inf"} 17
+    repro_service_turnaround_seconds_sum 12.5
+    repro_service_turnaround_seconds_count 17
+
+Format obligations handled here, and nowhere else:
+
+* **metric names** -- the registry's dotted names (``service.jobs_submitted``)
+  are sanitized to ``[a-zA-Z_:][a-zA-Z0-9_:]*``; counters get the
+  conventional ``_total`` suffix;
+* **label values** -- backslash, double-quote and newline are escaped
+  per the format spec;
+* **histogram buckets** -- the registry stores *disjoint* bucket
+  occupancies; Prometheus buckets are **cumulative** and must end with
+  ``le="+Inf"`` equal to ``_count``.
+
+Everything is stdlib-only; the daemon's ``/metrics`` route
+(:mod:`repro.service.server`) and ``repro jobs --stats`` both feed from
+the same snapshot this module renders.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Optional, Tuple
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Media type for the rendered payload (HTTP Content-Type header).
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def sanitize_metric_name(name: str, prefix: str = "") -> str:
+    """Map an internal dotted metric name onto the Prometheus charset.
+
+    ``service.jobs_submitted`` -> ``service_jobs_submitted``; runs of
+    illegal characters collapse to one ``_``; a leading digit gains a
+    ``_`` prefix.  Idempotent on already-legal names.
+    """
+    if prefix:
+        name = f"{prefix}_{name}"
+    sanitized = _NAME_BAD_CHARS.sub("_", name)
+    if not sanitized or not _NAME_OK.match(sanitized):
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the text format: ``\\`` ``"`` ``\\n``."""
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace('"', r"\"")
+        .replace("\n", r"\n")
+    )
+
+
+def _format_value(value) -> str:
+    if value is None:
+        return "NaN"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "NaN"
+        if value in (float("inf"), float("-inf")):
+            return "+Inf" if value > 0 else "-Inf"
+        return repr(value)
+    return str(value)
+
+
+def _labels_fragment(labels: Optional[Dict[str, str]]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{sanitize_metric_name(key)}="{escape_label_value(value)}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def render_prometheus(
+    metrics,
+    prefix: str = "repro",
+    extra_gauges: Optional[
+        Iterable[Tuple[str, float, Optional[Dict[str, str]], str]]
+    ] = None,
+) -> str:
+    """Render a registry (or ``export_state()`` dict) as exposition text.
+
+    *extra_gauges* lets a caller add scrape-time values that are not in
+    the registry -- e.g. the daemon's queue depth, which is derived from
+    job state rather than accumulated.  Each entry is ``(name, value,
+    labels_or_None, help_text)``; entries sharing a name become one
+    labelled family.
+    """
+    state = (
+        metrics.export_state()
+        if hasattr(metrics, "export_state")
+        else metrics
+    )
+    lines: List[str] = []
+
+    for name, value in sorted(state.get("counters", {}).items()):
+        metric = sanitize_metric_name(name, prefix)
+        if not metric.endswith("_total"):
+            metric += "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(value)}")
+
+    for name, value in sorted(state.get("gauges", {}).items()):
+        metric = sanitize_metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+
+    emitted_extra_types = set()
+    for entry in extra_gauges or ():
+        name, value, labels, help_text = entry
+        metric = sanitize_metric_name(name, prefix)
+        if metric not in emitted_extra_types:
+            emitted_extra_types.add(metric)
+            if help_text:
+                safe_help = help_text.replace("\\", r"\\").replace(
+                    "\n", r"\n"
+                )
+                lines.append(f"# HELP {metric} {safe_help}")
+            lines.append(f"# TYPE {metric} gauge")
+        lines.append(
+            f"{metric}{_labels_fragment(labels)} {_format_value(value)}"
+        )
+
+    for name, payload in sorted(state.get("histograms", {}).items()):
+        metric = sanitize_metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, occupancy in zip(
+            payload["bounds"], payload["buckets"]
+        ):
+            cumulative += occupancy
+            lines.append(
+                f'{metric}_bucket{{le="{_format_value(float(bound))}"}} '
+                f"{cumulative}"
+            )
+        # The registry keeps one extra disjoint overflow bucket; folded
+        # in, the +Inf bucket equals the observation count by contract.
+        cumulative += payload["buckets"][len(payload["bounds"])]
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{metric}_sum {_format_value(payload['total'])}")
+        lines.append(f"{metric}_count {payload['count']}")
+
+    return "\n".join(lines) + "\n"

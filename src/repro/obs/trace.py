@@ -242,7 +242,10 @@ def lint_trace(path: Union[str, Path]) -> List[str]:
 
     Returns a list of human-readable problems (empty for a clean trace):
     unparseable lines, missing reserved fields, wrong schema version,
-    non-monotonic sequence numbers, unknown event types, missing or
+    duplicated or non-monotonic sequence numbers (flagged with the
+    likely cause when they follow a checkpoint/resume splice: the
+    resumed recorder restarting its cursor), unknown event types,
+    missing or
     undeclared event fields, and a trace with no events at all (an empty
     or fully-blank file is evidence of a truncated or failed run, not a
     clean one).  Undecodable bytes are replaced, never raised, so a
@@ -251,6 +254,10 @@ def lint_trace(path: Union[str, Path]) -> List[str]:
     problems: List[str] = []
     last_sequence = None
     events_seen = 0
+    #: a checkpoint/interrupt boundary has passed; a seq violation after
+    #: one is the classic resume-splice bug (the resumed recorder
+    #: restarted numbering instead of continuing the original cursor).
+    splice_boundary = False
     with open(path, "r", encoding="utf-8", errors="replace") as handle:
         for line_no, line in enumerate(handle, start=1):
             line = line.strip()
@@ -280,11 +287,26 @@ def lint_trace(path: Union[str, Path]) -> List[str]:
             sequence = record.get("seq")
             if isinstance(sequence, int):
                 if last_sequence is not None and sequence <= last_sequence:
-                    problems.append(
-                        f"line {line_no}: seq {sequence} not greater than "
-                        f"previous {last_sequence}"
+                    splice_note = (
+                        " after a checkpoint/resume splice (the resumed "
+                        "recorder must continue the saved sequence "
+                        "cursor, not restart it)"
+                        if splice_boundary
+                        else ""
                     )
+                    if sequence == last_sequence:
+                        problems.append(
+                            f"line {line_no}: duplicated seq {sequence}"
+                            + splice_note
+                        )
+                    else:
+                        problems.append(
+                            f"line {line_no}: seq {sequence} not greater "
+                            f"than previous {last_sequence}" + splice_note
+                        )
                 last_sequence = sequence
+            if record.get("event") in ("interrupted", "checkpoint_saved"):
+                splice_boundary = True
             event = record.get("event")
             if event is None:
                 continue

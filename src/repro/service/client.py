@@ -90,6 +90,19 @@ class ServiceClient:
         _, document = _request(f"{self.url}/healthz", timeout=self.timeout)
         return document
 
+    def stats(self) -> Dict[str, Any]:
+        """GET /statsz: live counters/gauges/histograms + health."""
+        _, document = _request(f"{self.url}/statsz", timeout=self.timeout)
+        return document
+
+    def metrics_text(self) -> str:
+        """GET /metrics: the raw Prometheus text exposition payload."""
+        request = urllib.request.Request(f"{self.url}/metrics")
+        with urllib.request.urlopen(
+            request, timeout=self.timeout
+        ) as response:
+            return response.read().decode("utf-8")
+
     def ready(self) -> bool:
         try:
             _request(f"{self.url}/readyz", timeout=self.timeout)

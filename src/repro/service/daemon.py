@@ -44,6 +44,13 @@ from repro.service.retry import RetryPolicy
 from repro.service.supervisor import Supervisor, WorkerEnd
 
 
+#: Histogram bounds (seconds) for service latencies: submit-fsync sits
+#: in the low milliseconds, job turnaround in seconds-to-minutes.
+TIME_BOUNDS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0,
+)
+
+
 class QueueFull(RuntimeError):
     """The bounded queue rejected a submission (HTTP 429)."""
 
@@ -95,7 +102,14 @@ class AnalysisService:
         spawn_command: Optional[Callable[[str], List[str]]] = None,
     ):
         self.config = config or ServiceConfig()
-        self.obs = observer if observer is not None else get_observer()
+        if observer is not None:
+            self.obs = observer
+        else:
+            # The daemon always keeps live metrics: /metrics and
+            # ``repro jobs --stats`` must have numbers to report even
+            # when no process-wide observer was armed.
+            ambient = get_observer()
+            self.obs = ambient if ambient.enabled else Observer()
         self.root = Path(self.config.root)
         self.journal = JobJournal(self.root)
         self.supervisor = Supervisor(
@@ -246,9 +260,12 @@ class AnalysisService:
                 fault_injection=fault_injection,
             )
             self.jobs[record.job_id] = record
+            fsync_start = time.perf_counter()
             self.journal.append(record)  # fsync: the 202 is now durable
+            fsync_seconds = time.perf_counter() - fsync_start
         self._emit("job_submitted", job=record.job_id, name=record.name)
         self._counter("service.jobs_submitted")
+        self._observe("service.submit_fsync_seconds", fsync_seconds)
         return record
 
     def get(self, job_id: str) -> Optional[JobRecord]:
@@ -293,6 +310,91 @@ class AnalysisService:
                 "shedding": self.backlog() > self.config.shed_threshold,
                 "jobs": counts,
             }
+
+    # ------------------------------------------------------------------
+    # Telemetry (GET /metrics, GET /statsz, repro jobs --stats)
+    # ------------------------------------------------------------------
+    def _scrape_gauges(self):
+        """Scrape-time gauges derived from job state rather than
+        accumulated: queue depth, per-state population, worker count."""
+        health = self.health()
+        entries = [
+            (
+                "service.backlog",
+                health["backlog"],
+                None,
+                "jobs not yet terminal (queue depth)",
+            ),
+            (
+                "service.queue_capacity",
+                health["queue_capacity"],
+                None,
+                "bounded queue size; submissions beyond it get 429",
+            ),
+            (
+                "service.workers_live",
+                health["workers_live"],
+                None,
+                "worker processes currently running",
+            ),
+            (
+                "service.workers_configured",
+                health["workers"],
+                None,
+                "configured worker slots",
+            ),
+            (
+                "service.draining",
+                health["draining"],
+                None,
+                "1 while the daemon is shutting down",
+            ),
+            (
+                "service.shedding",
+                health["shedding"],
+                None,
+                "1 while launches get shed (clamped) budgets",
+            ),
+            (
+                "service.uptime_seconds",
+                health["uptime_seconds"],
+                None,
+                "seconds since the daemon started",
+            ),
+        ]
+        for state in sorted(health["jobs"]):
+            entries.append(
+                (
+                    "service.jobs_state",
+                    health["jobs"][state],
+                    {"state": state},
+                    "jobs currently in each lifecycle state",
+                )
+            )
+        return entries
+
+    def _registry(self):
+        metrics = getattr(self.obs, "metrics", None)
+        if metrics is None:  # a NullObserver was injected explicitly
+            from repro.obs.metrics import MetricsRegistry
+
+            metrics = MetricsRegistry()
+        return metrics
+
+    def metrics_text(self) -> str:
+        """The Prometheus text-exposition payload for ``GET /metrics``."""
+        from repro.obs.exposition import render_prometheus
+
+        return render_prometheus(
+            self._registry(), extra_gauges=self._scrape_gauges()
+        )
+
+    def stats(self) -> Dict[str, Any]:
+        """The same telemetry as JSON (``GET /statsz``, ``jobs --stats``)."""
+        return {
+            "health": self.health(),
+            "metrics": self._registry().snapshot(),
+        }
 
     def readiness(self):
         with self.lock:
@@ -464,6 +566,11 @@ class AnalysisService:
                 )
                 self._counter("service.jobs_failed")
             self.journal.append(record)
+            if record.terminal and record.submitted_unix:
+                self._observe(
+                    "service.turnaround_seconds",
+                    max(0.0, time.time() - record.submitted_unix),
+                )
             if record.terminal:
                 self._emit(
                     "job_finished",
@@ -486,3 +593,7 @@ class AnalysisService:
     def _counter(self, name: str) -> None:
         if self.obs.enabled:
             self.obs.metrics.counter(name).inc()
+
+    def _observe(self, name: str, seconds: float) -> None:
+        if self.obs.enabled:
+            self.obs.histogram(name, TIME_BOUNDS).observe(seconds)

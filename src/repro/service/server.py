@@ -13,6 +13,10 @@ Endpoints (JSON in, JSON out)::
                             (202 + state while still in flight)
     GET  /healthz           liveness: 200 while the daemon runs
     GET  /readyz            readiness: 503 while draining or saturated
+    GET  /metrics           Prometheus text exposition (queue depth,
+                            per-state job gauges, retry counters,
+                            submit-fsync / turnaround histograms)
+    GET  /statsz            the same telemetry as one JSON document
 
 The handler threads only ever call the thread-safe
 :class:`~repro.service.daemon.AnalysisService` facade; all job state
@@ -71,6 +75,19 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         if path == "/readyz":
             ready, document = service.readiness()
             self._send(200 if ready else 503, document)
+            return
+        if path == "/metrics":
+            from repro.obs.exposition import CONTENT_TYPE
+
+            body = service.metrics_text().encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            return
+        if path == "/statsz":
+            self._send(200, service.stats())
             return
         if path == "/jobs":
             self._send(200, {"jobs": service.list_jobs()})

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -34,6 +35,7 @@ from repro.netlist.cells import CONSTANT_CELLS
 from repro.netlist.levelize import levelize
 from repro.netlist.netlist import Netlist
 from repro.obs import get_observer
+from repro.obs.perf import get_perf
 from repro.obs.provenance import get_recorder
 
 #: Codes for common states.
@@ -291,8 +293,13 @@ class CompiledCircuit:
         if len(self._const_nets_arr):
             codes[self._const_nets_arr] = self._const_codes_arr
         recorder = get_recorder()
+        perf = get_perf() if recorder is None else None
         if recorder is not None:
             self._eval_levels_recording(codes, self._levels, recorder)
+        elif perf is not None:
+            self._eval_levels_timed(codes, self._levels, perf, "full")
+            perf.ensure_bound(self)
+            perf.sample(codes)
         else:
             for groups in self._levels:
                 for group in groups:
@@ -374,6 +381,32 @@ class CompiledCircuit:
         )
         if mask.any():
             recorder.record_gate(dst_flat[mask], src_flat[mask])
+
+    def _eval_levels_timed(
+        self, codes: np.ndarray, levels: List[List[_Group]], perf, kind: str
+    ) -> None:
+        """The evaluation loop with per-(rank, cell-type) timing.
+
+        Identical numpy work to the plain path plus two ``perf_counter``
+        calls and one accumulator add per group (eval counts are
+        reconstructed from pass counts at report time) -- the overhead
+        is benched under 15% by
+        ``benchmarks/bench_perf_attribution.py``.
+        The pass total is timed separately so the dispatch overhead
+        (loop bookkeeping between groups) is attributable too.
+        """
+        slots = perf.group_slots(levels, kind)
+        pass_start = perf_counter()
+        for groups, level_slots in zip(levels, slots):
+            for group, slot in zip(groups, level_slots):
+                group_start = perf_counter()
+                index = codes[group.inputs[0]].astype(np.int32)
+                for column in group.inputs[1:]:
+                    index *= 6
+                    index += codes[column]
+                codes[group.outputs] = group.lut[index]
+                slot[0] += perf_counter() - group_start
+        perf.note_pass(kind, perf_counter() - pass_start)
 
     def _count_gate_evals(self, obs, by_type: Dict[str, int],
                           total: int) -> None:
@@ -471,8 +504,11 @@ class CompiledCircuit:
         if len(self._const_nets_arr):
             codes[self._const_nets_arr] = self._const_codes_arr
         recorder = get_recorder()
+        perf = get_perf() if recorder is None else None
         if recorder is not None:
             self._eval_levels_recording(codes, plan, recorder)
+        elif perf is not None:
+            self._eval_levels_timed(codes, plan, perf, "interface")
         else:
             for groups in plan:
                 for group in groups:
@@ -488,6 +524,8 @@ class CompiledCircuit:
 
     def clock_edge(self, state: CircuitState) -> None:
         """Latch every flip-flop: ``Q <= D``."""
+        perf = get_perf()
+        edge_start = perf_counter() if perf is not None else 0.0
         recorder = get_recorder()
         if recorder is not None:
             codes = state.codes
@@ -498,6 +536,8 @@ class CompiledCircuit:
                     self._dff_q[picks], self._dff_d[picks]
                 )
         state.codes[self._dff_q] = state.codes[self._dff_d]
+        if perf is not None:
+            perf.note_clock_edge(perf_counter() - edge_start)
 
     def dff_nets(self) -> np.ndarray:
         """Net ids of every flip-flop Q (read-only view)."""

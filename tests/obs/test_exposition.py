@@ -1,0 +1,143 @@
+"""Prometheus text exposition: names, labels, cumulative buckets."""
+
+import math
+
+import pytest
+
+from repro.obs.exposition import (
+    CONTENT_TYPE,
+    escape_label_value,
+    render_prometheus,
+    sanitize_metric_name,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def lines_of(text):
+    return [line for line in text.splitlines() if line]
+
+
+def samples(text, metric):
+    """The (labels, value) samples of one metric family."""
+    found = []
+    for line in lines_of(text):
+        if line.startswith("#"):
+            continue
+        name_and_labels, value = line.rsplit(" ", 1)
+        if name_and_labels.split("{")[0] == metric:
+            found.append((name_and_labels, value))
+    return found
+
+
+class TestNameSanitization:
+    def test_dotted_names_become_underscored(self):
+        assert (
+            sanitize_metric_name("service.jobs_submitted", "repro")
+            == "repro_service_jobs_submitted"
+        )
+
+    def test_illegal_characters_are_replaced(self):
+        assert sanitize_metric_name("a-b c/d") == "a_b_c_d"
+
+    def test_leading_digit_gains_underscore(self):
+        assert sanitize_metric_name("2fast").startswith("_")
+
+    def test_colons_survive(self):
+        assert sanitize_metric_name("ns:metric") == "ns:metric"
+
+    def test_idempotent_on_legal_names(self):
+        assert sanitize_metric_name("already_fine") == "already_fine"
+
+
+class TestLabelEscaping:
+    def test_backslash_quote_and_newline(self):
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+
+    def test_escaped_value_renders_on_one_line(self):
+        text = render_prometheus(
+            MetricsRegistry(),
+            extra_gauges=[
+                ("tricky", 1, {"path": 'C:\\x\n"q"'}, "tricky labels")
+            ],
+        )
+        tricky = [
+            line for line in lines_of(text) if line.startswith("repro_tricky{")
+        ]
+        assert len(tricky) == 1
+        assert '\\n' in tricky[0] and "\n" not in tricky[0].strip("\n")
+
+
+class TestRendering:
+    def test_counters_get_total_suffix_and_type(self):
+        registry = MetricsRegistry()
+        registry.counter("service.jobs_submitted").inc(7)
+        text = render_prometheus(registry)
+        assert "# TYPE repro_service_jobs_submitted_total counter" in text
+        assert (
+            samples(text, "repro_service_jobs_submitted_total")[0][1] == "7"
+        )
+
+    def test_gauges_render_plain(self):
+        registry = MetricsRegistry()
+        registry.gauge("tree.peak").set(12)
+        text = render_prometheus(registry)
+        assert "# TYPE repro_tree_peak gauge" in text
+        assert samples(text, "repro_tree_peak") == [("repro_tree_peak", "12")]
+
+    def test_extra_gauges_share_one_family(self):
+        text = render_prometheus(
+            MetricsRegistry(),
+            extra_gauges=[
+                ("jobs_state", 2, {"state": "queued"}, "jobs by state"),
+                ("jobs_state", 1, {"state": "running"}, "jobs by state"),
+            ],
+        )
+        assert text.count("# TYPE repro_jobs_state gauge") == 1
+        assert len(samples(text, "repro_jobs_state")) == 2
+
+    def test_histogram_buckets_are_cumulative_and_end_at_inf(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency", bounds=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.05, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        text = render_prometheus(registry)
+        buckets = samples(text, "repro_latency_bucket")
+        values = [int(value) for _, value in buckets]
+        # registry stores disjoint {0.1: 2, 1: 1, 10: 1, overflow: 1};
+        # the exposition must render the running total.
+        assert values == [2, 3, 4, 5]
+        assert values == sorted(values), "buckets must be cumulative"
+        assert buckets[-1][0].endswith('{le="+Inf"}')
+        assert samples(text, "repro_latency_count")[0][1] == "5"
+        total = float(samples(text, "repro_latency_sum")[0][1])
+        assert total == pytest.approx(55.6)
+
+    def test_inf_bucket_equals_count_even_when_empty(self):
+        registry = MetricsRegistry()
+        registry.histogram("empty", bounds=(1.0,))
+        text = render_prometheus(registry)
+        assert samples(text, "repro_empty_bucket")[-1][1] == "0"
+        assert samples(text, "repro_empty_count")[0][1] == "0"
+
+    def test_none_renders_as_nan(self):
+        text = render_prometheus(
+            MetricsRegistry(), extra_gauges=[("hole", None, None, "")]
+        )
+        value = samples(text, "repro_hole")[0][1]
+        assert math.isnan(float(value))
+
+    def test_accepts_export_state_dict(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        assert render_prometheus(registry.export_state()) == (
+            render_prometheus(registry)
+        )
+
+    def test_payload_ends_with_newline(self):
+        assert render_prometheus(MetricsRegistry()).endswith("\n")
+
+    def test_content_type_is_the_prometheus_text_format(self):
+        assert CONTENT_TYPE.startswith("text/plain")
+        assert "version=0.0.4" in CONTENT_TYPE

@@ -122,6 +122,79 @@ class TestLinter:
         problems = lint_trace(path)
         assert len([p for p in problems if "seq" in p]) == 2
 
+    def test_duplicated_seq_gets_its_own_message(self, tmp_path):
+        def record(seq):
+            return json.dumps(
+                {
+                    "event": "merge", "wall": 0.0,
+                    "v": TRACE_SCHEMA_VERSION, "seq": seq,
+                    "site": "0x10", "cycle": 1,
+                }
+            )
+
+        path = self._write(tmp_path, [record(3), record(3)])
+        problems = lint_trace(path)
+        assert len(problems) == 1
+        assert "duplicated seq 3" in problems[0]
+        # No checkpoint boundary passed: the splice hint must not fire.
+        assert "splice" not in problems[0]
+
+    def test_seq_violation_after_checkpoint_names_the_splice(
+        self, tmp_path
+    ):
+        """The classic resume bug: a checkpoint is saved at seq N, the
+        resumed recorder restarts numbering, and the spliced trace
+        repeats or rewinds seq.  The linter must say *why*, not just
+        that the numbers went backwards."""
+        def merge(seq):
+            return json.dumps(
+                {
+                    "event": "merge", "wall": 0.0,
+                    "v": TRACE_SCHEMA_VERSION, "seq": seq,
+                    "site": "0x10", "cycle": 1,
+                }
+            )
+
+        checkpoint = json.dumps(
+            {
+                "event": "checkpoint_saved", "wall": 0.1,
+                "v": TRACE_SCHEMA_VERSION, "seq": 7,
+                "path": "run.ckpt", "paths": 3, "cycles": 40,
+                "reason": "interval",
+            }
+        )
+        # Resume splice restarted at 0: rewound AND then duplicated.
+        path = self._write(
+            tmp_path, [merge(6), checkpoint, merge(0), merge(0)]
+        )
+        problems = [p for p in lint_trace(path) if "seq" in p]
+        assert len(problems) == 2
+        assert "not greater than previous 7" in problems[0]
+        assert "checkpoint/resume splice" in problems[0]
+        assert "duplicated seq 0" in problems[1]
+        assert "checkpoint/resume splice" in problems[1]
+
+    def test_interrupted_event_also_arms_the_splice_hint(self, tmp_path):
+        interrupted = json.dumps(
+            {
+                "event": "interrupted", "wall": 0.1,
+                "v": TRACE_SCHEMA_VERSION, "seq": 4,
+                "reason": "SIGINT", "checkpoint": "run.ckpt",
+                "paths": 2, "cycles": 10,
+            }
+        )
+        merge = json.dumps(
+            {
+                "event": "merge", "wall": 0.2,
+                "v": TRACE_SCHEMA_VERSION, "seq": 1,
+                "site": "0x10", "cycle": 1,
+            }
+        )
+        path = self._write(tmp_path, [interrupted, merge])
+        problems = [p for p in lint_trace(path) if "seq" in p]
+        assert len(problems) == 1
+        assert "checkpoint/resume splice" in problems[0]
+
     def test_unknown_event_type(self, tmp_path):
         record = {
             "event": "nonsense", "wall": 0.0,

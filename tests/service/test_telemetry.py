@@ -1,0 +1,119 @@
+"""GET /metrics, GET /statsz and the jobs --stats view of a live daemon."""
+
+import urllib.request
+
+import pytest
+
+from repro.service import ServiceClient
+
+from tests.service.conftest import (
+    TINY_SECURE,
+    drive,
+    make_service,
+    reap,
+)
+
+
+@pytest.fixture
+def served(tmp_path):
+    service = make_service(tmp_path, port=0)
+    url = service.start_server()
+    yield service, ServiceClient(url)
+    reap(service)
+
+
+def parse_exposition(text):
+    """Minimal format check + sample map; raises on malformed lines."""
+    values = {}
+    for line in text.splitlines():
+        if not line:
+            raise AssertionError("blank line inside exposition payload")
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ")
+            assert kind in ("counter", "gauge", "histogram"), line
+            continue
+        if line.startswith("# HELP "):
+            continue
+        assert not line.startswith("#"), f"unknown comment: {line}"
+        sample, value = line.rsplit(" ", 1)
+        float(value)  # every sample value must parse
+        values[sample] = value
+    return values
+
+
+class TestMetricsEndpoint:
+    def test_scrape_is_valid_prometheus_text(self, served):
+        service, client = served
+        client.submit(source=TINY_SECURE, name="telemetry-job")
+        with urllib.request.urlopen(f"{client.url}/metrics") as response:
+            assert response.status == 200
+            content_type = response.headers["Content-Type"]
+            body = response.read().decode("utf-8")
+        assert content_type.startswith("text/plain")
+        assert "version=0.0.4" in content_type
+        values = parse_exposition(body)
+        assert values["repro_service_jobs_submitted_total"] == "1"
+        assert values["repro_service_backlog"] == "1"
+        assert (
+            values['repro_service_jobs_state{state="queued"}'] == "1"
+        )
+        assert values["repro_service_submit_fsync_seconds_count"] == "1"
+        assert (
+            values['repro_service_submit_fsync_seconds_bucket{le="+Inf"}']
+            == "1"
+        )
+
+    def test_scrape_covers_the_full_job_lifecycle(self, served):
+        service, client = served
+        job_id = client.submit(source=TINY_SECURE)["id"]
+        drive(service, [service.get(job_id)])
+        values = parse_exposition(client.metrics_text())
+        assert values["repro_service_jobs_finished_total"] == "1"
+        assert values['repro_service_jobs_state{state="done"}'] == "1"
+        assert values["repro_service_backlog"] == "0"
+        # The terminal transition must have recorded a turnaround.
+        assert values["repro_service_turnaround_seconds_count"] == "1"
+        assert float(values["repro_service_turnaround_seconds_sum"]) > 0
+
+    def test_histogram_buckets_are_cumulative_on_the_wire(self, served):
+        service, client = served
+        for _ in range(3):
+            client.submit(source=TINY_SECURE)
+        values = parse_exposition(client.metrics_text())
+        buckets = [
+            int(value)
+            for sample, value in values.items()
+            if sample.startswith("repro_service_submit_fsync_seconds_bucket")
+        ]
+        assert buckets == sorted(buckets)
+        assert buckets[-1] == 3
+
+
+class TestStatsz:
+    def test_statsz_mirrors_metrics(self, served):
+        service, client = served
+        client.submit(source=TINY_SECURE)
+        stats = client.stats()
+        assert stats["health"]["backlog"] == 1
+        assert stats["metrics"]["counters"]["service.jobs_submitted"] == 1
+        assert (
+            stats["metrics"]["histograms"]["service.submit_fsync_seconds"][
+                "count"
+            ]
+            == 1
+        )
+
+
+class TestJobsStatsCli:
+    def test_jobs_stats_prints_the_live_snapshot(self, served, capsys):
+        from repro.cli import main
+
+        service, client = served
+        client.submit(source=TINY_SECURE, name="cli-stats-job")
+        code = main(["jobs", "--stats", "--url", client.url])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "backlog 1/" in out
+        assert "service.jobs_submitted" in out
+        assert "service.submit_fsync_seconds" in out
+        assert "queued" in out

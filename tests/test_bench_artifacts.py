@@ -10,11 +10,15 @@ kinds of drift have bitten before and are cheap to catch statically:
   ``test_*.py`` file glob -- the repo must opt in via pyproject).
 """
 
+import json
 import re
 from pathlib import Path
 
 REPO = Path(__file__).parent.parent
 BENCH_DIR = REPO / "benchmarks"
+
+#: Keys benchmarks/_emit.py stamps on every document (schema >= 3).
+COMMON_KEYS = ("bench", "schema", "host", "git_rev", "utc", "wall_seconds")
 
 
 def bench_modules():
@@ -61,6 +65,59 @@ def test_bench_files_are_collectable():
         "pyproject.toml no longer lists bench_*.py in python_files; "
         "`pytest benchmarks/` would collect zero tests"
     )
+
+
+def test_committed_bench_documents_carry_the_common_keys():
+    """Every committed BENCH_*.json must be self-describing: which
+    commit and when the numbers were measured (``git_rev``/``utc``),
+    on what host, at which schema.  ``cycles_per_second`` is only
+    allowed when it actually holds a number -- a ``null`` placeholder
+    (bench_service.py used to emit one) poisons trend queries."""
+    documents = sorted(REPO.glob("BENCH_*.json"))
+    assert documents, "no committed BENCH_*.json artifacts found"
+    problems = []
+    for path in documents:
+        doc = json.loads(path.read_text())
+        for key in COMMON_KEYS:
+            if key not in doc:
+                problems.append(f"{path.name}: missing {key!r}")
+        if doc.get("schema", 0) < 3:
+            problems.append(f"{path.name}: schema {doc.get('schema')} < 3")
+        if "cycles_per_second" in doc and not isinstance(
+            doc["cycles_per_second"], (int, float)
+        ):
+            problems.append(
+                f"{path.name}: cycles_per_second is "
+                f"{doc['cycles_per_second']!r}; omit the key instead"
+            )
+    assert not problems, "\n".join(problems)
+
+
+def test_emitter_omits_null_cycles_per_second(tmp_path, monkeypatch):
+    """The shared emitter enforces the omit-don't-null rule itself."""
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "bench_emit_under_test", BENCH_DIR / "_emit.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+
+    monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+    monkeypatch.setenv("REPRO_GIT_REV", "cafe" * 10)
+    path = module.emit_bench_json("emitter_probe", {"x": 1}, wall_seconds=2.0)
+    doc = json.loads(path.read_text())
+    assert "cycles_per_second" not in doc
+    for key in COMMON_KEYS:
+        assert key in doc, f"emitter dropped common key {key!r}"
+    assert doc["git_rev"] == "cafe" * 10
+    assert doc["schema"] == module.BENCH_SCHEMA >= 3
+    assert re.fullmatch(r"\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}Z", doc["utc"])
+
+    with_cycles = module.emit_bench_json(
+        "emitter_probe2", {}, wall_seconds=1.0, cycles_per_second=42.0
+    )
+    assert json.loads(with_cycles.read_text())["cycles_per_second"] == 42.0
 
 
 def test_bench_output_dir_is_the_repo_root(monkeypatch):
