@@ -217,9 +217,12 @@ def cmd_analyze(args) -> int:
         checkpointer = Checkpointer(
             args.checkpoint, every_paths=args.checkpoint_every
         )
+    from repro.cpu import compiled_cpu
+
     tracker = TaintTracker(
         program,
         policy=_policy(args.policy),
+        circuit=compiled_cpu(getattr(args, "engine", "dense")),
         max_cycles=args.max_cycles,
         budget=_budget_from(args),
         checkpointer=checkpointer,
@@ -584,7 +587,7 @@ def cmd_perf(args) -> int:
             f"cannot assemble workload {args.workload!r}: {error}",
             path=args.workload,
         ) from error
-    circuit = compiled_cpu()
+    circuit = compiled_cpu(getattr(args, "engine", "dense"))
     runner = GateRunner(circuit, program)
     recorder = PerfAttribution(sample_every=args.sample_every)
     harness = PerfHarness(runner, recorder)
@@ -651,6 +654,15 @@ def cmd_perf(args) -> int:
     )
     print()
     fraction = document["attributed_fraction"]
+    if document["engine"] == "event":
+        evaluated = sum(rank["evals"] for rank in document["ranks"])
+        skipped = document["skipped_evals"]
+        total = evaluated + skipped
+        share = 100 * skipped / total if total else 0.0
+        print(
+            f"event engine: {skipped} of {total} gate evaluations "
+            f"skipped ({share:.1f}%)"
+        )
     print(
         f"attributed {document['attributed_seconds']:.3f}s of "
         f"{document['wall_seconds']:.3f}s wall "
@@ -1151,6 +1163,16 @@ def build_parser() -> argparse.ArgumentParser:
             help="analysis/simulation cycle budget",
         )
 
+    def engine_flag(p):
+        p.add_argument(
+            "--engine",
+            choices=["dense", "event"],
+            default="dense",
+            help="gate evaluation engine: dense (default) evaluates "
+            "every gate each pass; event evaluates only gates whose "
+            "inputs changed (bit-identical results)",
+        )
+
     def obs_flags(p):
         p.add_argument(
             "--trace",
@@ -1229,6 +1251,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="machine-readable verdict/violations/stats output",
     )
+    engine_flag(p)
     budget_flags(p)
     p.add_argument(
         "--checkpoint",
@@ -1395,6 +1418,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the attribution document to stdout instead of the "
         "summary tables",
     )
+    engine_flag(p)
     p.set_defaults(func=cmd_perf)
 
     p = sub.add_parser(

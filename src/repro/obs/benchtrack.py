@@ -38,9 +38,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 #: nothing -- the common keys come from benchmarks/_emit.py).
 HISTORY_SCHEMA = 3
 
-#: The two fastest meaningful benches; the CI perf-smoke gate runs only
-#: these (``repro bench --quick``) to stay under a minute.
-QUICK_BENCHES = ("bench_fig1_glift_nand.py", "bench_fig7_tree.py")
+#: The fastest meaningful benches; the CI perf-smoke gate runs only
+#: these (``repro bench --quick``) to stay under a minute.  The event
+#: engine entry keeps its dense-vs-event speedup under the regression
+#: detector on every CI run.
+QUICK_BENCHES = (
+    "bench_engine_event.py",
+    "bench_fig1_glift_nand.py",
+    "bench_fig7_tree.py",
+)
 
 #: (metric key, direction) pairs the detector watches.  ``+1`` means
 #: higher is a regression (times), ``-1`` means lower is (throughput).

@@ -28,10 +28,19 @@ twin that accumulates
   exactly what an event-driven backend can skip.
 
 Everything is exported as one typed JSON document
-(:meth:`PerfAttribution.to_document`, ``schema`` 1) which
+(:meth:`PerfAttribution.to_document`, ``schema`` 2) which
 ``repro perf`` renders as a self-contained HTML treemap
 (:mod:`repro.obs.perfview`).  The instrumentation is opt-in and benched:
 ``benchmarks/bench_perf_attribution.py`` holds the overhead under 15%.
+
+Both evaluation engines feed the same recorder.  The dense engine's
+slots carry seconds only -- its eval counts are reconstructed as
+``gates x passes`` at report time.  The event engine (DESIGN.md section
+13) registers **counted** slots (``[seconds, evals]``) because the
+whole point of that engine is that most gates do *not* run: the report
+shows the actual evaluations, and the ``gates x passes`` reconstruction
+becomes the baseline against which ``skipped`` is derived.  Gates the
+event engine skips are attributed neither time nor evals.
 
 When a taint-provenance recorder is armed at the same time, provenance
 wins (its recording evaluation path is the one running) and the
@@ -47,7 +56,9 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 #: Document schema version for :meth:`PerfAttribution.to_document`.
-PERF_SCHEMA = 1
+#: Schema 2 adds ``engine``, per-cell ``skipped`` counts and the
+#: top-level ``skipped_evals`` total (event-engine quiescence evidence).
+PERF_SCHEMA = 2
 
 
 class _ConeStats:
@@ -82,9 +93,12 @@ class PerfAttribution:
         if sample_every < 1:
             raise ValueError("sample_every must be >= 1")
         self.sample_every = sample_every
-        #: id(levels) -> (slots, meta, kind); the levels list itself is
-        #: kept alive by the meta entry so ids cannot be recycled.
+        #: id(levels) -> (slots, meta, kind, [passes], counted); the
+        #: levels list itself is kept alive by the meta entry so ids
+        #: cannot be recycled.
         self._plans: Dict[int, tuple] = {}
+        #: which evaluation engine fed the recorder (from ensure_bound)
+        self.engine: Optional[str] = None
         self._bound = None
         self._cones: List[_ConeStats] = []
         self._prev_codes: Optional[np.ndarray] = None
@@ -105,6 +119,7 @@ class PerfAttribution:
         if self._bound is circuit:
             return
         self._bound = circuit
+        self.engine = getattr(circuit, "engine", "dense")
         self._cones = []
         self._prev_codes = None
         netlist = circuit.netlist
@@ -147,32 +162,50 @@ class PerfAttribution:
     # ------------------------------------------------------------------
     # Accumulation API (called from repro.sim.compiled)
     # ------------------------------------------------------------------
-    def group_slots(self, levels, kind: str) -> list:
-        """Mutable ``[seconds]`` accumulators aligned with the plan's
-        (level, group) structure, created on first sight.
+    def group_slots(
+        self,
+        levels,
+        kind: str,
+        counted: bool = False,
+        meta: Optional[list] = None,
+    ) -> list:
+        """Mutable per-group accumulators, created on first sight.
 
         The returned value is ``slots[level_index][group_index]``; the
         instrumented loop adds straight into the lists, so the per-group
         cost is two ``perf_counter`` calls and one float add.
+
+        Dense slots are ``[seconds]``.  With ``counted=True`` (the event
+        engine) each slot is ``[seconds, evals]`` and the caller also
+        accumulates the actual evaluation count.  *meta* overrides the
+        ``(cell type, gates per pass)`` rows derived from *levels* -- the
+        event engine passes its own so a cone-plan pass can be keyed by
+        the plan object while keeping the global (level, group) shape of
+        its sweep; when given, it also defines the slots' shape.
         """
         key = id(levels)
         plan = self._plans.get(key)
         if plan is None or plan[1][0] is not levels:
-            slots = [[[0.0] for _ in groups] for groups in levels]
-            meta = (
-                levels,  # strong ref: keeps id(levels) stable
-                [
+            if meta is None:
+                meta = [
                     [
                         (group.cell_type, len(group.outputs))
                         for group in groups
                     ]
                     for groups in levels
-                ],
+                ]
+            slots = [
+                [[0.0, 0] if counted else [0.0] for _ in level_meta]
+                for level_meta in meta
+            ]
+            # The strong ref to *levels* keeps its id stable.
+            plan = self._plans[key] = (
+                slots, (levels, meta), kind, [0], counted,
             )
-            plan = self._plans[key] = (slots, meta, kind, [0])
         # Called exactly once per timed pass: the pass count times each
         # group's gate count reconstructs the eval counts at report
-        # time, so the hot loop does not pay a per-group counter add.
+        # time (dense), or the skipped baseline (counted), so the hot
+        # loop does not pay a per-group counter add.
         plan[3][0] += 1
         return plan[0]
 
@@ -228,17 +261,18 @@ class PerfAttribution:
     def attributed_eval_seconds(self) -> float:
         """Seconds attributed to specific (rank, cell type) groups."""
         total = 0.0
-        for slots, _meta, _kind, _passes in self._plans.values():
-            for level in slots:
+        for plan in self._plans.values():
+            for level in plan[0]:
                 for slot in level:
                     total += slot[0]
         return total
 
     def to_document(self) -> dict:
-        """The typed attribution document (``schema`` 1)."""
+        """The typed attribution document (``schema`` 2)."""
         ranks: List[dict] = []
         cell_types: Dict[str, Dict[str, float]] = {}
-        for slots, meta, kind, passes in sorted(
+        skipped_total = 0
+        for slots, meta, kind, passes, counted in sorted(
             self._plans.values(), key=lambda plan: (plan[2], id(plan[1][0]))
         ):
             plan_passes = passes[0]
@@ -248,30 +282,44 @@ class PerfAttribution:
                 cells = {}
                 rank_seconds = 0.0
                 rank_evals = 0
+                rank_skipped = 0
                 gates_per_pass = 0
-                for (seconds,), (cell_type, gates) in zip(
+                for slot, (cell_type, gates) in zip(
                     level_slots, level_meta
                 ):
-                    evals = gates * plan_passes
+                    seconds = slot[0]
+                    dense_evals = gates * plan_passes
+                    if counted:
+                        evals = slot[1]
+                        skipped = max(0, dense_evals - evals)
+                    else:
+                        evals = dense_evals
+                        skipped = 0
                     cells[cell_type] = {
                         "seconds": seconds,
                         "evals": evals,
                         "gates": gates,
+                        "skipped": skipped,
                     }
                     rank_seconds += seconds
                     rank_evals += evals
+                    rank_skipped += skipped
                     gates_per_pass += gates
                     aggregate = cell_types.setdefault(
-                        cell_type, {"seconds": 0.0, "evals": 0}
+                        cell_type,
+                        {"seconds": 0.0, "evals": 0, "skipped": 0},
                     )
                     aggregate["seconds"] += seconds
                     aggregate["evals"] += evals
+                    aggregate["skipped"] += skipped
+                skipped_total += rank_skipped
                 ranks.append(
                     {
                         "kind": kind,
                         "rank": rank,
                         "seconds": rank_seconds,
                         "evals": rank_evals,
+                        "skipped": rank_skipped,
                         "gates_per_pass": gates_per_pass,
                         "cells": cells,
                     }
@@ -300,6 +348,8 @@ class PerfAttribution:
         attributed = self.attributed_eval_seconds
         return {
             "schema": PERF_SCHEMA,
+            "engine": self.engine,
+            "skipped_evals": skipped_total,
             "sample_every": self.sample_every,
             "passes": {
                 "full": self._full_passes,

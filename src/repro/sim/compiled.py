@@ -17,6 +17,21 @@ so a k-input gate's LUT has ``6**k`` entries, and evaluating a group of N
 same-type gates is one gather ``lut[idx]`` over an N-vector of base-6 packed
 input codes.  The per-cycle cost is a few dozen numpy operations regardless
 of gate count.
+
+Two evaluation engines share these kernels (DESIGN.md section 13):
+
+* ``engine="dense"`` (the default) evaluates every gate group each pass
+  -- simple, and the correctness anchor;
+* ``engine="event"`` evaluates only gates whose inputs actually changed:
+  per-state dirty sets are seeded from changed boundary nets (ports,
+  flip-flop Qs, constants), a fanout index maps changed nets to affected
+  gates, and a write-back that detects "output unchanged" stops
+  propagation, so quiescent cones cost zero evaluations.  The engines
+  are lockstep bit-identical (``tests/sim/test_engine_equivalence.py``);
+  the event engine's external-write contract is that between evaluation
+  passes only *boundary* nets are written (true of every caller: ports
+  via :meth:`CompiledCircuit.set_input`, DFF Qs via
+  :meth:`CompiledCircuit.set_dff_state` / ``force_pc`` / clock edges).
 """
 
 from __future__ import annotations
@@ -32,7 +47,7 @@ from repro.logic.glift import GATE_FUNCTIONS, glift_eval
 from repro.logic.ternary import UNKNOWN
 from repro.logic.words import TWord
 from repro.netlist.cells import CONSTANT_CELLS
-from repro.netlist.levelize import levelize
+from repro.netlist.levelize import build_fanout_index, levelize
 from repro.netlist.netlist import Netlist
 from repro.obs import get_observer
 from repro.obs.perf import get_perf
@@ -42,6 +57,9 @@ from repro.obs.provenance import get_recorder
 CODE_0 = 0  # value 0, untainted
 CODE_1 = 2  # value 1, untainted
 CODE_X = 4  # value X, untainted
+
+#: The evaluation engines :class:`CompiledCircuit` supports.
+ENGINES = ("dense", "event")
 
 
 def code_of(value: int, taint: int) -> int:
@@ -115,25 +133,183 @@ class _Group:
     cell_type: str = ""
 
 
+class _EventScratch:
+    """Per-state dirty bookkeeping for the event engine.
+
+    Travels with the :class:`CircuitState` (forks copy it, so each fork
+    propagates its own changes), never with the circuit: the circuit's
+    event tables are shared read-only across every state.
+
+    * ``shadow`` mirrors the boundary nets' codes as of the last
+      evaluation pass; diffing against it at pass start detects every
+      external write (ports, DFF restores, clock edges) without hooks.
+    * ``pending`` is one flag per global gate id: the gate's output may
+      be stale and it must be re-evaluated before it can be trusted.  A
+      cone-plan pass clears only its own gates' flags; the rest stay
+      pending for the next full pass.
+    * ``level_flags`` (a plain list -- scalar indexing is hotter than
+      numpy here) marks levels owning at least one pending gate, so a
+      quiescent level costs one boolean test.
+    """
+
+    __slots__ = (
+        "shadow", "pending", "level_flags",
+        "last_evals", "last_groups",
+    )
+
+    def __init__(self, boundary_codes: np.ndarray, num_gates: int,
+                 num_levels: int):
+        self.shadow = boundary_codes.copy()
+        self.pending = np.ones(num_gates, dtype=bool)
+        self.level_flags = [True] * num_levels
+        #: diagnostics: gates / groups evaluated by the most recent pass
+        self.last_evals = 0
+        self.last_groups = 0
+
+    def copy(self) -> "_EventScratch":
+        clone = _EventScratch.__new__(_EventScratch)
+        clone.shadow = self.shadow.copy()
+        clone.pending = self.pending.copy()
+        clone.level_flags = list(self.level_flags)
+        clone.last_evals = self.last_evals
+        clone.last_groups = self.last_groups
+        return clone
+
+
+class _EventTables:
+    """Shared, derived lookup structure for the event engine.
+
+    Built lazily on first event-mode evaluation and dropped by
+    ``__getstate__`` (cheap to rebuild, and id-keyed plan masks must not
+    cross process boundaries).
+    """
+
+    __slots__ = (
+        "levels", "fanout", "gate_level", "boundary",
+        "num_gates", "num_levels", "gid_of_net", "plan_masks",
+        "meta_memo", "burst_limit",
+    )
+
+    def __init__(self, circuit: "CompiledCircuit"):
+        # Global gate numbering: (level, group, row) in evaluation order.
+        # Each level entry is ``(lstart, lend, offsets, groups)``: the
+        # level's contiguous gid range, its groups' start offsets inside
+        # that range (numpy for searchsorted, +sentinel), and per-group
+        # ``(lut, inputs, outputs, cell_type, offset, size)`` tuples --
+        # shaped so one flatnonzero over the level's pending window plus
+        # one searchsorted splits the active rows between groups.
+        levels = []
+        edges = []
+        base = 0
+        gate_level_parts = []
+        gid_of_net = np.full(circuit.num_nets, -1, dtype=np.int64)
+        for level_index, groups in enumerate(circuit._levels):
+            lstart = base
+            entries = []
+            offsets = []
+            for group in groups:
+                size = len(group.outputs)
+                gids = np.arange(base, base + size, dtype=np.int64)
+                for column in group.inputs:
+                    edges.append((column, gids))
+                gid_of_net[group.outputs] = gids
+                offsets.append(base - lstart)
+                entries.append(
+                    (group.lut, group.inputs, group.outputs,
+                     group.cell_type, base - lstart, size)
+                )
+                gate_level_parts.append(
+                    np.full(size, level_index, dtype=np.int64)
+                )
+                base += size
+            offsets.append(base - lstart)
+            levels.append(
+                (lstart, base,
+                 np.array(offsets, dtype=np.int64), entries)
+            )
+        self.levels = levels
+        self.num_gates = base
+        self.num_levels = len(levels)
+        self.fanout = build_fanout_index(circuit.num_nets, edges)
+        self.gate_level = (
+            np.concatenate(gate_level_parts)
+            if gate_level_parts
+            else np.empty(0, dtype=np.int64)
+        )
+        self.gid_of_net = gid_of_net
+        # Boundary nets: everything not produced by a combinational
+        # gate -- input ports, DFF Qs, constants, dangling nets.  These
+        # are the only nets external code writes between passes.
+        produced = np.zeros(circuit.num_nets, dtype=bool)
+        produced[gid_of_net >= 0] = True
+        self.boundary = np.nonzero(~produced)[0]
+        #: id(plan) -> (plan ref, bool mask over global gate ids);
+        #: the ref pins the plan so ids cannot be recycled
+        self.plan_masks: Dict[int, tuple] = {}
+        #: perf-attribution meta memo, same keying discipline
+        self.meta_memo: Dict[Optional[int], list] = {}
+        #: once a pass has evaluated this many gates, the sparse
+        #: bookkeeping (nonzero scans, fanout marking) costs more than
+        #: it saves; the rest of the pass completes densely.  ~6% of
+        #: the circuit is where the two engines' per-gate costs cross
+        #: over on the LP430 (measured; see DESIGN.md section 13).
+        self.burst_limit = max(64, self.num_gates // 16)
+
+    def plan_mask(self, plan) -> np.ndarray:
+        """Global-gate membership mask for a :meth:`cone_plan` plan."""
+        key = id(plan)
+        cached = self.plan_masks.get(key)
+        if cached is not None and cached[0] is plan:
+            return cached[1]
+        mask = np.zeros(self.num_gates, dtype=bool)
+        for groups in plan:
+            for group in groups:
+                gids = self.gid_of_net[group.outputs]
+                mask[gids] = True
+        self.plan_masks[key] = (plan, mask)
+        return mask
+
+
 class CircuitState:
-    """Per-net codes for one simulation state (mutable, cheap to copy)."""
+    """Per-net codes for one simulation state (mutable, cheap to copy).
 
-    __slots__ = ("codes",)
+    ``ev`` is the event engine's per-state dirty bookkeeping (None until
+    the first event-mode evaluation, and always None under the dense
+    engine); forking a state with :meth:`copy` carries it along so both
+    branches keep propagating only their own changes.
+    """
 
-    def __init__(self, codes: np.ndarray):
+    __slots__ = ("codes", "ev")
+
+    def __init__(self, codes: np.ndarray,
+                 ev: Optional[_EventScratch] = None):
         self.codes = codes
+        self.ev = ev
 
     def copy(self) -> "CircuitState":
-        return CircuitState(self.codes.copy())
+        return CircuitState(
+            self.codes.copy(),
+            self.ev.copy() if self.ev is not None else None,
+        )
 
 
 class CompiledCircuit:
     """A netlist compiled for fast ternary+taint cycle simulation."""
 
-    def __init__(self, netlist: Netlist, taint_mode: str = "glift"):
+    def __init__(
+        self,
+        netlist: Netlist,
+        taint_mode: str = "glift",
+        engine: str = "dense",
+    ):
         netlist.validate()
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; choose from {ENGINES}"
+            )
         self.netlist = netlist
         self.taint_mode = taint_mode
+        self.engine = engine
         self.num_nets = netlist.num_nets
 
         self._const_nets: List[int] = []
@@ -197,23 +373,45 @@ class CompiledCircuit:
 
         self._inputs = {p.name: p.nets for p in netlist.inputs}
         self._outputs = {p.name: p.nets for p in netlist.outputs}
+        #: per-port net-id arrays for one-gather port reads/writes
+        self._input_arrays = {
+            name: np.array(nets, dtype=np.int64)
+            for name, nets in self._inputs.items()
+        }
+        self._output_arrays = {
+            name: np.array(nets, dtype=np.int64)
+            for name, nets in self._outputs.items()
+        }
 
     # ------------------------------------------------------------------
     # Pickling (parallel-worker support)
     # ------------------------------------------------------------------
+
+    #: Derived attributes that must NOT ship across a pickle boundary:
+    #: either their keys are object ids from *this* process (meaningless
+    #: and potentially colliding in a worker) or they embed such ids
+    #: (the event tables' plan-mask memo).  All are rebuilt lazily, so a
+    #: worker pays at most one cheap reconstruction -- never a
+    #: re-levelization.  Auditing note: every new id-keyed or lazily
+    #: built cache added to this class belongs in this tuple;
+    #: ``tests/sim/test_engine_equivalence.py`` pins the round-trip.
+    _DERIVED_CACHES = ("_prod_tables", "_ev_tables")
+
     def __getstate__(self) -> dict:
-        """Drop the id-keyed memo caches: their keys are object ids from
-        *this* process, meaningless (and potentially colliding) after a
-        round-trip into a worker.  Everything else -- levelized groups,
-        LUTs, net arrays -- is plain data and ships as-is, so a worker
-        pays no re-levelization cost."""
         state = self.__dict__.copy()
         state["_plan_totals"] = {}
         state["_counter_cache"] = {}
-        state.pop("_prod_tables", None)  # lazily rebuilt on demand
+        for name in self._DERIVED_CACHES:
+            state.pop(name, None)
         return state
 
     def __setstate__(self, state: dict) -> None:
+        # Defensive re-reset: tolerate documents pickled by older code
+        # that did not strip a cache this version knows about.
+        state["_plan_totals"] = {}
+        state["_counter_cache"] = {}
+        for name in self._DERIVED_CACHES:
+            state.pop(name, None)
         self.__dict__.update(state)
 
     # ------------------------------------------------------------------
@@ -243,39 +441,62 @@ class CompiledCircuit:
     # Port access
     # ------------------------------------------------------------------
     def set_input(self, state: CircuitState, name: str, word: TWord) -> None:
-        nets = self._inputs[name]
+        nets = self._input_arrays[name]
         if len(nets) != word.width:
             raise ValueError(
                 f"port {name} is {len(nets)} bits, got {word.width}"
             )
-        self.set_nets(state, nets, word)
+        self._scatter_word(state, nets, word)
 
     def read_output(self, state: CircuitState, name: str) -> TWord:
-        return self.read_nets(state, self._outputs[name])
+        return self._gather_word(state, self._output_arrays[name])
 
     def set_nets(
         self, state: CircuitState, nets: Sequence[int], word: TWord
     ) -> None:
-        codes = state.codes
-        for index, net in enumerate(nets):
-            value, taint = word.bit(index)
-            codes[net] = code_of(value, taint)
+        if not isinstance(nets, np.ndarray):
+            nets = np.array(nets, dtype=np.int64)
+        self._scatter_word(state, nets, word)
 
     def read_nets(self, state: CircuitState, nets: Sequence[int]) -> TWord:
+        if not isinstance(nets, np.ndarray):
+            nets = np.array(nets, dtype=np.int64)
+        return self._gather_word(state, nets)
+
+    def _scatter_word(
+        self, state: CircuitState, nets: np.ndarray, word: TWord
+    ) -> None:
+        """One fancy-indexed write instead of a per-bit scalar loop."""
+        width = len(nets)
+        bits, xmask, tmask = word.bits, word.xmask, word.tmask
+        buffer = bytearray(width)
+        for index in range(width):
+            probe = 1 << index
+            if xmask & probe:
+                value = UNKNOWN
+            else:
+                value = 1 if bits & probe else 0
+            buffer[index] = value * 2 + (1 if tmask & probe else 0)
+        state.codes[nets] = np.frombuffer(bytes(buffer), dtype=np.uint8)
+
+    def _gather_word(
+        self, state: CircuitState, nets: np.ndarray
+    ) -> TWord:
+        """One gather + a bytes loop: numpy scalar indexing is ~10x the
+        cost of iterating a ``bytes`` of the same codes."""
         bits = 0
         xmask = 0
         tmask = 0
-        codes = state.codes
-        for index, net in enumerate(nets):
-            code = int(codes[net])
-            value, taint = code >> 1, code & 1
-            probe = 1 << index
+        probe = 1
+        for code in state.codes[nets].tobytes():
+            value = code >> 1
             if value == UNKNOWN:
                 xmask |= probe
             elif value:
                 bits |= probe
-            if taint:
+            if code & 1:
                 tmask |= probe
+            probe <<= 1
         return TWord(bits, xmask, tmask, len(nets))
 
     def input_nets(self, name: str) -> Tuple[int, ...]:
@@ -289,6 +510,9 @@ class CompiledCircuit:
     # ------------------------------------------------------------------
     def eval_combinational(self, state: CircuitState) -> None:
         """Propagate codes through all combinational logic (one pass)."""
+        if self.engine == "event":
+            self._eval_event(state, plan=None)
+            return
         codes = state.codes
         if len(self._const_nets_arr):
             codes[self._const_nets_arr] = self._const_codes_arr
@@ -312,6 +536,337 @@ class CompiledCircuit:
         if obs.enabled:
             self._count_gate_evals(obs, self._gates_by_type,
                                    self._total_gates)
+
+    # ------------------------------------------------------------------
+    # Event-driven evaluation
+    # ------------------------------------------------------------------
+    def _event_tables(self) -> _EventTables:
+        tables = getattr(self, "_ev_tables", None)
+        if tables is None:
+            tables = self._ev_tables = _EventTables(self)
+        return tables
+
+    def _event_scratch(
+        self, state: CircuitState, tables: _EventTables
+    ) -> _EventScratch:
+        """The state's dirty bookkeeping, created on first event pass.
+
+        Creation applies the constant cells (they are boundary nets the
+        dense engine rewrites every pass; here they are written exactly
+        once) and marks every gate pending, so the first pass is a full
+        one regardless of what the codes array currently holds.
+        """
+        scratch = state.ev
+        if (
+            scratch is None
+            or len(scratch.pending) != tables.num_gates
+            or len(scratch.shadow) != len(tables.boundary)
+        ):
+            if len(self._const_nets_arr):
+                state.codes[self._const_nets_arr] = self._const_codes_arr
+            scratch = state.ev = _EventScratch(
+                state.codes[tables.boundary],
+                tables.num_gates,
+                tables.num_levels,
+            )
+        return scratch
+
+    def _mark_fanout(
+        self,
+        tables: _EventTables,
+        scratch: _EventScratch,
+        changed_nets: np.ndarray,
+    ) -> None:
+        """Flag every gate reading a changed net (and its level).
+
+        Level flags live in a plain python list (scalar reads in the
+        sweep are ~3x cheaper than numpy element access), so small
+        batches loop directly while large ones -- fanout lists repeat
+        gates heavily during bursts -- are deduplicated to at most one
+        flag write per level via bincount, keeping the mark cost
+        O(batch) instead of O(batch) *python* iterations.
+        """
+        gids = tables.fanout.gather(changed_nets)
+        if len(gids) == 0:
+            return
+        scratch.pending[gids] = True
+        flags = scratch.level_flags
+        if len(gids) <= 16:
+            for level in tables.gate_level[gids].tolist():
+                flags[level] = True
+        else:
+            hit = np.bincount(
+                tables.gate_level[gids], minlength=tables.num_levels
+            )
+            for level in np.flatnonzero(hit).tolist():
+                flags[level] = True
+
+    def _eval_event(self, state: CircuitState, plan) -> None:
+        """One event-driven pass (full when *plan* is None, else the
+        cone-plan subset).
+
+        Phases: (1) seed -- diff the boundary nets against the shadow
+        snapshot and flag the fanout of every changed net; (2) sweep --
+        walk flagged levels in rank order evaluating only pending gates
+        (restricted to the plan's gates for a cone pass; non-plan gates
+        stay pending for the next full pass), writing back and flagging
+        fanout only where an output actually changed.  A provenance
+        recorder forces a dense recording pass over the same plan --
+        provenance is an explicitly paid-for diagnostic mode -- which
+        settles every gate it covers, so the pending flags it clears
+        keep the sparse invariant exact.
+        """
+        tables = self._event_tables()
+        scratch = self._event_scratch(state, tables)
+        codes = state.codes
+
+        # Phase 1: seed from externally written boundary nets.
+        boundary = tables.boundary
+        current = codes[boundary]
+        diff = current != scratch.shadow
+        if diff.any():
+            scratch.shadow[diff] = current[diff]
+            self._mark_fanout(tables, scratch, boundary[diff])
+
+        recorder = get_recorder()
+        if recorder is not None:
+            self._eval_levels_recording(
+                codes, self._levels if plan is None else plan, recorder
+            )
+            if plan is None:
+                scratch.pending[:] = False
+                scratch.level_flags = [False] * tables.num_levels
+            else:
+                scratch.pending &= ~tables.plan_mask(plan)
+            self._count_event_pass(plan, None, dense=True)
+            return
+
+        perf = get_perf()
+        kind = "full" if plan is None else "interface"
+        slots = None
+        if perf is not None:
+            slots = perf.group_slots(
+                tables.levels if plan is None else plan,
+                kind,
+                counted=True,
+                meta=self._event_perf_meta(tables, plan),
+            )
+            perf.ensure_bound(self)
+            pass_start = perf_counter()
+
+        plan_mask = None if plan is None else tables.plan_mask(plan)
+        pending = scratch.pending
+        flags = scratch.level_flags
+        evals = 0
+        groups_run = 0
+        by_type: Optional[Dict[str, int]] = None
+        if get_observer().enabled:
+            by_type = {}
+        for level_index, (lstart, lend, offsets, entries) in enumerate(
+            tables.levels
+        ):
+            if not flags[level_index]:
+                continue
+            if plan is None:
+                flags[level_index] = False
+            window = pending[lstart:lend]
+            rows_all = np.flatnonzero(window)
+            if plan_mask is not None and len(rows_all):
+                rows_all = rows_all[plan_mask[lstart:lend][rows_all]]
+            if not len(rows_all):
+                continue
+            window[rows_all] = False
+            cuts = np.searchsorted(rows_all, offsets).tolist()
+            changed_lists = []
+            for group_index, (lut, inputs, outputs, cell_type,
+                              offset, size) in enumerate(entries):
+                start, stop = cuts[group_index], cuts[group_index + 1]
+                active = stop - start
+                if not active:
+                    continue
+                if slots is not None:
+                    group_start = perf_counter()
+                if active == size:
+                    rows = slice(None)  # whole group: skip the gathers
+                else:
+                    rows = rows_all[start:stop] - offset
+                index = codes[inputs[0][rows]].astype(np.int32)
+                for column in inputs[1:]:
+                    index *= 6
+                    index += codes[column[rows]]
+                new_codes = lut[index]
+                outs = outputs[rows]
+                delta = codes[outs] != new_codes
+                codes[outs] = new_codes
+                if delta.any():
+                    changed_lists.append(outs[delta])
+                evals += active
+                groups_run += 1
+                if by_type is not None:
+                    by_type[cell_type] = (
+                        by_type.get(cell_type, 0) + active
+                    )
+                if slots is not None:
+                    slot = slots[level_index][group_index]
+                    slot[0] += perf_counter() - group_start
+                    slot[1] += active
+            if (
+                evals >= tables.burst_limit
+                and level_index + 1 < tables.num_levels
+            ):
+                # Activity burst: the sparse bookkeeping has stopped
+                # paying for itself; finish the pass densely.
+                if plan is None:
+                    # Evaluate the remaining levels in full (no marking
+                    # needed -- everything downstream runs) and settle
+                    # all their pending flags at once.
+                    evals, groups_run = self._finish_dense(
+                        tables, scratch, codes, level_index + 1,
+                        slots, by_type, evals, groups_run,
+                    )
+                    break
+                if slots is None:
+                    # Cone-plan burst: settle the *entire* circuit
+                    # densely.  Finishing just the cone would need
+                    # delta tracking to keep non-cone consumers of
+                    # changed cone nets pending; a full settle clears
+                    # every obligation at once, and the gates outside
+                    # the cone compute from already-settled inputs, so
+                    # the result is the same fixpoint the dense engine
+                    # reaches by the end of the cycle.  (Not taken
+                    # under perf attribution: a plan pass's counted
+                    # slots do not map onto a full sweep, and perf runs
+                    # are diagnostic anyway.)
+                    evals, groups_run = self._finish_dense(
+                        tables, scratch, codes, 0,
+                        None, by_type, evals, groups_run,
+                    )
+                    plan = None  # count against the full circuit
+                    break
+            if changed_lists:
+                self._mark_fanout(
+                    tables,
+                    scratch,
+                    changed_lists[0]
+                    if len(changed_lists) == 1
+                    else np.concatenate(changed_lists),
+                )
+        scratch.last_evals = evals
+        scratch.last_groups = groups_run
+        if perf is not None:
+            perf.note_pass(kind, perf_counter() - pass_start)
+            if plan is None:
+                perf.sample(codes)
+        self._count_event_pass(plan, (by_type, evals), dense=False)
+
+    def _finish_dense(
+        self, tables, scratch, codes, start, slots, by_type,
+        evals, groups_run,
+    ):
+        """Dense completion of a bursting full pass, from level *start*.
+
+        Every gate of every remaining level is evaluated (the plain
+        dense inner loop), which makes the pending flags for those
+        levels vacuously satisfied: they are cleared wholesale.  Levels
+        before *start* were already settled by the sparse sweep, so the
+        whole pass ends with the same invariant a quiet pass leaves --
+        no pending gate anywhere.
+        """
+        for level_index in range(start, tables.num_levels):
+            _lstart, _lend, _offsets, entries = tables.levels[level_index]
+            for group_index, (lut, inputs, outputs, cell_type,
+                              _offset, size) in enumerate(entries):
+                if slots is not None:
+                    group_start = perf_counter()
+                index = codes[inputs[0]].astype(np.int32)
+                for column in inputs[1:]:
+                    index *= 6
+                    index += codes[column]
+                codes[outputs] = lut[index]
+                evals += size
+                groups_run += 1
+                if by_type is not None:
+                    by_type[cell_type] = (
+                        by_type.get(cell_type, 0) + size
+                    )
+                if slots is not None:
+                    slot = slots[level_index][group_index]
+                    slot[0] += perf_counter() - group_start
+                    slot[1] += size
+        scratch.pending[tables.levels[start][0]:] = False
+        flags = scratch.level_flags
+        for level_index in range(start, tables.num_levels):
+            flags[level_index] = False
+        return evals, groups_run
+
+    def _event_perf_meta(self, tables: _EventTables, plan):
+        """(cell type, gates-per-pass) meta aligned with the event
+        sweep's (level, group) structure, for attribution reports.
+
+        For a cone plan the gate count is the number of *plan* gates in
+        each group, so the skipped-eval reconstruction compares actual
+        evaluations against what a dense pass over the same plan would
+        have cost.  Memoised: the perf recorder only reads it on first
+        sight, but it is requested every pass.
+        """
+        key = None if plan is None else id(plan)
+        meta = tables.meta_memo.get(key)
+        if meta is not None:
+            return meta
+        if plan is None:
+            meta = [
+                [(cell_type, size)
+                 for (_l, _i, _o, cell_type, _off, size) in entries]
+                for (_s, _e, _offs, entries) in tables.levels
+            ]
+        else:
+            mask = tables.plan_mask(plan)  # also pins the plan ref
+            meta = [
+                [
+                    (
+                        cell_type,
+                        int(mask[lstart + off:lstart + off + size].sum()),
+                    )
+                    for (_l, _i, _o, cell_type, off, size) in entries
+                ]
+                for (lstart, _e, _offs, entries) in tables.levels
+            ]
+        tables.meta_memo[key] = meta
+        return meta
+
+    def _count_event_pass(self, plan, counted, dense: bool) -> None:
+        """Gate-eval counters for an event pass.
+
+        The dense engine's counters reconstruct ``gates x passes``; the
+        event engine reports what actually ran plus an explicit
+        ``sim.gate_evals_skipped`` so the quiescence win is visible in
+        every metrics snapshot.
+        """
+        obs = get_observer()
+        if not obs.enabled:
+            return
+        if plan is None:
+            total_by_type, total = self._gates_by_type, self._total_gates
+        else:
+            total_by_type, total = self._totals_of_plan(plan)
+        if dense:
+            # Provenance fallback evaluated the whole plan.
+            self._count_gate_evals(obs, total_by_type, total)
+            return
+        by_type, evals = counted
+        metrics = obs.metrics
+        metrics.counter("sim.eval_passes").inc()
+        metrics.counter("sim.gate_evals").value += evals
+        # A burst-escalated pass can re-evaluate a few gates the sparse
+        # sweep already ran, pushing evals past the dense-pass total.
+        metrics.counter("sim.gate_evals_skipped").value += max(
+            0, total - evals
+        )
+        if by_type:
+            for cell_type, count in by_type.items():
+                metrics.counter(
+                    f"sim.gate_evals.{cell_type}"
+                ).value += count
 
     def _producer_tables(self) -> Tuple[np.ndarray, np.ndarray]:
         """Per-net fan-in table and topological rank for provenance.
@@ -500,6 +1055,9 @@ class CompiledCircuit:
         self, state: CircuitState, plan: List[List[_Group]]
     ) -> None:
         """Evaluate a pre-grouped cone (see :meth:`cone_plan`)."""
+        if self.engine == "event":
+            self._eval_event(state, plan)
+            return
         codes = state.codes
         if len(self._const_nets_arr):
             codes[self._const_nets_arr] = self._const_codes_arr

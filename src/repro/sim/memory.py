@@ -106,14 +106,24 @@ class TaintedMemory:
         if address.xmask == 0:
             word = self.get(address.bits % self.size)
             return word.or_taint(taint)
-        match = self.match_mask(address)
-        if not match.any():
-            # Address provably outside this bank.
-            return TWord.unknown(self.width, tmask=taint)
-        any_x = int(np.bitwise_or.reduce(self.xmask[match]))
-        and_bits = int(np.bitwise_and.reduce(self.bits[match]))
-        or_bits = int(np.bitwise_or.reduce(self.bits[match]))
-        taint |= int(np.bitwise_or.reduce(self.tmask[match]))
+        known = self._full & ~(address.xmask & self._full)
+        if known == 0:
+            # Fully unknown address: the footprint is the whole bank.
+            # Reducing the contiguous arrays directly skips the
+            # match-mask allocation and three boolean gathers.
+            any_x = int(np.bitwise_or.reduce(self.xmask))
+            and_bits = int(np.bitwise_and.reduce(self.bits))
+            or_bits = int(np.bitwise_or.reduce(self.bits))
+            taint |= int(np.bitwise_or.reduce(self.tmask))
+        else:
+            match = self.match_mask(address)
+            if not match.any():
+                # Address provably outside this bank.
+                return TWord.unknown(self.width, tmask=taint)
+            any_x = int(np.bitwise_or.reduce(self.xmask[match]))
+            and_bits = int(np.bitwise_and.reduce(self.bits[match]))
+            or_bits = int(np.bitwise_or.reduce(self.bits[match]))
+            taint |= int(np.bitwise_or.reduce(self.tmask[match]))
         known1 = and_bits & ~any_x
         known0 = ~or_bits & ~any_x & self._full
         xmask = self._full & ~(known0 | known1)
@@ -132,12 +142,11 @@ class TaintedMemory:
         policy checker to detect writes into untainted partitions).
         """
         wen_value, wen_taint = wen
-        none = np.zeros(self.size, dtype=bool)
         if wen_value == ZERO:
             # No store happens on this path.  A tainted strobe reflects
             # attacker-chosen control flow, and the paths where the store
             # *does* happen are explored separately.
-            return none
+            return np.zeros(self.size, dtype=bool)
 
         smear = self._address_smear_taint(address) | (
             self._full if wen_taint else 0
@@ -149,13 +158,27 @@ class TaintedMemory:
             # gate-level semantics.
             index = address.bits % self.size
             self.set(index, data.or_taint(smear))
-            mask = none
+            mask = np.zeros(self.size, dtype=bool)
             mask[index] = True
             return mask
         # Unknown address and/or maybe-strobe: merge into the footprint.
+        known = self._full & ~(address.xmask & self._full)
+        if known == 0:
+            # Fully unknown address: the footprint is the whole bank, so
+            # merge in place with whole-array operations instead of the
+            # (much slower) boolean gather/scatter below.
+            differ = (
+                (self.bits ^ np.uint32(data.bits))
+                | self.xmask
+                | np.uint32(data.xmask)
+            )
+            self.bits &= ~differ
+            self.xmask = differ
+            self.tmask |= np.uint32(data.tmask | smear)
+            return np.ones(self.size, dtype=bool)
         match = self.match_mask(address)
         if not match.any():
-            return none
+            return np.zeros(self.size, dtype=bool)
         differ = (
             (self.bits[match] ^ np.uint32(data.bits))
             | self.xmask[match]

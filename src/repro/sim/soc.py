@@ -60,11 +60,17 @@ class Rom:
         self.words = np.zeros(size, dtype=np.uint32)
         self.tmask = np.zeros(size, dtype=np.uint32)
         self._indices = np.arange(size, dtype=np.uint32)
+        # Smeared-fetch results keyed by (known address bits, xmask).
+        # The ROM only changes via load(), which clears this, so the
+        # merge over each match footprint can be computed once per
+        # address pattern instead of every fetch.
+        self._read_memo: Dict[Tuple[int, int], Tuple[int, int, int]] = {}
 
     def load(self, base: int, words: Sequence[int], tmask: int = 0) -> None:
         for offset, word in enumerate(words):
             self.words[base + offset] = word & 0xFFFF
             self.tmask[base + offset] = tmask
+        self._read_memo.clear()
 
     def read(self, address: TWord) -> TWord:
         """Instruction fetch: value follows the unknown bits of the
@@ -77,16 +83,25 @@ class Rom:
                 int(self.words[index]), 0, int(self.tmask[index]) | taint, 16
             )
         known = 0xFFFF & ~address.xmask
-        match = (self._indices & known) == (address.bits & known)
-        if not match.any():
-            return TWord.unknown(16, tmask=taint)
-        and_bits = int(np.bitwise_and.reduce(self.words[match]))
-        or_bits = int(np.bitwise_or.reduce(self.words[match]))
-        taint |= int(np.bitwise_or.reduce(self.tmask[match]))
-        known1 = and_bits
-        known0 = ~or_bits & 0xFFFF
-        xmask = 0xFFFF & ~(known0 | known1)
-        return TWord(known1, xmask, taint, 16)
+        key = (address.bits & known, address.xmask)
+        memo = self._read_memo.get(key)
+        if memo is None:
+            match = (self._indices & known) == (address.bits & known)
+            if not match.any():
+                memo = (0, 0xFFFF, 0)
+            else:
+                and_bits = int(np.bitwise_and.reduce(self.words[match]))
+                or_bits = int(np.bitwise_or.reduce(self.words[match]))
+                rom_taint = int(np.bitwise_or.reduce(self.tmask[match]))
+                known1 = and_bits
+                known0 = ~or_bits & 0xFFFF
+                xmask = 0xFFFF & ~(known0 | known1)
+                memo = (known1, xmask, rom_taint)
+            if len(self._read_memo) >= 4096:
+                self._read_memo.clear()
+            self._read_memo[key] = memo
+        known1, xmask, rom_taint = memo
+        return TWord(known1, xmask, rom_taint | taint, 16)
 
 
 @dataclass
@@ -166,6 +181,8 @@ class AddressSpace:
     def _matching_peripherals(self, address: TWord) -> List[Tuple[int, object]]:
         """Peripherals reachable through the address's *unknown* bits."""
         known = 0xFFFF & ~address.xmask
+        if known == 0:
+            return list(self.ports.items())
         return [
             (reg_address, peripheral)
             for reg_address, peripheral in self.ports.items()
@@ -207,17 +224,16 @@ class AddressSpace:
         device matching the address's unknown *or tainted* bits.
         """
         wen_value, wen_taint = wen
-        none = np.zeros(self.ram.size, dtype=bool)
         if wen_value == ZERO:
             # No store on this path (see TaintedMemory.write).
-            return none
+            return np.zeros(self.ram.size, dtype=bool)
         address_taint = 0xFFFF if address.tmask else 0
 
         if address.xmask == 0:
             index = address.bits
             if index in self.ports:
                 self.ports[index].write_reg(index, data, wen, address_taint)
-                return none
+                return np.zeros(self.ram.size, dtype=bool)
             return self.ram.write(address, data, wen)
 
         # Unknown address: maybe-effects on every matching device.

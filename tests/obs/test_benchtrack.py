@@ -114,8 +114,9 @@ class TestSelection:
 
         repo_root = Path(__file__).parent.parent.parent
         quick = select_benches(repo_root, quick=True)
-        assert len(quick) == 2
+        assert len(quick) == 3
         assert all(module.exists() for module in quick)
+        assert "bench_engine_event.py" in {m.name for m in quick}
 
     def test_only_filters_by_fragment(self):
         from pathlib import Path

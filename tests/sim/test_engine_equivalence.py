@@ -1,0 +1,394 @@
+"""Dense vs event engine: lockstep differential tests.
+
+The event engine's contract is *bit-identical* results -- not "close",
+not "equivalent verdicts": the same codes array after every pass, the
+same violations, the same report text.  These tests enforce that
+contract at three granularities:
+
+* SoC lockstep: two :class:`GateRunner`\\ s over the same workload,
+  stepped cycle by cycle with the full 3027-net codes array compared
+  after every cycle, for every forking Table 1 workload.
+* Analysis equivalence: full :class:`TaintTracker` runs (verdict,
+  violation tuples, normalized report text), including across
+  checkpoint/save/resume and under ``jobs=2``.
+* Random netlists: seeded random DAG circuits driven with random
+  ternary/tainted input sequences, dense vs event codes compared after
+  every combinational settle and clock edge.
+
+A pickle round-trip regression pins the ``_DERIVED_CACHES`` audit:
+id-keyed derived tables must not survive a pickle boundary.
+"""
+
+import pickle
+import random
+import re
+
+import numpy as np
+import pytest
+
+from repro.core import TaintTracker
+from repro.cpu import compiled_cpu
+from repro.isa.assembler import assemble
+from repro.logic.words import TWord
+from repro.netlist.builder import CircuitBuilder, Sig
+from repro.resilience import (
+    AnalysisInterrupted,
+    Checkpointer,
+    read_checkpoint,
+)
+from repro.sim.compiled import CompiledCircuit
+from repro.sim.runner import GateRunner
+from repro.workloads.registry import BENCHMARKS, TABLE2_VIOLATORS
+
+
+def _program(name):
+    info = BENCHMARKS[name]
+    return assemble(info.service_source, name=name)
+
+
+def _normalize(report):
+    """Report text minus the one legitimately nondeterministic field."""
+    return re.sub(r"wall=\S+", "wall=<t>", report)
+
+
+def _violation_key(violation):
+    # Violation is a frozen dataclass: directly comparable.
+    return violation
+
+
+LOCKSTEP_CYCLES = 400
+
+
+class TestSoCLockstep:
+    """Cycle-by-cycle codes equality on the forking Table 1 workloads."""
+
+    @pytest.mark.parametrize("name", TABLE2_VIOLATORS)
+    def test_codes_bit_identical(self, name):
+        program = _program(name)
+        dense = GateRunner(compiled_cpu("dense"), program)
+        event = GateRunner(compiled_cpu("event"), program)
+        for cycle in range(LOCKSTEP_CYCLES):
+            dense.step()
+            event.step()
+            assert np.array_equal(
+                dense.soc.state.codes, event.soc.state.codes
+            ), f"{name}: codes diverged at cycle {cycle}"
+
+    def test_codes_bit_identical_nonforking(self):
+        """A clean kernel too -- quiescent workloads exercise the
+        zero-activity fast path the violators' forks never hit."""
+        program = _program("mult")
+        dense = GateRunner(compiled_cpu("dense"), program)
+        event = GateRunner(compiled_cpu("event"), program)
+        for cycle in range(LOCKSTEP_CYCLES):
+            dense.step()
+            event.step()
+            assert np.array_equal(
+                dense.soc.state.codes, event.soc.state.codes
+            ), f"mult: codes diverged at cycle {cycle}"
+
+
+#: Full-analysis results are expensive (seconds per engine); share them
+#: across the verdict/violations/report assertions of this module.
+_RESULT_CACHE = {}
+
+
+def _analysis(name, engine):
+    key = (name, engine)
+    if key not in _RESULT_CACHE:
+        tracker = TaintTracker(
+            _program(name), circuit=compiled_cpu(engine)
+        )
+        _RESULT_CACHE[key] = tracker.run()
+    return _RESULT_CACHE[key]
+
+
+class TestAnalysisEquivalence:
+    """Full TaintTracker runs must be indistinguishable per engine."""
+
+    @pytest.mark.parametrize("name", TABLE2_VIOLATORS)
+    def test_verdict_violations_report(self, name):
+        dense = _analysis(name, "dense")
+        event = _analysis(name, "event")
+        assert event.verdict == dense.verdict
+        assert list(event.violations) == list(dense.violations)
+        assert event.stats.paths == dense.stats.paths
+        assert event.stats.forks == dense.stats.forks
+        assert event.stats.merges == dense.stats.merges
+        assert (
+            event.stats.cycles_simulated == dense.stats.cycles_simulated
+        )
+        assert _normalize(event.report()) == _normalize(dense.report())
+
+
+FORKY = """
+.task sys trusted
+start:
+    mov &P3IN, r4
+    bit #1, r4
+    jz even
+    mov #1, &P2OUT
+    halt
+even:
+    mov #2, &P2OUT
+    halt
+"""
+
+
+def _forky_tracker(engine, **kwargs):
+    program = assemble(FORKY, name="forky")
+    return TaintTracker(
+        program, circuit=compiled_cpu(engine), **kwargs
+    )
+
+
+class TestCheckpointEquivalence:
+    """Interrupt the event-engine analysis, resume it, and compare the
+    stitched result against an uninterrupted dense baseline."""
+
+    def _interrupt_after(self, tracker, paths):
+        original = tracker._explore_path
+        fired = []
+
+        def wrapper(*args, **kwargs):
+            original(*args, **kwargs)
+            if not fired and tracker.stats.paths >= paths:
+                fired.append(True)
+                tracker.request_interrupt("test")
+
+        tracker._explore_path = wrapper
+        return tracker
+
+    def test_resume_matches_dense_baseline(self, tmp_path):
+        dense = _forky_tracker("dense").run()
+
+        ckpt = tmp_path / "event.ckpt"
+        interrupted = self._interrupt_after(
+            _forky_tracker("event", checkpointer=Checkpointer(ckpt)),
+            paths=1,
+        )
+        with pytest.raises(AnalysisInterrupted):
+            interrupted.run()
+        assert ckpt.exists()
+
+        fresh = _forky_tracker("event")
+        payload = read_checkpoint(ckpt, fresh.config_digest())
+        fresh.restore_checkpoint(payload)
+        event = fresh.run()
+
+        assert event.verdict == dense.verdict
+        assert list(event.violations) == list(dense.violations)
+        assert event.stats.paths == dense.stats.paths
+        assert _normalize(event.report()) == _normalize(dense.report())
+
+    def test_table1_resume_matches(self, tmp_path):
+        """The same interrupt/resume stitch on a real forking workload."""
+        name = "binSearch"
+        dense = _analysis(name, "dense")
+
+        ckpt = tmp_path / "table1.ckpt"
+        interrupted = self._interrupt_after(
+            TaintTracker(
+                _program(name),
+                circuit=compiled_cpu("event"),
+                checkpointer=Checkpointer(ckpt),
+            ),
+            paths=2,
+        )
+        with pytest.raises(AnalysisInterrupted):
+            interrupted.run()
+
+        fresh = TaintTracker(
+            _program(name), circuit=compiled_cpu("event")
+        )
+        payload = read_checkpoint(ckpt, fresh.config_digest())
+        fresh.restore_checkpoint(payload)
+        event = fresh.run()
+
+        assert event.verdict == dense.verdict
+        assert list(event.violations) == list(dense.violations)
+        assert _normalize(event.report()) == _normalize(dense.report())
+
+
+class TestParallelEquivalence:
+    """--jobs parallel exploration must stay engine-agnostic."""
+
+    def test_jobs2_matches_dense_serial(self):
+        name = "tHold"
+        dense = _analysis(name, "dense")
+        event = TaintTracker(
+            _program(name), circuit=compiled_cpu("event"), jobs=2
+        ).run()
+        assert event.verdict == dense.verdict
+        assert list(event.violations) == list(dense.violations)
+        assert event.stats.paths == dense.stats.paths
+        assert _normalize(event.report()) == _normalize(dense.report())
+
+
+# ---------------------------------------------------------------------------
+# Random netlists
+# ---------------------------------------------------------------------------
+def random_netlist(seed, num_inputs=5, num_regs=4, num_gates=60):
+    """A seeded random layered DAG with registers and a reset."""
+    rng = random.Random(seed)
+    b = CircuitBuilder(f"rand{seed}")
+    rst = b.input("rst", 1)[0]
+    pool = [b.input(f"in{i}", 1)[0] for i in range(num_inputs)]
+    regs = [b.reg(f"r{i}", 1) for i in range(num_regs)]
+    pool += [r.q[0] for r in regs]
+    pool += [b.bit0(), b.bit1()]
+    for _ in range(num_gates):
+        op = rng.choice(
+            ("not", "and", "or", "xor", "xnor", "nand", "nor", "mux")
+        )
+        a, c, d = (rng.choice(pool) for _ in range(3))
+        if op == "not":
+            out = b.not_bit(a)
+        elif op == "and":
+            out = b.and_bit(a, c)
+        elif op == "or":
+            out = b.or_bit(a, c)
+        elif op == "xor":
+            out = b.xor_bit(a, c)
+        elif op == "xnor":
+            out = b.xnor_bit(a, c)
+        elif op == "nand":
+            out = b.nand_bit(a, c)
+        elif op == "nor":
+            out = b.nor_bit(a, c)
+        else:
+            out = b.mux_bit(a, c, d)
+        pool.append(out)
+    for reg in regs:
+        b.drive(reg, Sig([rng.choice(pool)]), rst=rst)
+    b.output("out", Sig([rng.choice(pool) for _ in range(4)]))
+    return b.build()
+
+
+def _random_word(rng):
+    """A random 1-bit ternary word, sometimes tainted, sometimes X."""
+    roll = rng.random()
+    if roll < 0.2:
+        return TWord(0, 1, rng.randrange(2), 1)  # unknown
+    return TWord(rng.randrange(2), 0, rng.randrange(2), 1)
+
+
+class TestRandomNetlists:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_lockstep_on_random_dag(self, seed):
+        netlist = random_netlist(seed)
+        dense = CompiledCircuit(netlist, engine="dense")
+        event = CompiledCircuit(netlist, engine="event")
+        dstate = dense.new_state()
+        estate = event.new_state()
+        rng = random.Random(1000 + seed)
+        inputs = [f"in{i}" for i in range(5)]
+        for cycle in range(40):
+            rst = TWord.const(1 if cycle == 0 else 0, 1)
+            for circuit, state in ((dense, dstate), (event, estate)):
+                circuit.set_input(state, "rst", rst)
+            # Change a random subset of inputs (sometimes none: the
+            # quiescent pass must also match).
+            for name in inputs:
+                if rng.random() < 0.6:
+                    word = _random_word(rng)
+                    dense.set_input(dstate, name, word)
+                    event.set_input(estate, name, word)
+            dense.eval_combinational(dstate)
+            event.eval_combinational(estate)
+            assert np.array_equal(dstate.codes, estate.codes), (
+                f"seed {seed}: diverged after eval, cycle {cycle}"
+            )
+            dense.clock_edge(dstate)
+            event.clock_edge(estate)
+            dense.eval_combinational(dstate)
+            event.eval_combinational(estate)
+            assert np.array_equal(dstate.codes, estate.codes), (
+                f"seed {seed}: diverged after clock edge, cycle {cycle}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Pickle round-trip (the _DERIVED_CACHES audit)
+# ---------------------------------------------------------------------------
+class TestPickleRoundTrip:
+    def test_derived_caches_do_not_cross_pickle(self):
+        netlist = random_netlist(3)
+        circuit = CompiledCircuit(netlist, engine="event")
+        state = circuit.new_state()
+        circuit.set_input(state, "rst", TWord.const(0, 1))
+        for i in range(5):
+            circuit.set_input(state, f"in{i}", TWord.const(i & 1, 1))
+        circuit.eval_combinational(state)
+        # The lazy caches exist in the source process...
+        assert getattr(circuit, "_ev_tables", None) is not None
+        circuit.cone_plan(["out"])
+
+        clone = pickle.loads(pickle.dumps(circuit))
+        # ...and must be absent after the round trip: their keys embed
+        # object ids from the source process.
+        for name in CompiledCircuit._DERIVED_CACHES:
+            assert getattr(clone, name, None) is None, name
+        assert clone._plan_totals == {}
+        assert clone._counter_cache == {}
+        assert clone.engine == "event"
+
+    def test_pickled_circuit_still_bit_identical(self):
+        netlist = random_netlist(4)
+        dense = CompiledCircuit(netlist, engine="dense")
+        event = pickle.loads(
+            pickle.dumps(CompiledCircuit(netlist, engine="event"))
+        )
+        dstate = dense.new_state()
+        estate = event.new_state()
+        rng = random.Random(99)
+        for cycle in range(20):
+            dense.set_input(dstate, "rst", TWord.const(0, 1))
+            event.set_input(estate, "rst", TWord.const(0, 1))
+            for i in range(5):
+                word = _random_word(rng)
+                dense.set_input(dstate, f"in{i}", word)
+                event.set_input(estate, f"in{i}", word)
+            dense.eval_combinational(dstate)
+            event.eval_combinational(estate)
+            dense.clock_edge(dstate)
+            event.clock_edge(estate)
+            dense.eval_combinational(dstate)
+            event.eval_combinational(estate)
+            assert np.array_equal(dstate.codes, estate.codes), (
+                f"pickled circuit diverged at cycle {cycle}"
+            )
+
+    def test_event_state_survives_circuit_state_pickle(self):
+        """CircuitState round-trips with its dirty bookkeeping intact:
+        a resumed state must not silently skip pending work."""
+        netlist = random_netlist(5)
+        event = CompiledCircuit(netlist, engine="event")
+        dense = CompiledCircuit(netlist, engine="dense")
+        estate = event.new_state()
+        dstate = dense.new_state()
+        rng = random.Random(7)
+        for circuit, state in ((event, estate), (dense, dstate)):
+            circuit.set_input(state, "rst", TWord.const(0, 1))
+        for i in range(5):
+            word = _random_word(rng)
+            event.set_input(estate, f"in{i}", word)
+            dense.set_input(dstate, f"in{i}", word)
+        event.eval_combinational(estate)
+        dense.eval_combinational(dstate)
+
+        resumed = pickle.loads(pickle.dumps(estate))
+        # Continue both; the resumed event state must keep matching.
+        for cycle in range(10):
+            word = _random_word(rng)
+            event.set_input(resumed, "in0", word)
+            dense.set_input(dstate, "in0", word)
+            event.eval_combinational(resumed)
+            dense.eval_combinational(dstate)
+            event.clock_edge(resumed)
+            dense.clock_edge(dstate)
+            event.eval_combinational(resumed)
+            dense.eval_combinational(dstate)
+            assert np.array_equal(resumed.codes, dstate.codes), (
+                f"resumed state diverged at cycle {cycle}"
+            )

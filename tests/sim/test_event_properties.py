@@ -1,0 +1,149 @@
+"""Property tests for the event engine's dirty-set bookkeeping.
+
+Two properties pin the engine's core invariants on random DAG
+netlists:
+
+* **Propagation closure** -- perturbing any single input net of a
+  settled event state and re-settling must reach exactly the state a
+  full dense pass computes from the same inputs.  If the dirty-set
+  sweep ever under-marks fanout, this catches it at the first netlist
+  where the missed gate matters.
+* **Quiescence soundness** -- re-evaluating a settled state with no
+  input change must evaluate *zero* gates (not merely produce the same
+  codes): the engine's claimed speedup is exactly this property.
+"""
+
+import random
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.words import TWord
+from repro.netlist.builder import CircuitBuilder, Sig
+from repro.sim.compiled import CompiledCircuit
+
+NUM_INPUTS = 5
+
+
+def build_random_dag(seed, num_gates):
+    """A seeded random combinational DAG (no registers: the properties
+    quantify over single-pass settling)."""
+    rng = random.Random(seed)
+    b = CircuitBuilder(f"prop{seed}")
+    pool = [b.input(f"in{i}", 1)[0] for i in range(NUM_INPUTS)]
+    pool += [b.bit0(), b.bit1()]
+    for _ in range(num_gates):
+        op = rng.choice(("not", "and", "or", "xor", "mux", "nand"))
+        a, c, d = (rng.choice(pool) for _ in range(3))
+        if op == "not":
+            out = b.not_bit(a)
+        elif op == "and":
+            out = b.and_bit(a, c)
+        elif op == "or":
+            out = b.or_bit(a, c)
+        elif op == "xor":
+            out = b.xor_bit(a, c)
+        elif op == "nand":
+            out = b.nand_bit(a, c)
+        else:
+            out = b.mux_bit(a, c, d)
+        pool.append(out)
+    b.output("out", Sig(pool[-4:]))
+    return b.build()
+
+
+def code_word(code):
+    """A 1-bit TWord carrying exactly the given net code."""
+    value, taint = code >> 1, code & 1
+    if value == 2:
+        return TWord(0, 1, taint, 1)
+    return TWord(value, 0, taint, 1)
+
+
+input_codes = st.lists(
+    st.sampled_from([0, 1, 2, 3, 4, 5]),
+    min_size=NUM_INPUTS,
+    max_size=NUM_INPUTS,
+)
+
+
+class TestPropagationClosure:
+    @given(
+        seed=st.integers(0, 200),
+        num_gates=st.integers(5, 80),
+        initial=input_codes,
+        which=st.integers(0, NUM_INPUTS - 1),
+        new_code=st.sampled_from([0, 1, 2, 3, 4, 5]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_single_input_perturbation_reaches_dense_fixpoint(
+        self, seed, num_gates, initial, which, new_code
+    ):
+        netlist = build_random_dag(seed, num_gates)
+        event = CompiledCircuit(netlist, engine="event")
+        estate = event.new_state()
+        for i, code in enumerate(initial):
+            event.set_input(estate, f"in{i}", code_word(code))
+        event.eval_combinational(estate)
+
+        # Perturb exactly one input net, re-settle the event state.
+        event.set_input(estate, f"in{which}", code_word(new_code))
+        event.eval_combinational(estate)
+
+        # Reference: a dense pass over the same final inputs.
+        dense = CompiledCircuit(netlist, engine="dense")
+        dstate = dense.new_state()
+        final = list(initial)
+        final[which] = new_code
+        for i, code in enumerate(final):
+            dense.set_input(dstate, f"in{i}", code_word(code))
+        dense.eval_combinational(dstate)
+
+        assert np.array_equal(estate.codes, dstate.codes)
+
+
+class TestQuiescenceSoundness:
+    @given(
+        seed=st.integers(0, 200),
+        num_gates=st.integers(5, 80),
+        initial=input_codes,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_noop_write_evaluates_zero_gates(
+        self, seed, num_gates, initial
+    ):
+        netlist = build_random_dag(seed, num_gates)
+        event = CompiledCircuit(netlist, engine="event")
+        state = event.new_state()
+        for i, code in enumerate(initial):
+            event.set_input(state, f"in{i}", code_word(code))
+        event.eval_combinational(state)
+
+        # Rewrite the same values -- a no-op -- and re-evaluate.
+        before = state.codes.copy()
+        for i, code in enumerate(initial):
+            event.set_input(state, f"in{i}", code_word(code))
+        event.eval_combinational(state)
+
+        assert state.ev.last_evals == 0
+        assert state.ev.last_groups == 0
+        assert np.array_equal(state.codes, before)
+
+    @given(
+        seed=st.integers(0, 200),
+        num_gates=st.integers(5, 80),
+        initial=input_codes,
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_settled_state_stays_settled(self, seed, num_gates, initial):
+        """No writes at all: repeated evaluation stays at zero work."""
+        netlist = build_random_dag(seed, num_gates)
+        event = CompiledCircuit(netlist, engine="event")
+        state = event.new_state()
+        for i, code in enumerate(initial):
+            event.set_input(state, f"in{i}", code_word(code))
+        event.eval_combinational(state)
+        for _ in range(3):
+            event.eval_combinational(state)
+            assert state.ev.last_evals == 0
