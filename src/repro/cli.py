@@ -23,6 +23,7 @@ get the verdict, the diagnostics and (optionally) the repaired binary.
     python -m repro.cli serve    --root svc --workers 2    # analysis daemon
     python -m repro.cli submit   app.s43 --wait            # job -> verdict
     python -m repro.cli jobs     [JOB_ID]                  # queue status
+    python -m repro.cli watch    JOB_ID                    # live progress
 
 Exit codes (see ``repro.resilience.errors`` and DESIGN.md): 0 secure,
 1 insecure, 2 fundamental violation, 3 inconclusive (budget exhausted),
@@ -300,6 +301,7 @@ def cmd_analyze_all(args) -> int:
         policy=args.policy,
         max_cycles=args.max_cycles,
         budget=budget,
+        engine=getattr(args, "engine", "dense"),
     )
     rendered = format_json(document)
     if args.output:
@@ -999,6 +1001,9 @@ def _submission_body(args) -> dict:
         "max_rss_mb": getattr(args, "max_rss_mb", None),
     }
     body["budget"] = {k: v for k, v in budget.items() if v is not None}
+    engine = getattr(args, "engine", "dense")
+    if engine != "dense":
+        body["engine"] = engine
     return body
 
 
@@ -1037,6 +1042,96 @@ def cmd_submit(args) -> int:
             f"{record.get('attempts')} attempt(s))"
         )
     return int(record.get("exit_code") or 0)
+
+
+def _render_progress_line(document: dict) -> str:
+    """One human TTY line for a ``progress`` SSE frame."""
+    fraction = document.get("fraction")
+    percent = f"{fraction * 100.0:5.1f}%" if fraction is not None else "    ?"
+    line = (
+        f"[{percent}] paths {document.get('paths', '?')} "
+        f"(+{document.get('pending', '?')} pending) "
+        f"cycles {document.get('cycles', '?')} "
+        f"violations {document.get('violations', '?')}"
+    )
+    eta = document.get("eta_seconds")
+    if eta is not None:
+        line += f" eta {eta:.0f}s"
+    rate = document.get("rate_paths_per_s")
+    if rate is not None:
+        line += f" ({rate:.0f} paths/s)"
+    return line
+
+
+def cmd_watch(args) -> int:
+    """``repro watch <job>``: consume the SSE event stream and render a
+    live progress line (or, with ``--json``, one JSON object per frame,
+    which is what the CI streaming smoke test consumes)."""
+    from repro.service.client import ServiceClient, ServiceClientError
+
+    client = ServiceClient(args.url, timeout=args.timeout)
+    live_tty = sys.stdout.isatty() and not args.json
+    exit_code = 0
+    dirty = False  # a \r progress line is on screen
+    try:
+        for event, document in client.watch(args.job_id):
+            if event == "end":
+                exit_code = int(document.get("exit_code") or 0)
+            if args.json:
+                # NDJSON, one frame per line: the machine mode is meant
+                # to be consumed as a stream (CI tails it live).
+                import json as _json
+
+                print(
+                    _json.dumps(
+                        {"event": event, "data": document}, sort_keys=True
+                    )
+                )
+                sys.stdout.flush()
+                continue
+            if event == "state":
+                if dirty:
+                    print()
+                    dirty = False
+                note = document.get("note") or ""
+                print(
+                    f"job {document.get('job_id')}: {document.get('state')}"
+                    + (f" ({note})" if note else "")
+                )
+            elif event == "progress":
+                line = _render_progress_line(document)
+                if live_tty:
+                    print(f"\r\x1b[K{line}", end="", flush=True)
+                    dirty = True
+                else:
+                    print(line)
+            elif event == "end":
+                if dirty:
+                    print()
+                    dirty = False
+                print(
+                    f"job {document.get('id')}: {document.get('state')} "
+                    f"(verdict {document.get('verdict')}, "
+                    f"{document.get('attempts')} attempt(s))"
+                )
+    except ServiceClientError as error:
+        if dirty:
+            print()
+        raise InputError(
+            str(error), code=error.code or "SERVICE", retriable=error.retriable
+        ) from None
+    except (OSError, TimeoutError) as error:
+        if dirty:
+            print()
+        raise InputError(
+            f"cannot reach analysis service at {client.url}: {error}"
+        ) from None
+    except KeyboardInterrupt:
+        if dirty:
+            print()
+        print("watch interrupted (the job keeps running)", file=sys.stderr)
+        return 130
+    return exit_code
 
 
 def cmd_jobs(args) -> int:
@@ -1108,6 +1203,39 @@ def _print_service_stats(client, args) -> int:
     if health["jobs"]:
         rows = sorted(health["jobs"].items())
         print(format_table(["state", "jobs"], rows, title="jobs by state"))
+    progress = document.get("progress") or {}
+    running = progress.get("running") or {}
+    if running:
+        print(
+            f"fleet: {progress.get('paths_in_flight', 0)} path(s) in "
+            f"flight across {len(running)} running job(s), oldest "
+            f"running {progress.get('oldest_running_job_age_seconds', 0):.0f}s"
+        )
+        rows = [
+            (
+                job_id,
+                entry.get("paths", "-"),
+                entry.get("pending", "-"),
+                (
+                    f"{entry['fraction'] * 100.0:.1f}%"
+                    if entry.get("fraction") is not None
+                    else "-"
+                ),
+                (
+                    f"{entry['eta_seconds']:.0f}s"
+                    if entry.get("eta_seconds") is not None
+                    else "-"
+                ),
+            )
+            for job_id, entry in sorted(running.items())
+        ]
+        print(
+            format_table(
+                ["job", "paths", "pending", "done", "eta"],
+                rows,
+                title="running jobs",
+            )
+        )
     counters = metrics.get("counters", {})
     if counters:
         rows = [(name, value) for name, value in sorted(counters.items())]
@@ -1319,6 +1447,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the aggregate JSON document here",
     )
+    engine_flag(p)
     budget_flags(p)
     p.set_defaults(func=cmd_analyze_all)
 
@@ -1717,9 +1846,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="poll until the verdict and exit with its code",
     )
+    engine_flag(p)
     budget_flags(p)
     service_client_flags(p)
     p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser(
+        "watch",
+        help="stream a job's live progress (state transitions, path "
+        "exploration, ETA) from a running service until it finishes",
+    )
+    p.add_argument("job_id", help="job id to watch")
+    service_client_flags(p)
+    p.set_defaults(func=cmd_watch)
 
     p = sub.add_parser(
         "jobs",
@@ -1740,7 +1879,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "trace-lint",
         help="validate a JSONL trace file against the documented "
-        "v3 event schema",
+        "v4 event schema (declared fields, monotone progress, "
+        "stable job correlation)",
     )
     p.add_argument("trace_file", help="JSONL trace written by --trace")
     p.set_defaults(func=cmd_trace_lint)

@@ -44,6 +44,7 @@ from repro.resilience.errors import (
     SimulationError,
 )
 from repro.resilience.faults import get_injector
+from repro.resilience.progress import ProgressEstimator
 from repro.sim.compiled import CompiledCircuit
 from repro.sim.runner import PHASE_E, PHASE_F, PHASE_J, GateRunner
 from repro.sim.soc import AddressSpace, SoCState
@@ -354,6 +355,7 @@ class TaintTracker:
         provenance: Optional[ProvenanceRecorder] = None,
         timeline: Optional[TimelineRecorder] = None,
         jobs: int = 1,
+        progress: Optional[ProgressEstimator] = None,
     ):
         self.program = program
         #: observability sink; defaults to the process-wide current
@@ -379,6 +381,12 @@ class TaintTracker:
         #: optional per-cycle timeline flight recorder, installed
         #: process-wide for the duration of :meth:`run`
         self.timeline = timeline
+        #: optional :class:`repro.resilience.ProgressEstimator` taking
+        #: periodic exploration snapshots (serial mode only: the parallel
+        #: coordinator owns its own worklist)
+        self.progress = progress
+        if progress is not None:
+            progress.attach(self)
         self.fork_limit = fork_limit
         #: how many times a concrete PC-changing instruction is revisited
         #: *exactly* before switching to Algorithm 1's continue-from-the-
@@ -583,6 +591,10 @@ class TaintTracker:
         finally:
             self.stats.wall_seconds += CLOCK.wall() - start_time
 
+        if self.progress is not None:
+            # One last authoritative snapshot (drained worklists leave
+            # pending at 0; budget exhaustion leaves its fractions at 1).
+            self.progress.update(len(worklist), force=True, done=True)
         with obs.span("check"):
             violations = self.checker.violations()
         self._publish(obs, violations)
@@ -621,6 +633,8 @@ class TaintTracker:
             soc.restore(item.snapshot)
             if item.counted:
                 self.stats.paths += 1
+            if self.progress is not None:
+                self.progress.update(len(worklist))
             try:
                 self._explore_path(item.node_id, worklist)
             except ReproError:
@@ -926,6 +940,7 @@ class TaintTracker:
     ) -> None:
         soc = self.runner.soc
         node = self.tree.nodes[node_id]
+        progress = self.progress
         current: Optional[DecodedInstruction] = None
         task_name, task_trusted = "", True
         baseline_taint: Optional[np.ndarray] = None
@@ -965,6 +980,8 @@ class TaintTracker:
                     )
                 return
             if phase == 0:  # F: an instruction fetch is about to happen
+                if progress is not None:
+                    progress.tick(len(worklist))
                 pc_word = soc.pc()
                 if pc_word.xmask:
                     raise TrackerError(

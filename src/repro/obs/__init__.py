@@ -72,6 +72,7 @@ from repro.obs.timeline import (
     save_timeline,
 )
 from repro.obs.trace import (
+    CORRELATION_FIELDS,
     EVENT_SCHEMAS,
     TRACE_SCHEMA_VERSION,
     TraceRecorder,
@@ -262,6 +263,7 @@ __all__ = [
     "TraceRecorder",
     "read_events",
     "lint_trace",
+    "CORRELATION_FIELDS",
     "EVENT_SCHEMAS",
     "TRACE_SCHEMA_VERSION",
     "PERF_SCHEMA",

@@ -148,8 +148,16 @@ def render_prometheus(
             payload["bounds"], payload["buckets"]
         ):
             cumulative += occupancy
+            bound = float(bound)
+            if bound != bound or bound in (float("inf"), float("-inf")):
+                # A non-finite explicit bound must not get its own line:
+                # an explicit +Inf would duplicate the mandatory final
+                # bucket below, and le="NaN"/-Inf are unparseable to
+                # scrapers.  Its occupancy stays folded into the running
+                # cumulative count, so the +Inf bucket still absorbs it.
+                continue
             lines.append(
-                f'{metric}_bucket{{le="{_format_value(float(bound))}"}} '
+                f'{metric}_bucket{{le="{_format_value(bound)}"}} '
                 f"{cumulative}"
             )
         # The registry keeps one extra disjoint overflow bucket; folded

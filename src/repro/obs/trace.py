@@ -26,12 +26,26 @@ the pipeline emits and is what ``repro trace-lint`` validates against:
 ``provenance_truncated`` the provenance ring wrapped; slices best-effort
 ``timeline``             flight-recorder summary for a finished analysis
 ``record``               one ``repro record`` run wrote a .timeline file
+``progress``             periodic exploration-progress snapshot
 =======================  ==================================================
+
+Beyond the reserved fields, every event may carry the **correlation
+context** -- ``job_id``, ``attempt`` and ``run_id`` -- stamped by the
+recorder itself (:meth:`TraceRecorder.set_context`) so a journaled
+service job joins its trace stream one-to-one: the daemon's job record
+names the trace file, and every line in it names the job back.
+:func:`lint_trace` enforces that the context, once present, is
+consistent across the whole trace.
 
 Version history: v1 (unversioned) had no ``v``/``seq`` fields; v2 added
 them plus the provenance events; v3 added the timeline events
 (``timeline``, ``record``, the ``step`` event's ``timeline_frames``
-field) and made a trace with zero events a lint problem.
+field) and made a trace with zero events a lint problem; v4 added the
+``progress`` event (periodic exploration snapshots with a bounded ETA),
+the recorder-stamped correlation context (``job_id``/``attempt``/
+``run_id`` on *every* event), and the lint rules that go with both:
+``progress`` counters must be monotone non-decreasing and the
+correlation context must not change mid-trace.
 """
 
 from __future__ import annotations
@@ -39,15 +53,20 @@ from __future__ import annotations
 import io
 import json
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
 
 from repro.obs.clock import CLOCK, Clock
 
 #: Schema version stamped into every event's ``v`` field.
-TRACE_SCHEMA_VERSION = 3
+TRACE_SCHEMA_VERSION = 4
 
 #: Fields present on every event, owned by the recorder itself.
 RESERVED_FIELDS = frozenset({"event", "wall", "v", "seq"})
+
+#: Job-correlation fields the recorder may stamp on every event (v4).
+#: They are neither required nor "undeclared": any event may carry them,
+#: and :func:`lint_trace` checks they stay consistent across the trace.
+CORRELATION_FIELDS = frozenset({"job_id", "attempt", "run_id"})
 
 #: Per-event-type field contracts: required fields must be present,
 #: optional ones may be; anything else is flagged by :func:`lint_trace`.
@@ -130,6 +149,21 @@ EVENT_SCHEMAS: Dict[str, Dict[str, frozenset]] = {
         ),
         "optional": frozenset({"workload", "bytes"}),
     },
+    "progress": {
+        "required": frozenset(
+            {
+                "paths",
+                "pending",
+                "cycles",
+                "merged_states",
+                "violations",
+                "fraction",
+            }
+        ),
+        "optional": frozenset(
+            {"eta_seconds", "rate_paths_per_s", "budget"}
+        ),
+    },
     # -- analysis-service job lifecycle (repro.service) ----------------
     "service_started": {
         "required": frozenset({"jobs", "recovered"}),
@@ -181,6 +215,7 @@ class TraceRecorder:
         self,
         sink: Union[str, Path, io.TextIOBase],
         clock: Clock = CLOCK,
+        context: Optional[Dict[str, object]] = None,
     ):
         if isinstance(sink, (str, Path)):
             self._file = open(sink, "w", encoding="utf-8")
@@ -195,6 +230,26 @@ class TraceRecorder:
         #: checkpoint restore so resumed runs continue the original
         #: numbering instead of restarting at zero
         self.sequence = 0
+        #: correlation context stamped on every event (v4); keys limited
+        #: to :data:`CORRELATION_FIELDS`
+        self.context: Dict[str, object] = {}
+        if context:
+            self.set_context(**context)
+
+    def set_context(self, **fields) -> None:
+        """Stamp *fields* (``job_id``/``attempt``/``run_id``) on every
+        event emitted from now on.  ``None`` values drop the key."""
+        unknown = set(fields) - CORRELATION_FIELDS
+        if unknown:
+            raise ValueError(
+                f"unknown correlation field(s) {sorted(unknown)}; "
+                f"allowed: {sorted(CORRELATION_FIELDS)}"
+            )
+        for key, value in fields.items():
+            if value is None:
+                self.context.pop(key, None)
+            else:
+                self.context[key] = value
 
     def emit(self, event: str, **fields) -> None:
         record = {
@@ -203,6 +258,8 @@ class TraceRecorder:
             "v": TRACE_SCHEMA_VERSION,
             "seq": self.sequence,
         }
+        if self.context:
+            record.update(self.context)
         record.update(fields)
         self._file.write(json.dumps(record, default=_jsonable) + "\n")
         self.events_written += 1
@@ -246,7 +303,12 @@ def lint_trace(path: Union[str, Path]) -> List[str]:
     likely cause when they follow a checkpoint/resume splice: the
     resumed recorder restarting its cursor), unknown event types,
     missing or
-    undeclared event fields, and a trace with no events at all (an empty
+    undeclared event fields, an inconsistent correlation context (the
+    ``job_id``/``attempt``/``run_id`` stamp must be identical on every
+    event of a trace -- a mid-trace change means two runs' events were
+    interleaved into one file), regressing ``progress`` counters
+    (``paths``/``cycles``/``fraction`` must be monotone non-decreasing),
+    and a trace with no events at all (an empty
     or fully-blank file is evidence of a truncated or failed run, not a
     clean one).  Undecodable bytes are replaced, never raised, so a
     binary or truncated file lints as problems instead of crashing.
@@ -254,6 +316,11 @@ def lint_trace(path: Union[str, Path]) -> List[str]:
     problems: List[str] = []
     last_sequence = None
     events_seen = 0
+    #: correlation context established by the first event (None until
+    #: then); every later event must match it exactly.
+    expected_context: Optional[Dict[str, object]] = None
+    #: high-water marks of the monotone progress counters
+    progress_marks: Dict[str, float] = {}
     #: a checkpoint/interrupt boundary has passed; a seq violation after
     #: one is the classic resume-splice bug (the resumed recorder
     #: restarted numbering instead of continuing the original cursor).
@@ -307,16 +374,47 @@ def lint_trace(path: Union[str, Path]) -> List[str]:
                 last_sequence = sequence
             if record.get("event") in ("interrupted", "checkpoint_saved"):
                 splice_boundary = True
+            context = {
+                key: record[key]
+                for key in CORRELATION_FIELDS
+                if key in record
+            }
+            if expected_context is None:
+                expected_context = context
+            elif context != expected_context:
+                changed = sorted(
+                    key
+                    for key in CORRELATION_FIELDS
+                    if context.get(key) != expected_context.get(key)
+                )
+                problems.append(
+                    f"line {line_no}: correlation context changed "
+                    f"mid-trace (field(s) {', '.join(changed)}): "
+                    f"{context!r} != {expected_context!r}"
+                )
             event = record.get("event")
             if event is None:
                 continue
+            if event == "progress":
+                for counter in ("paths", "cycles", "fraction"):
+                    value = record.get(counter)
+                    if not isinstance(value, (int, float)):
+                        continue
+                    mark = progress_marks.get(counter)
+                    if mark is not None and value < mark:
+                        problems.append(
+                            f"line {line_no}: progress: {counter} "
+                            f"regressed ({value} < {mark})"
+                        )
+                    else:
+                        progress_marks[counter] = value
             schema = EVENT_SCHEMAS.get(event)
             if schema is None:
                 problems.append(
                     f"line {line_no}: unknown event type {event!r}"
                 )
                 continue
-            present = set(record) - RESERVED_FIELDS
+            present = set(record) - RESERVED_FIELDS - CORRELATION_FIELDS
             missing = schema["required"] - present
             for name in sorted(missing):
                 problems.append(

@@ -49,6 +49,8 @@ def _analyze_one(spec: dict) -> dict:
         from repro.isa.assembler import assemble
         from repro.resilience.budget import AnalysisBudget
 
+        from repro.cpu import compiled_cpu
+
         source, resolved = _resolve_workload(name)
         program = assemble(source, name=resolved)
         budget = AnalysisBudget(**spec["budget"])
@@ -56,6 +58,7 @@ def _analyze_one(spec: dict) -> dict:
         with observe(observer):
             result = TaintTracker(
                 program,
+                circuit=compiled_cpu(spec.get("engine", "dense")),
                 policy=_policy(spec["policy"]),
                 max_cycles=spec["max_cycles"],
                 budget=budget,
@@ -162,13 +165,16 @@ def run_analyze_all(
     policy: str = "untrusted",
     max_cycles: int = 1_000_000,
     budget: Optional[dict] = None,
+    engine: str = "dense",
 ) -> dict:
     """Analyze every workload (one serial analysis per worker process)
     and return the aggregate document.
 
     ``budget`` is an :class:`AnalysisBudget` kwargs dict applied *per
     workload* (each analysis gets its own fresh instance, so a deadline
-    bounds each workload, not the sweep).
+    bounds each workload, not the sweep).  ``engine`` selects the gate
+    evaluation engine (``dense`` | ``event``) for every workload;
+    verdicts are bit-identical either way.
     """
     jobs = max(1, int(jobs))
     specs = [
@@ -177,6 +183,7 @@ def run_analyze_all(
             "policy": policy,
             "max_cycles": max_cycles,
             "budget": dict(budget or {}),
+            "engine": engine,
         }
         for name in workloads
     ]
@@ -186,7 +193,7 @@ def run_analyze_all(
     # process-wide cache and skip their own levelization entirely.
     from repro.cpu import compiled_cpu
 
-    compiled_cpu()
+    compiled_cpu(engine)
 
     if jobs == 1 or len(specs) <= 1:
         results = [_analyze_one(spec) for spec in specs]
@@ -209,6 +216,7 @@ def run_analyze_all(
         "jobs": jobs,
         "policy": policy,
         "max_cycles": max_cycles,
+        "engine": engine,
         "budget": dict(budget or {}),
         "workloads": results,
         "metrics": merged.snapshot(),

@@ -12,7 +12,11 @@ finishes or dies into a service-grade component:
 * :mod:`repro.resilience.checkpoint` -- versioned, digest-validated
   checkpoint/resume of the tracker's full exploration state;
 * :mod:`repro.resilience.faults`     -- seeded fault injection into the
-  gate-level substrate, proving the analyzer survives (or fails typed).
+  gate-level substrate, proving the analyzer survives (or fails typed);
+* :mod:`repro.resilience.progress`   -- :class:`ProgressEstimator`
+  periodic exploration snapshots (frontier, cycles, budget consumption,
+  bounded ETA) feeding trace ``progress`` events and the service's
+  heartbeat/SSE progress pipeline.
 """
 
 from repro.resilience.errors import (
@@ -53,6 +57,11 @@ from repro.resilience.faults import (
     inject_faults,
     install_injector,
 )
+from repro.resilience.progress import (
+    PROGRESS_SCHEMA,
+    ProgressEstimator,
+    ProgressSnapshot,
+)
 
 __all__ = [
     "EXIT_SECURE",
@@ -88,4 +97,7 @@ __all__ = [
     "get_injector",
     "install_injector",
     "inject_faults",
+    "PROGRESS_SCHEMA",
+    "ProgressEstimator",
+    "ProgressSnapshot",
 ]

@@ -110,6 +110,52 @@ class ServiceClient:
         except ServiceClientError:
             return False
 
+    def events(
+        self,
+        job_id: str,
+        timeout: float = 30.0,
+    ):
+        """GET /jobs/<id>/events: yield ``(event, document)`` pairs from
+        the SSE stream until the server closes it (the ``end`` frame).
+
+        *timeout* is the per-read socket timeout, not a stream lifetime
+        cap -- the server writes a keepalive comment at least every few
+        seconds, so a healthy stream never trips it no matter how long
+        the job runs.  Keepalive comment lines are consumed silently.
+        """
+        request = urllib.request.Request(f"{self.url}/jobs/{job_id}/events")
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            event: Optional[str] = None
+            data_lines: list = []
+            for raw in response:
+                line = raw.decode("utf-8").rstrip("\n").rstrip("\r")
+                if not line:  # blank line: frame boundary
+                    if event is not None and data_lines:
+                        yield event, json.loads("\n".join(data_lines))
+                    event, data_lines = None, []
+                    continue
+                if line.startswith(":"):
+                    continue  # keepalive comment
+                if line.startswith("event:"):
+                    event = line[len("event:"):].strip()
+                elif line.startswith("data:"):
+                    data_lines.append(line[len("data:"):].strip())
+
+    def watch(
+        self,
+        job_id: str,
+        timeout: float = 30.0,
+    ):
+        """Like :meth:`events` but reconnects through retriable hiccups
+        until a terminal ``end`` frame arrives; yields every frame."""
+        while True:
+            ended = False
+            for event, document in self.events(job_id, timeout=timeout):
+                ended = ended or event == "end"
+                yield event, document
+            if ended:
+                return
+
     def wait(
         self,
         job_id: str,

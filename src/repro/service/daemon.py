@@ -234,9 +234,12 @@ class AnalysisService:
         max_cycles: int = 1_000_000,
         budget: Optional[Dict[str, Any]] = None,
         fault_injection: Optional[Dict[str, Any]] = None,
+        engine: str = "dense",
     ) -> JobRecord:
         if policy not in ("untrusted", "secret"):
             raise ValueError(f"unknown policy {policy!r} (untrusted|secret)")
+        if engine not in ("dense", "event"):
+            raise ValueError(f"unknown engine {engine!r} (dense|event)")
         with self.lock:
             if self.draining:
                 raise Draining("service is draining; resubmit elsewhere")
@@ -258,6 +261,7 @@ class AnalysisService:
                 ),
                 max_attempts=self.config.max_attempts,
                 fault_injection=fault_injection,
+                engine=engine,
             )
             self.jobs[record.job_id] = record
             fsync_start = time.perf_counter()
@@ -294,6 +298,24 @@ class AnalysisService:
         except ValueError:
             return None
 
+    def job_events_snapshot(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """A consistent point-in-time view of one job for the SSE
+        stream: full transition history, latest progress, terminality.
+        Copied under the lock so the streaming thread never reads a
+        record mid-mutation."""
+        with self.lock:
+            record = self.jobs.get(job_id)
+            if record is None:
+                return None
+            return {
+                "history": [dict(entry) for entry in record.history],
+                "progress": (
+                    dict(record.progress) if record.progress else None
+                ),
+                "terminal": record.terminal,
+                "summary": record.summary(),
+            }
+
     def health(self) -> Dict[str, Any]:
         with self.lock:
             counts: Dict[str, int] = {}
@@ -314,10 +336,45 @@ class AnalysisService:
     # ------------------------------------------------------------------
     # Telemetry (GET /metrics, GET /statsz, repro jobs --stats)
     # ------------------------------------------------------------------
+    def fleet_progress(self) -> Dict[str, Any]:
+        """Fleet-level progress over the running jobs: the summed
+        pending exploration frontier, the oldest running job's age, and
+        each running job's latest progress document."""
+        now = time.time()
+        with self.lock:
+            running = [
+                record
+                for record in self.jobs.values()
+                if record.state == "running"
+            ]
+            per_job: Dict[str, Any] = {}
+            paths_in_flight = 0
+            for record in running:
+                if record.progress:
+                    per_job[record.job_id] = dict(record.progress)
+                    paths_in_flight += int(
+                        record.progress.get("pending") or 0
+                    )
+            oldest = max(
+                (
+                    now - record.updated_unix
+                    for record in running
+                    if record.updated_unix
+                ),
+                default=0.0,
+            )
+        return {
+            "running": per_job,
+            "paths_in_flight": paths_in_flight,
+            "oldest_running_job_age_seconds": oldest,
+        }
+
     def _scrape_gauges(self):
         """Scrape-time gauges derived from job state rather than
-        accumulated: queue depth, per-state population, worker count."""
+        accumulated: queue depth, per-state population, worker count,
+        fleet progress."""
         health = self.health()
+        fleet = self.fleet_progress()
         entries = [
             (
                 "service.backlog",
@@ -361,6 +418,18 @@ class AnalysisService:
                 None,
                 "seconds since the daemon started",
             ),
+            (
+                "service.paths_in_flight",
+                fleet["paths_in_flight"],
+                None,
+                "pending exploration frontier summed over running jobs",
+            ),
+            (
+                "service.oldest_running_job_age_seconds",
+                fleet["oldest_running_job_age_seconds"],
+                None,
+                "age of the longest-running in-flight job (0 when idle)",
+            ),
         ]
         for state in sorted(health["jobs"]):
             entries.append(
@@ -394,6 +463,7 @@ class AnalysisService:
         return {
             "health": self.health(),
             "metrics": self._registry().snapshot(),
+            "progress": self.fleet_progress(),
         }
 
     def readiness(self):
@@ -408,13 +478,40 @@ class AnalysisService:
     # The supervision loop
     # ------------------------------------------------------------------
     def tick(self) -> None:
-        """One supervision round: reap, classify, launch."""
+        """One supervision round: reap, classify, launch, ingest."""
         for end in self.supervisor.poll():
             self._on_worker_end(end)
         if not self.draining:
             self._launch_eligible()
+        self._ingest_progress()
         for hook in list(self.on_tick):
             hook(self)
+
+    def _ingest_progress(self) -> None:
+        """Parse every live worker's heartbeat progress document onto
+        its job record (in memory only: progress is ephemeral telemetry;
+        journaling every beat would turn the fsync'd log into a spam
+        channel).  Bare-touch heartbeats and torn files parse to None
+        and leave the record untouched."""
+        for job_id, handle in list(self.supervisor.live.items()):
+            document = handle.progress()
+            if not document:
+                continue
+            if document.get("job_id") not in (None, job_id):
+                continue  # stale file from an artifact-dir reuse
+            snapshot = document.get("progress")
+            if not isinstance(snapshot, dict):
+                continue  # alive, but no snapshot taken yet
+            merged: Dict[str, Any] = {
+                "attempt": document.get("attempt"),
+                "run_id": document.get("run_id"),
+                "unix": document.get("unix"),
+            }
+            merged.update(snapshot)
+            with self.lock:
+                record = self.jobs.get(job_id)
+                if record is not None and record.state == "running":
+                    record.progress = merged
 
     def _eligible(self, now: float) -> List[JobRecord]:
         runnable = [
@@ -453,21 +550,28 @@ class AnalysisService:
             "policy": record.policy,
             "max_cycles": record.max_cycles,
             "budget": budget,
+            "engine": record.engine,
+            "attempt": record.attempts + 1,
             "checkpoint": str(art / "checkpoint.ckpt"),
             "checkpoint_every": self.config.checkpoint_every,
             "heartbeat": str(art / "heartbeat"),
             "heartbeat_interval": self.config.heartbeat_interval,
             "result": str(art / "result.json"),
+            "trace": str(art / "trace.jsonl"),
             "fault_injection": record.fault_injection,
             "spec_path": str(art / "spec.json"),
         }
         # A stale result document from a previous attempt must not be
         # read as this attempt's verdict: the worker rewrites it, but
-        # only if it gets far enough to run at all.
-        try:
-            Path(spec["result"]).unlink()
-        except OSError:
-            pass
+        # only if it gets far enough to run at all.  Same for the
+        # heartbeat: a previous attempt's progress document must not be
+        # ingested as this attempt's (liveness falls back to the spawn
+        # wall-clock until the new worker's first beat).
+        for stale in (spec["result"], spec["heartbeat"]):
+            try:
+                Path(stale).unlink()
+            except OSError:
+                pass
         transition(
             record,
             "running",
@@ -480,7 +584,9 @@ class AnalysisService:
                 "checkpoint": spec["checkpoint"],
                 "result": spec["result"],
                 "heartbeat": spec["heartbeat"],
+                "trace": spec["trace"],
             },
+            progress=None,  # a fresh attempt starts a fresh stream
         )
         self.journal.append(record)
         self.supervisor.spawn(spec)

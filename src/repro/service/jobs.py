@@ -111,6 +111,12 @@ class JobRecord:
     artifacts: Dict[str, str] = field(default_factory=dict)
     fault_injection: Optional[Dict[str, Any]] = None
     history: List[Dict[str, Any]] = field(default_factory=list)
+    #: simulator engine the worker runs (``dense`` | ``event``)
+    engine: str = "dense"
+    #: latest heartbeat progress document from the running worker (the
+    #: daemon refreshes it every tick; engines older than trace v4 and
+    #: bare-touch heartbeats leave it None)
+    progress: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -137,6 +143,8 @@ class JobRecord:
             "shed": self.shed,
             "submitted_unix": self.submitted_unix,
             "updated_unix": self.updated_unix,
+            "engine": self.engine,
+            "progress": self.progress,
         }
 
 
@@ -151,6 +159,7 @@ def new_job(
     max_attempts: int,
     shed: bool = False,
     fault_injection: Optional[Dict[str, Any]] = None,
+    engine: str = "dense",
     now: Optional[float] = None,
 ) -> JobRecord:
     now = time.time() if now is None else now
@@ -169,6 +178,7 @@ def new_job(
         submitted_unix=now,
         updated_unix=now,
         fault_injection=fault_injection,
+        engine=engine,
     )
 
 

@@ -3,7 +3,8 @@
 Endpoints (JSON in, JSON out)::
 
     POST /jobs              submit {"source": ..., "name", "policy",
-                            "max_cycles", "budget"} -> 202 {"id": ...}
+                            "max_cycles", "budget", "engine"} ->
+                            202 {"id": ...}
                             (or {"workload": "intAVG"} for a registry
                             name); 429 when the queue is full, 503 when
                             draining, 400/413 for bad input
@@ -11,6 +12,16 @@ Endpoints (JSON in, JSON out)::
     GET  /jobs/<id>         the full job record (minus the source body)
     GET  /jobs/<id>/report  the verdict document once terminal
                             (202 + state while still in flight)
+    GET  /jobs/<id>/events  live progress stream (``text/event-stream``):
+                            replays the job's state transitions as
+                            ``state`` frames, then streams ``progress``
+                            frames as the worker's heartbeat documents
+                            change, ``: keepalive`` comments while idle,
+                            and one final ``end`` frame (the job
+                            summary) when the job reaches a terminal
+                            state -- then closes.  Each frame is
+                            ``event: <type>`` + ``data: <one JSON
+                            object>``.
     GET  /healthz           liveness: 200 while the daemon runs
     GET  /readyz            readiness: 503 while draining or saturated
     GET  /metrics           Prometheus text exposition (queue depth,
@@ -28,10 +39,18 @@ fsync) is part of ``submit`` -- a 202 means the job survives ``kill
 from __future__ import annotations
 
 import json
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 #: Submissions above this are rejected 413 before being parsed.
 MAX_BODY_BYTES = 2 << 20
+
+#: Seconds between ``: keepalive`` comments on an idle event stream
+#: (keeps proxies and client read-timeouts from severing a quiet job).
+SSE_KEEPALIVE_SECONDS = 5.0
+
+#: Seconds between job-state polls while streaming events.
+SSE_POLL_SECONDS = 0.1
 
 #: How much of an oversized body the server drains so the client can
 #: read the 413 instead of dying on EPIPE mid-upload (urllib writes the
@@ -103,6 +122,9 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 document.pop("source", None)  # bodies stay in the journal
                 self._send(200, document)
                 return
+            if len(parts) == 2 and parts[1] == "events":
+                self._stream_events(record.job_id)
+                return
             if len(parts) == 2 and parts[1] == "report":
                 report = service.report(record.job_id)
                 if report is not None:
@@ -124,6 +146,63 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                     )
                 return
         self._send(404, {"error": {"code": "NO_SUCH_ROUTE"}})
+
+    # ------------------------------------------------------------------
+    def _sse(self, event: str, document: dict) -> None:
+        frame = (
+            f"event: {event}\n"
+            f"data: {json.dumps(document, sort_keys=True)}\n\n"
+        )
+        self.wfile.write(frame.encode("utf-8"))
+        self.wfile.flush()
+
+    def _stream_events(self, job_id: str) -> None:
+        """``GET /jobs/<id>/events``: long-lived SSE stream.
+
+        Replays the job's transition history as ``state`` frames, then
+        streams new transitions and changed ``progress`` documents until
+        the job is terminal, closing with an ``end`` frame carrying the
+        final summary.  The connection is marked close-on-finish (a live
+        stream has no Content-Length to promise under HTTP/1.1
+        keep-alive) and a disconnected client simply ends the thread.
+        """
+        service = self.server.service
+        self.close_connection = True
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.end_headers()
+        sent_transitions = 0
+        last_progress = None
+        last_write = time.monotonic()
+        try:
+            while True:
+                view = service.job_events_snapshot(job_id)
+                if view is None:
+                    return  # record vanished (never happens in practice)
+                history = view["history"]
+                for entry in history[sent_transitions:]:
+                    self._sse("state", {"job_id": job_id, **entry})
+                    last_write = time.monotonic()
+                sent_transitions = len(history)
+                progress = view["progress"]
+                if progress and progress != last_progress:
+                    self._sse("progress", {"job_id": job_id, **progress})
+                    last_progress = progress
+                    last_write = time.monotonic()
+                if view["terminal"]:
+                    self._sse("end", view["summary"])
+                    return
+                if (
+                    time.monotonic() - last_write
+                    > SSE_KEEPALIVE_SECONDS
+                ):
+                    self.wfile.write(b": keepalive\n\n")
+                    self.wfile.flush()
+                    last_write = time.monotonic()
+                time.sleep(SSE_POLL_SECONDS)
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            return  # client went away; nothing to clean up
 
     # ------------------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
@@ -184,6 +263,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 max_cycles=int(request.get("max_cycles", 1_000_000)),
                 budget=request.get("budget"),
                 fault_injection=request.get("fault_injection"),
+                engine=request.get("engine", "dense"),
             )
         except QueueFull as error:
             # 429: the backpressure verdict -- retriable by contract.

@@ -13,6 +13,13 @@ to an ``inconclusive`` verdict on its own), while the supervisor's
 too wedged to honour the budget.  Heartbeat loss catches the rest: a
 worker whose beat thread stopped is dead weight no matter what its
 process state claims.
+
+Heartbeats double as the progress channel: v4 workers atomically rewrite
+the heartbeat file as a JSON progress document every beat, and
+:func:`parse_heartbeat` turns it into per-job progress for the daemon.
+Liveness never depends on the parse -- ``st_mtime`` freshness alone
+decides it -- so an old bare-touch (empty) heartbeat from a downlevel
+worker still drives liveness and simply reports no progress.
 """
 
 from __future__ import annotations
@@ -36,6 +43,30 @@ HARD_DEADLINE_SLACK = 20.0
 
 def default_worker_command(spec_path: str) -> List[str]:
     return [sys.executable, "-m", "repro.service.worker", "--spec", spec_path]
+
+
+def parse_heartbeat(path: Path) -> Optional[dict]:
+    """The heartbeat file's progress document, or None.
+
+    None covers every way a heartbeat can fail to carry progress -- the
+    file is missing, empty (a downlevel worker's bare ``touch``),
+    mid-replace, truncated, or not a JSON object -- because liveness is
+    decided by ``st_mtime`` elsewhere and progress is strictly
+    best-effort on top.  This parser must never raise.
+    """
+    try:
+        raw = Path(path).read_bytes()
+    except OSError:
+        return None
+    if not raw.strip():
+        return None  # bare-touch heartbeat: alive, no progress channel
+    try:
+        document = json.loads(raw)
+    except ValueError:
+        return None
+    if not isinstance(document, dict):
+        return None
+    return document
 
 
 def worker_environment() -> Dict[str, str]:
@@ -80,6 +111,11 @@ class WorkerHandle:
             return wall_now - self.heartbeat_path.stat().st_mtime
         except OSError:
             return wall_now - self.started_wall
+
+    def progress(self) -> Optional[dict]:
+        """The worker's latest heartbeat progress document (None for a
+        bare-touch heartbeat or any unreadable/partial file)."""
+        return parse_heartbeat(self.heartbeat_path)
 
     def terminate(self) -> None:
         if self.alive():

@@ -128,6 +128,84 @@ class TestRendering:
         value = samples(text, "repro_hole")[0][1]
         assert math.isnan(float(value))
 
+
+class TestNonFiniteSamples:
+    """0.0.4 format obligations for inf/nan values and bounds."""
+
+    def test_inf_gauge_renders_plus_inf(self):
+        text = render_prometheus(
+            MetricsRegistry(),
+            extra_gauges=[("boundless", float("inf"), None, "")],
+        )
+        assert samples(text, "repro_boundless")[0][1] == "+Inf"
+
+    def test_negative_inf_gauge_renders_minus_inf(self):
+        text = render_prometheus(
+            MetricsRegistry(),
+            extra_gauges=[("floorless", float("-inf"), None, "")],
+        )
+        assert samples(text, "repro_floorless")[0][1] == "-Inf"
+
+    def test_nan_gauge_renders_nan(self):
+        text = render_prometheus(
+            MetricsRegistry(),
+            extra_gauges=[("undefined", float("nan"), None, "")],
+        )
+        assert samples(text, "repro_undefined")[0][1] == "NaN"
+
+    def test_nan_sum_renders_nan(self):
+        state = {
+            "histograms": {
+                "weird": {
+                    "bounds": [1.0],
+                    "buckets": [1, 0],
+                    "total": float("nan"),
+                    "count": 1,
+                }
+            }
+        }
+        text = render_prometheus(state)
+        assert samples(text, "repro_weird_sum")[0][1] == "NaN"
+
+    def test_explicit_inf_bound_does_not_duplicate_the_final_bucket(self):
+        # An explicit +Inf in the declared bounds used to render its own
+        # le="+Inf" line *and* the mandatory final one -- a duplicate
+        # sample every scraper rejects.
+        state = {
+            "histograms": {
+                "latency": {
+                    "bounds": [0.5, float("inf")],
+                    "buckets": [2, 3, 0],
+                    "total": 4.0,
+                    "count": 5,
+                }
+            }
+        }
+        text = render_prometheus(state)
+        buckets = samples(text, "repro_latency_bucket")
+        inf_lines = [b for b in buckets if 'le="+Inf"' in b[0]]
+        assert len(inf_lines) == 1
+        # The explicit inf bound's occupancy still lands in +Inf.
+        assert inf_lines[0][1] == "5"
+        assert [value for _, value in buckets] == ["2", "5"]
+
+    def test_nan_bound_is_folded_not_rendered(self):
+        state = {
+            "histograms": {
+                "odd": {
+                    "bounds": [1.0, float("nan")],
+                    "buckets": [1, 2, 1],
+                    "total": 3.0,
+                    "count": 4,
+                }
+            }
+        }
+        text = render_prometheus(state)
+        buckets = samples(text, "repro_odd_bucket")
+        assert not any('le="NaN"' in b[0] for b in buckets)
+        assert buckets[-1][0].endswith('{le="+Inf"}')
+        assert buckets[-1][1] == "4"
+
     def test_accepts_export_state_dict(self):
         registry = MetricsRegistry()
         registry.counter("a").inc()

@@ -1,4 +1,5 @@
-"""Trace schema v3: versioned events, sequence numbers, and the linter."""
+"""Trace schema v4: versioned events, sequence numbers, correlation
+context, progress monotonicity, and the linter."""
 
 import io
 import json
@@ -241,11 +242,164 @@ class TestLinter:
         assert "provenance_edges" in EVENT_SCHEMAS["step"]["optional"]
         # The v3 contract: timeline events exist, step declares the
         # optional timeline_frames field.
-        assert TRACE_SCHEMA_VERSION == 3
         assert "timeline" in EVENT_SCHEMAS
         assert "record" in EVENT_SCHEMAS
         assert "timeline_frames" in EVENT_SCHEMAS["step"]["optional"]
         assert "out" in EVENT_SCHEMAS["record"]["required"]
+        # The v4 contract: progress events exist and carry the estimator
+        # snapshot fields.
+        assert TRACE_SCHEMA_VERSION == 4
+        assert "progress" in EVENT_SCHEMAS
+        assert "fraction" in EVENT_SCHEMAS["progress"]["required"]
+        assert "eta_seconds" in EVENT_SCHEMAS["progress"]["optional"]
+
+
+class TestCorrelationContext:
+    def _record(self, seq, **extra):
+        return {
+            "event": "merge", "wall": 0.0,
+            "v": TRACE_SCHEMA_VERSION, "seq": seq,
+            "site": "0x10", "cycle": 1,
+            **extra,
+        }
+
+    def test_recorder_stamps_context_on_every_event(self):
+        sink = io.StringIO()
+        trace = TraceRecorder(
+            sink, context={"job_id": "j1", "attempt": 2, "run_id": "r9"}
+        )
+        trace.emit("merge", site="0x10", cycle=1)
+        trace.emit("prune", site="0x10", node=2, cycle=1)
+        for event in _events(sink):
+            assert event["job_id"] == "j1"
+            assert event["attempt"] == 2
+            assert event["run_id"] == "r9"
+
+    def test_set_context_rejects_unknown_fields(self):
+        trace = TraceRecorder(io.StringIO())
+        try:
+            trace.set_context(pid=42)
+        except ValueError as error:
+            assert "pid" in str(error)
+        else:
+            raise AssertionError("unknown context field accepted")
+
+    def test_none_drops_a_context_key(self):
+        sink = io.StringIO()
+        trace = TraceRecorder(sink, context={"job_id": "j1"})
+        trace.set_context(job_id=None)
+        trace.emit("merge", site="0x10", cycle=1)
+        assert "job_id" not in _events(sink)[0]
+
+    def test_correlated_trace_lints_clean(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceRecorder(
+            path, context={"job_id": "j1", "attempt": 1, "run_id": "r1"}
+        ) as trace:
+            trace.emit("merge", site="0x10", cycle=1)
+            trace.emit("widen", site="0x10", node=3, cycle=2)
+        assert lint_trace(path) == []
+
+    def test_context_change_mid_trace_is_flagged(self, tmp_path):
+        lines = [
+            json.dumps(self._record(0, job_id="j1", attempt=1)),
+            json.dumps(self._record(1, job_id="j2", attempt=1)),
+        ]
+        path = tmp_path / "trace.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        problems = lint_trace(path)
+        assert len(problems) == 1
+        assert "correlation context changed mid-trace" in problems[0]
+        assert "job_id" in problems[0]
+
+    def test_context_appearing_late_is_flagged(self, tmp_path):
+        lines = [
+            json.dumps(self._record(0)),
+            json.dumps(self._record(1, job_id="j1")),
+        ]
+        path = tmp_path / "trace.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        problems = lint_trace(path)
+        assert any("correlation context" in p for p in problems)
+
+    def test_context_fields_are_not_undeclared(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(json.dumps(self._record(0, job_id="j1")) + "\n")
+        assert not any("undeclared" in p for p in lint_trace(path))
+
+
+class TestProgressLint:
+    def _progress(self, seq, **overrides):
+        record = {
+            "event": "progress", "wall": float(seq),
+            "v": TRACE_SCHEMA_VERSION, "seq": seq,
+            "paths": 1, "pending": 0, "cycles": 10,
+            "merged_states": 0, "violations": 0, "fraction": 0.1,
+        }
+        record.update(overrides)
+        return json.dumps(record)
+
+    def _write(self, tmp_path, lines):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    def test_monotone_progress_lints_clean(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            [
+                self._progress(0, paths=1, cycles=10, fraction=0.1),
+                self._progress(1, paths=3, cycles=50, fraction=0.4),
+                self._progress(2, paths=3, cycles=50, fraction=0.4),
+            ],
+        )
+        assert lint_trace(path) == []
+
+    def test_regressing_counters_are_flagged(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            [
+                self._progress(0, paths=5, cycles=100, fraction=0.5),
+                self._progress(1, paths=4, cycles=90, fraction=0.3),
+            ],
+        )
+        problems = lint_trace(path)
+        assert any("paths regressed" in p for p in problems)
+        assert any("cycles regressed" in p for p in problems)
+        assert any("fraction regressed" in p for p in problems)
+
+    def test_pending_may_shrink(self, tmp_path):
+        # pending is a frontier size, not a monotone counter.
+        path = self._write(
+            tmp_path,
+            [
+                self._progress(0, pending=9),
+                self._progress(1, pending=2),
+            ],
+        )
+        assert lint_trace(path) == []
+
+    def test_optional_fields_are_declared(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            [
+                self._progress(
+                    0,
+                    eta_seconds=12.5,
+                    rate_paths_per_s=4.0,
+                    budget={"paths": 0.25},
+                )
+            ],
+        )
+        assert lint_trace(path) == []
+
+    def test_missing_fraction_is_flagged(self, tmp_path):
+        record = json.loads(self._progress(0))
+        del record["fraction"]
+        path = self._write(tmp_path, [json.dumps(record)])
+        assert any(
+            "missing field 'fraction'" in p for p in lint_trace(path)
+        )
 
 
 class TestTraceLintCli:

@@ -1,0 +1,301 @@
+"""Live progress: heartbeat documents, ingestion, SSE, ``repro watch``.
+
+Covers the v4 progress pipeline end to end against real worker
+subprocesses: the JSON heartbeat (and its bare-touch backward
+compatibility), the daemon's per-tick ingestion and fleet aggregation,
+the ``GET /jobs/<id>/events`` stream, and the ``repro watch`` CLI.
+"""
+
+import json
+import subprocess
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.obs import lint_trace
+from repro.service import ServiceClient
+from repro.service.supervisor import WorkerHandle, parse_heartbeat
+
+from tests.service.conftest import (
+    MANYPATHS,
+    TINY_SECURE,
+    drive,
+    make_service,
+    reap,
+)
+
+
+class TestParseHeartbeat:
+    """Backward compatibility: liveness must never depend on the parse."""
+
+    def test_missing_file_is_none(self, tmp_path):
+        assert parse_heartbeat(tmp_path / "absent") is None
+
+    def test_bare_touch_heartbeat_is_none(self, tmp_path):
+        # The pre-v4 worker contract: an empty file, mtime = liveness.
+        path = tmp_path / "heartbeat"
+        path.touch()
+        assert parse_heartbeat(path) is None
+
+    def test_whitespace_only_is_none(self, tmp_path):
+        path = tmp_path / "heartbeat"
+        path.write_text("\n  \n")
+        assert parse_heartbeat(path) is None
+
+    def test_torn_json_is_none(self, tmp_path):
+        path = tmp_path / "heartbeat"
+        path.write_text('{"v": 1, "job_id": "j0001')
+        assert parse_heartbeat(path) is None
+
+    def test_non_object_json_is_none(self, tmp_path):
+        path = tmp_path / "heartbeat"
+        path.write_text("[1, 2, 3]\n")
+        assert parse_heartbeat(path) is None
+
+    def test_valid_document_parses(self, tmp_path):
+        path = tmp_path / "heartbeat"
+        document = {"v": 1, "job_id": "j1", "progress": None}
+        path.write_text(json.dumps(document))
+        assert parse_heartbeat(path) == document
+
+    def test_bare_touch_still_drives_liveness(self, tmp_path):
+        # A downlevel worker's empty heartbeat keeps the supervisor's
+        # freshness check working while progress stays None.
+        path = tmp_path / "heartbeat"
+        path.touch()
+        process = subprocess.Popen(["sleep", "30"])
+        try:
+            handle = WorkerHandle(
+                job_id="j1",
+                process=process,
+                spec={},
+                heartbeat_path=path,
+                started_at=time.monotonic(),
+                started_wall=time.time(),
+            )
+            assert handle.heartbeat_age() < 5.0
+            assert handle.progress() is None
+        finally:
+            process.kill()
+            process.wait()
+
+
+class TestIngestionAndFleet:
+    def test_running_job_gets_progress_on_the_record(self, tmp_path):
+        service = make_service(
+            tmp_path / "svc", heartbeat_interval=0.05, workers=1
+        )
+        try:
+            record = service.submit(source=MANYPATHS, name="slow")
+            seen = []
+            deadline = time.monotonic() + 180.0
+            while not record.terminal:
+                if time.monotonic() > deadline:
+                    raise TimeoutError("job never finished")
+                service.tick()
+                if record.progress:
+                    seen.append(dict(record.progress))
+                time.sleep(service.config.poll_interval)
+            assert seen, "no progress was ever ingested"
+            latest = seen[-1]
+            assert latest["attempt"] == 1
+            assert latest["run_id"]
+            assert latest["paths"] >= 1
+            assert 0.0 <= latest["fraction"] <= 1.0
+            fractions = [s["fraction"] for s in seen]
+            assert fractions == sorted(fractions)
+            # The last ingested progress survives on the terminal record
+            # (useful history); the listing carries it too.
+            assert record.summary()["state"] == "done"
+            assert record.summary()["progress"] == record.progress
+        finally:
+            reap(service)
+
+    def test_fleet_progress_shape_when_idle(self, tmp_path):
+        service = make_service(tmp_path / "svc")
+        try:
+            fleet = service.fleet_progress()
+            assert fleet == {
+                "running": {},
+                "paths_in_flight": 0,
+                "oldest_running_job_age_seconds": 0.0,
+            }
+            assert service.stats()["progress"] == fleet
+        finally:
+            reap(service)
+
+    def test_fleet_gauges_in_prometheus_exposition(self, tmp_path):
+        service = make_service(tmp_path / "svc")
+        try:
+            text = service.metrics_text()
+            assert "repro_service_paths_in_flight 0" in text
+            assert "repro_service_oldest_running_job_age_seconds 0" in text
+        finally:
+            reap(service)
+
+    def test_mismatched_job_id_heartbeat_is_ignored(self, tmp_path):
+        service = make_service(tmp_path / "svc", workers=1)
+        try:
+            record = service.submit(source=MANYPATHS, name="slow")
+            # Launch, then forge a heartbeat from a *different* job id
+            # (an artifact-dir reuse gone wrong must not cross-pollute).
+            deadline = time.monotonic() + 60.0
+            while record.job_id not in service.supervisor.live:
+                if time.monotonic() > deadline:
+                    raise TimeoutError("job never launched")
+                service.tick()
+                time.sleep(0.01)
+            handle = service.supervisor.live[record.job_id]
+            handle.heartbeat_path.write_text(
+                json.dumps(
+                    {
+                        "v": 1,
+                        "job_id": "j999999-other",
+                        "progress": {"paths": 999},
+                    }
+                )
+            )
+            service._ingest_progress()
+            assert record.progress is None
+        finally:
+            reap(service)
+
+
+def _frames_of(client, job_id, frames, errors):
+    try:
+        for event, document in client.watch(job_id, timeout=30.0):
+            frames.append((event, document))
+    except Exception as error:  # pragma: no cover - surfaced by the test
+        errors.append(error)
+
+
+@pytest.fixture
+def served(tmp_path):
+    service = make_service(
+        tmp_path / "svc", port=0, heartbeat_interval=0.05, workers=1
+    )
+    url = service.start_server()
+    yield service, ServiceClient(url)
+    reap(service)
+
+
+class TestEventStream:
+    def _stream(self, service, client, source, name):
+        record = service.submit(source=source, name=name)
+        frames, errors = [], []
+        consumer = threading.Thread(
+            target=_frames_of,
+            args=(client, record.job_id, frames, errors),
+            daemon=True,
+        )
+        consumer.start()
+        drive(service, [record])
+        consumer.join(timeout=60.0)
+        assert not consumer.is_alive(), "stream never ended"
+        assert not errors, errors
+        return record, frames
+
+    def test_stream_replays_states_and_ends_with_summary(self, served):
+        service, client = served
+        record, frames = self._stream(
+            service, client, TINY_SECURE, "quick"
+        )
+        kinds = [kind for kind, _ in frames]
+        assert kinds[-1] == "end"
+        states = [
+            doc["state"] for kind, doc in frames if kind == "state"
+        ]
+        assert states[0] == "running" or "queued" in states
+        assert "done" in states
+        end = frames[-1][1]
+        assert end["id"] == record.job_id
+        assert end["state"] == "done"
+        assert end["verdict"] == "secure"
+        assert end["exit_code"] == 0
+
+    def test_stream_carries_monotone_progress(self, served):
+        service, client = served
+        record, frames = self._stream(
+            service, client, MANYPATHS, "slow"
+        )
+        progress = [doc for kind, doc in frames if kind == "progress"]
+        assert progress, "no progress frames on a multi-second job"
+        for doc in progress:
+            assert doc["job_id"] == record.job_id
+            assert doc["attempt"] == 1
+        fractions = [doc["fraction"] for doc in progress]
+        assert fractions == sorted(fractions)
+        paths = [doc["paths"] for doc in progress]
+        assert paths == sorted(paths)
+
+    def test_worker_trace_is_correlated_and_lints_clean(self, served):
+        service, client = served
+        record, _ = self._stream(service, client, MANYPATHS, "traced")
+        trace_path = Path(record.artifacts["trace"])
+        assert trace_path.exists()
+        assert lint_trace(trace_path) == []
+        events = [
+            json.loads(line)
+            for line in trace_path.read_text().splitlines()
+            if line.strip()
+        ]
+        assert events
+        assert all(e["job_id"] == record.job_id for e in events)
+        assert all(e["attempt"] == record.attempts for e in events)
+        run_ids = {e["run_id"] for e in events}
+        assert len(run_ids) == 1
+        assert any(e["event"] == "progress" for e in events)
+
+    def test_events_for_unknown_job_is_404(self, served):
+        _, client = served
+        import urllib.error
+
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            for _ in client.events("j999999-nope"):
+                break
+        assert excinfo.value.code == 404
+
+
+class TestWatchCli:
+    def test_watch_json_streams_frames_and_exits_with_verdict(
+        self, served, capsys
+    ):
+        from repro.cli import main
+
+        service, client = served
+        record = service.submit(source=TINY_SECURE, name="watched")
+        driver = threading.Thread(
+            target=drive, args=(service, [record]), daemon=True
+        )
+        driver.start()
+        code = main(
+            ["watch", record.job_id, "--url", client.url, "--json"]
+        )
+        driver.join(timeout=60.0)
+        assert code == 0
+        lines = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line.strip()
+        ]
+        kinds = [line["event"] for line in lines]
+        assert kinds[-1] == "end"
+        assert lines[-1]["data"]["verdict"] == "secure"
+
+    def test_watch_plain_renders_states_and_summary(self, served, capsys):
+        from repro.cli import main
+
+        service, client = served
+        record = service.submit(source=TINY_SECURE, name="watched")
+        driver = threading.Thread(
+            target=drive, args=(service, [record]), daemon=True
+        )
+        driver.start()
+        code = main(["watch", record.job_id, "--url", client.url])
+        driver.join(timeout=60.0)
+        assert code == 0
+        output = capsys.readouterr().out
+        assert f"job {record.job_id}:" in output
+        assert "verdict secure" in output
